@@ -1,0 +1,129 @@
+// Command migbench regenerates the paper's experimental tables and
+// figures (Sec. V) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	migbench -table 1            # Table I (recorded synthesis times)
+//	migbench -table 1 -live      # Table I, re-measuring exact synthesis
+//	migbench -table 2            # Table II complexity distributions
+//	migbench -table 3            # Table III functional hashing (size/depth)
+//	migbench -table 4            # Table IV mapped area/depth
+//	migbench -figures            # Figures 1 and 2 (stats + DOT)
+//	migbench -thm2               # Theorem 2 constructive check
+//	migbench -all                # everything
+//
+// -benchmarks restricts Tables III/IV to a comma-separated subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mighash/internal/db"
+	"mighash/internal/exact"
+	"mighash/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migbench: ")
+	var (
+		table      = flag.Int("table", 0, "table to print (1-4)")
+		figures    = flag.Bool("figures", false, "print Figures 1 and 2")
+		thm2       = flag.Bool("thm2", false, "run the Theorem 2 check")
+		aigcmp     = flag.Bool("aig", false, "compare optimal MIG vs AIG sizes over all 222 classes")
+		converge   = flag.String("converge", "", "repeat BF on the named benchmark until fixpoint")
+		aigTimeout = flag.Duration("aigtimeout", 10*time.Second, "per-class budget for -aig (0 = none)")
+		all        = flag.Bool("all", false, "print everything")
+		live       = flag.Bool("live", false, "re-measure Table I by re-running exact synthesis")
+		workers    = flag.Int("workers", 0, "parallel workers for -live (0 = NumCPU)")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset for Tables III/IV")
+		nomap      = flag.Bool("nomap", false, "skip LUT mapping (Table III only)")
+	)
+	flag.Parse()
+	if !*figures && !*thm2 && !*aigcmp && *converge == "" && !*all && *table == 0 {
+		*all = true
+	}
+
+	d, err := db.Load()
+	if err != nil {
+		log.Fatalf("embedded database unavailable (run cmd/migdb): %v", err)
+	}
+	var names []string
+	if *benchmarks != "" {
+		names = strings.Split(*benchmarks, ",")
+	}
+
+	if *all || *table == 1 {
+		fmt.Println("== Table I: optimal MIGs for all 4-variable NPN classes ==")
+		rows := exp.TableI(d)
+		if *live {
+			fmt.Println("(re-measuring exact synthesis on this machine; this takes a while)")
+			var err error
+			rows, err = exp.TableILive(exact.Options{}, *workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println(exp.FormatTableI(rows))
+	}
+	if *all || *table == 2 {
+		fmt.Println("== Table II: complexity of 4-variable MIGs (C, L, D) ==")
+		fmt.Println(exp.FormatTableII(exp.TableII(d)))
+	}
+	if *all || *thm2 {
+		fmt.Println("== Theorem 2: C(n) ≤ 10·(2^(n−4)−1)+7, constructive ==")
+		rows, err := exp.Theorem2(d, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(exp.FormatTheorem2(rows))
+	}
+	if *all || *table == 3 || *table == 4 {
+		withMap := !*nomap || *table == 4 || *all
+		fmt.Println("== Tables III/IV workloads: generated EPFL-signature circuits ==")
+		rows, err := exp.Arithmetic(d, names, withMap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *all || *table == 3 {
+			fmt.Println("== Table III: functional hashing (MIG size and depth) ==")
+			fmt.Println(exp.FormatTableIII(rows))
+		}
+		if withMap && (*all || *table == 4) {
+			fmt.Println("== Table IV: area and depth after technology mapping (6-LUT) ==")
+			fmt.Println(exp.FormatTableIV(rows))
+		}
+	}
+	if *converge != "" {
+		fmt.Println("== Repeated functional hashing (Sec. V closing remark) ==")
+		rows, err := exp.Converge(d, *converge, exp.Variants[4].Opt, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(exp.FormatConverge(*converge, exp.Variants[4].Name, rows))
+	}
+	if *aigcmp {
+		fmt.Println("== MIG vs AIG: optimal sizes per NPN class (C_MIG ≤ C_AIG everywhere) ==")
+		rows, err := exp.AIGComparison(d, exact.Options{Timeout: *aigTimeout}, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(exp.FormatAIGComparison(rows))
+	}
+	if *all || *figures {
+		m1, st1 := exp.Figure1()
+		fmt.Printf("== Figure 1: full adder MIG (%v) ==\n", st1)
+		m1.WriteDOT(os.Stdout, "fig1_full_adder")
+		m2, st2, err := exp.Figure2(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== Figure 2: optimal MIG for S0,2 (%v) ==\n", st2)
+		m2.WriteDOT(os.Stdout, "fig2_s02")
+	}
+}

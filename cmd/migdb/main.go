@@ -1,0 +1,67 @@
+// Command migdb regenerates the functional-hashing database artifact:
+// minimum MIGs for all 222 NPN classes of 4-variable functions, computed
+// with the exact-synthesis engine (Sec. III of the paper) and written in
+// the text format embedded by internal/db.
+//
+// Usage:
+//
+//	migdb [-o internal/db/data/npn4.txt] [-workers N] [-timeout D] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mighash/internal/db"
+	"mighash/internal/exact"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migdb: ")
+	var (
+		out     = flag.String("o", "internal/db/data/npn4.txt", "output artifact path")
+		workers = flag.Int("workers", 0, "parallel synthesis workers (0 = NumCPU)")
+		timeout = flag.Duration("timeout", 0, "per-class synthesis timeout (0 = none)")
+		verbose = flag.Bool("v", false, "log every synthesized class")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	opt := exact.Options{Timeout: *timeout}
+	d, err := db.Generate(opt, *workers, func(done, total int, e db.Entry) {
+		if *verbose {
+			log.Printf("[%3d/%d] %04x k=%d depth=%d (%v)", done, total, e.Rep.Bits, e.Size(), e.Depth, e.GenTime)
+		} else if done%25 == 0 || done == total {
+			log.Printf("%d/%d classes", done, total)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	var total time.Duration
+	maxK := 0
+	for _, e := range d.Entries() {
+		total += e.GenTime
+		if e.Size() > maxK {
+			maxK = e.Size()
+		}
+	}
+	fmt.Printf("wrote %s: %d classes, max size %d, cpu %v, wall %v\n",
+		*out, d.Len(), maxK, total.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+}

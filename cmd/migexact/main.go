@@ -1,0 +1,73 @@
+// Command migexact synthesizes a minimum-size MIG for a Boolean function
+// given as a truth-table constant (Sec. III of the paper).
+//
+// Usage:
+//
+//	migexact -n 4 -f 0x1669            # S0,2: takes a while, needs 7 gates
+//	migexact -n 3 -f 0x96 -dot xor.dot # 3-input XOR
+//	migexact -n 4 -f 0xCAFE -timeout 30s
+//
+// The truth table is read LSB-first: bit j of the constant is the value
+// of f on the assignment with binary encoding j (x1 the least significant
+// input).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"mighash/internal/exact"
+	"mighash/internal/tt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migexact: ")
+	var (
+		n       = flag.Int("n", 4, "number of input variables (1-6)")
+		fstr    = flag.String("f", "", "truth table as a hex or decimal constant")
+		timeout = flag.Duration("timeout", 0, "overall synthesis timeout (0 = none)")
+		dot     = flag.String("dot", "", "write the minimum MIG as DOT")
+	)
+	flag.Parse()
+	if *fstr == "" {
+		log.Fatal("no function: use -f 0x<tt>")
+	}
+	bits, err := strconv.ParseUint(*fstr, 0, 64)
+	if err != nil {
+		log.Fatalf("bad truth table %q: %v", *fstr, err)
+	}
+	if *n < 1 || *n > tt.MaxVars {
+		log.Fatalf("unsupported variable count %d", *n)
+	}
+	f := tt.New(*n, bits&tt.Mask(*n))
+
+	start := time.Now()
+	m, err := exact.Minimum(f, exact.Options{Timeout: *timeout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("f = %v over %d variables\n", f, *n)
+	fmt.Printf("minimum MIG: %d majority gates, depth %d (%v)\n",
+		m.Size(), m.Depth(), time.Since(start).Round(time.Millisecond))
+	if got := m.Simulate()[0]; got != f {
+		log.Fatalf("internal error: synthesized %v", got)
+	}
+	if *dot != "" {
+		w, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteDOT(w, "exact"); err != nil {
+			log.Fatal(err)
+		}
+		w.Close()
+	}
+	if err := m.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

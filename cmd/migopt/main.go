@@ -1,0 +1,132 @@
+// Command migopt optimizes an MIG with a functional-hashing variant. The
+// input is either a generated benchmark (-bench) or an MIG text file
+// (-in, format of internal/mig's WriteText). The optimized graph can be
+// written back as text or DOT.
+//
+// Files ending in .bench are read and written in BENCH format (with the
+// MAJ extension); anything else uses the internal text format.
+//
+// Usage:
+//
+//	migopt -bench Multiplier -variant BF
+//	migopt -in circuit.bench -variant TFD -out optimized.bench
+//	migopt -bench Sine -prepare -variant TF    # depth-optimize first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mighash/internal/circuits"
+	"mighash/internal/db"
+	"mighash/internal/depthopt"
+	"mighash/internal/mig"
+	"mighash/internal/rewrite"
+)
+
+var variants = map[string]rewrite.Options{
+	"TF": rewrite.TF, "T": rewrite.T, "TFD": rewrite.TFD, "TD": rewrite.TD, "BF": rewrite.BF,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migopt: ")
+	var (
+		bench   = flag.String("bench", "", "generated benchmark name (Adder, Divisor, Log2, Max, Multiplier, Sine, Square-root, Square)")
+		in      = flag.String("in", "", "input MIG text file")
+		variant = flag.String("variant", "BF", "functional-hashing variant: TF, T, TFD, TD or BF")
+		prepare = flag.Bool("prepare", false, "run the algebraic depth optimizer before hashing")
+		out     = flag.String("out", "", "write the optimized MIG as text")
+		dot     = flag.String("dot", "", "write the optimized MIG as DOT")
+		verify  = flag.Bool("verify", true, "verify optimization by SAT equivalence checking")
+	)
+	flag.Parse()
+
+	opt, ok := variants[*variant]
+	if !ok {
+		log.Fatalf("unknown variant %q", *variant)
+	}
+	var m *mig.MIG
+	switch {
+	case *bench != "" && *in != "":
+		log.Fatal("use either -bench or -in, not both")
+	case *bench != "":
+		spec, ok := circuits.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		m = spec.Build()
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rerr error
+		if strings.HasSuffix(*in, ".bench") {
+			m, rerr = mig.ReadBENCH(f)
+		} else {
+			m, rerr = mig.ReadText(f)
+		}
+		f.Close()
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+	default:
+		log.Fatal("no input: use -bench or -in")
+	}
+	fmt.Printf("input: %v\n", m.Stats())
+
+	if *prepare {
+		var st depthopt.Stats
+		m, st = depthopt.Optimize(m, depthopt.Options{SizeFactor: 8, MaxPasses: 40})
+		fmt.Printf("prepared: %v\n", st)
+	}
+
+	d, err := db.Load()
+	if err != nil {
+		log.Fatalf("embedded database unavailable (run cmd/migdb): %v", err)
+	}
+	res, st := rewrite.Run(m, d, opt)
+	fmt.Printf("optimized: %v\n", st)
+
+	if *verify {
+		eq, ce, err := mig.Equivalent(m, res, 0)
+		if err != nil {
+			log.Fatalf("equivalence check failed to run: %v", err)
+		}
+		if !eq {
+			log.Fatalf("MISCOMPARE: optimized MIG differs, counterexample %v", ce)
+		}
+		fmt.Println("verified: optimized MIG is equivalent (SAT CEC)")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var werr error
+		if strings.HasSuffix(*out, ".bench") {
+			werr = res.WriteBENCH(f)
+		} else {
+			werr = res.WriteText(f)
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		f.Close()
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteDOT(f, "optimized"); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+}

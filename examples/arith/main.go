@@ -1,0 +1,74 @@
+// Arithmetic workload (Sec. V of the paper, one Table III row): generate
+// the 64×64 multiplier, depth-optimize it into a "best result" starting
+// point, then compare all five functional-hashing variants on it.
+//
+//	go run ./examples/arith [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"mighash"
+)
+
+func main() {
+	name := "Multiplier"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	spec, ok := mighash.BenchmarkByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (try Adder, Divisor, Log2, Max, Multiplier, Sine, Square-root, Square)", name)
+	}
+	m := spec.Build()
+	fmt.Printf("%s (%d/%d): generated %v\n", spec.Name, spec.NumPIs, spec.NumPOs, m.Stats())
+
+	// Emulate the paper's heavily optimized starting points: aggressive
+	// algebraic depth optimization, as in the flows behind the EPFL best
+	// results.
+	start, dst := mighash.OptimizeDepth(m, mighash.DepthOptions{SizeFactor: 8, MaxPasses: 40})
+	fmt.Printf("starting point: %v\n", dst)
+
+	variants := []struct {
+		name string
+		opt  mighash.RewriteOptions
+	}{
+		{"TF", mighash.VariantTF}, {"T", mighash.VariantT},
+		{"TFD", mighash.VariantTFD}, {"TD", mighash.VariantTD},
+		{"BF", mighash.VariantBF},
+	}
+	db, err := mighash.LoadDatabase()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-5s %10s %8s %10s %10s\n", "var", "size", "depth", "size ratio", "runtime")
+	for _, v := range variants {
+		opt, st := mighash.Optimize(start, db, v.opt)
+		fmt.Printf("%-5s %10d %8d %10.3f %10s\n", v.name, st.SizeAfter, st.DepthAfter,
+			float64(st.SizeAfter)/float64(st.SizeBefore), st.Elapsed.Round(1000000))
+		verify(start, opt, spec.NumPIs, v.name)
+	}
+}
+
+// verify compares the optimized graph against the starting point on
+// random vectors (SAT CEC over a 64×64 multiplier is intractable; the
+// library's rewrite tests prove equivalence exhaustively on small
+// graphs).
+func verify(a, b *mighash.MIG, pis int, name string) {
+	rng := rand.New(rand.NewSource(1))
+	for v := 0; v < 4; v++ {
+		in := make([]bool, pis)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		x, y := a.EvalBits(in), b.EvalBits(in)
+		for i := range x {
+			if x[i] != y[i] {
+				log.Fatalf("%s: output %d differs on random vector %d", name, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Fig. 1 as a word-level construction: a 64-bit ripple-carry adder built
+// from the full-adder gadget, flattened by algebraic depth optimization
+// and verified against machine arithmetic.
+//
+//	go run ./examples/fulladder
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mighash"
+)
+
+func main() {
+	const w = 64
+	b := mighash.NewCircuitBuilder(2 * w)
+	x := b.Inputs(0, w)
+	y := b.Inputs(w, w)
+	sum, cout := b.Add(x, y, mighash.Const0)
+	b.Outputs(sum)
+	b.M.AddOutput(cout)
+	m := b.M
+	fmt.Printf("ripple-carry adder: %v\n", m.Stats())
+
+	// The depth optimizer rediscovers a carry-lookahead-like structure —
+	// the transformation highlighted in the paper's introduction.
+	flat, st := mighash.OptimizeDepth(m, mighash.DepthOptions{SizeFactor: 8, MaxPasses: 40})
+	fmt.Printf("depth-optimized:    %v\n", st)
+
+	// Validate both against uint64 arithmetic on random operands.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		a, c := rng.Uint64(), rng.Uint64()
+		in := make([]bool, 2*w)
+		for i := 0; i < w; i++ {
+			in[i] = a>>uint(i)&1 == 1
+			in[w+i] = c>>uint(i)&1 == 1
+		}
+		want, carry := a+c, a+c < a
+		for _, g := range []*mighash.MIG{m, flat} {
+			out := g.EvalBits(in)
+			var got uint64
+			for i := 0; i < w; i++ {
+				if out[i] {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != want || out[w] != carry {
+				log.Fatalf("trial %d: %d+%d = %d carry %v, circuit says %d carry %v",
+					trial, a, c, want, carry, got, out[w])
+			}
+		}
+	}
+	fmt.Println("1000 random additions verified on both structures")
+}

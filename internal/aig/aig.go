@@ -1,0 +1,282 @@
+// Package aig implements And-Inverter Graphs, the homogeneous logic
+// representation the paper positions MIGs against (Sec. I and II-A,
+// refs [2], [6]). It provides the structure itself, conversions to and
+// from MIGs, and simulation — enough to serve as the comparison baseline
+// for the MIG-vs-AIG compactness experiments and as a second consumer of
+// the exact-synthesis engine (minimum AND-chains, internal/exact).
+package aig
+
+import (
+	"fmt"
+
+	"mighash/internal/mig"
+	"mighash/internal/tt"
+)
+
+// ID is an AIG node identifier: 0 is the constant-0 node, 1..numPI the
+// primary inputs, larger IDs the AND gates.
+type ID uint32
+
+// Lit is a signal: node ID with a complement bit in the lowest position,
+// the same convention as package mig.
+type Lit uint32
+
+// The two constant signals.
+const (
+	Const0 Lit = 0
+	Const1 Lit = 1
+)
+
+// MakeLit builds the signal for id, complemented when comp is set.
+func MakeLit(id ID, comp bool) Lit {
+	l := Lit(id) << 1
+	if comp {
+		l |= 1
+	}
+	return l
+}
+
+// ID returns the node the signal points to.
+func (l Lit) ID() ID { return ID(l >> 1) }
+
+// Comp reports whether the signal is complemented.
+func (l Lit) Comp() bool { return l&1 == 1 }
+
+// Not complements the signal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// NotIf complements the signal when c is true.
+func (l Lit) NotIf(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// AIG is a DAG of two-input AND gates with complemented edges.
+type AIG struct {
+	fanin   [][2]Lit // fanin[id]; terminals hold zeroes
+	numPI   int
+	strash  map[[2]Lit]ID
+	outputs []Lit
+}
+
+// New returns an empty AIG over the given primary inputs.
+func New(numPIs int) *AIG {
+	a := &AIG{numPI: numPIs, strash: make(map[[2]Lit]ID)}
+	a.fanin = make([][2]Lit, 1+numPIs)
+	return a
+}
+
+// NumPIs returns the primary input count.
+func (a *AIG) NumPIs() int { return a.numPI }
+
+// NumPOs returns the primary output count.
+func (a *AIG) NumPOs() int { return len(a.outputs) }
+
+// NumNodes returns the node count including terminals.
+func (a *AIG) NumNodes() int { return len(a.fanin) }
+
+// NumGates returns the number of AND gates ever created, including ones
+// no longer reachable from the outputs.
+func (a *AIG) NumGates() int { return len(a.fanin) - 1 - a.numPI }
+
+// Size returns the number of AND gates reachable from the outputs — the
+// standard AIG size metric, consistent with (*mig.MIG).Size.
+func (a *AIG) Size() int {
+	seen := make([]bool, len(a.fanin))
+	var stack []ID
+	push := func(id ID) {
+		if a.IsGate(id) && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, o := range a.outputs {
+		push(o.ID())
+	}
+	size := 0
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		size++
+		f := a.fanin[id]
+		push(f[0].ID())
+		push(f[1].ID())
+	}
+	return size
+}
+
+// Input returns the signal of primary input i (0-based).
+func (a *AIG) Input(i int) Lit {
+	if i < 0 || i >= a.numPI {
+		panic(fmt.Sprintf("aig: no input %d", i))
+	}
+	return MakeLit(ID(i+1), false)
+}
+
+// IsGate reports whether id is an AND gate.
+func (a *AIG) IsGate(id ID) bool { return int(id) > a.numPI && int(id) < len(a.fanin) }
+
+// Fanin returns the two fanin signals of gate id.
+func (a *AIG) Fanin(id ID) [2]Lit {
+	if !a.IsGate(id) {
+		panic(fmt.Sprintf("aig: node %d is not a gate", id))
+	}
+	return a.fanin[id]
+}
+
+// And returns x∧y, creating a gate unless it simplifies or exists.
+func (a *AIG) And(x, y Lit) Lit {
+	if x > y {
+		x, y = y, x
+	}
+	switch {
+	case x == Const0:
+		return Const0
+	case x == Const1:
+		return y
+	case x == y:
+		return x
+	case x == y.Not():
+		return Const0
+	}
+	key := [2]Lit{x, y}
+	if id, ok := a.strash[key]; ok {
+		return MakeLit(id, false)
+	}
+	id := ID(len(a.fanin))
+	a.fanin = append(a.fanin, key)
+	a.strash[key] = id
+	return MakeLit(id, false)
+}
+
+// Or returns x∨y via De Morgan.
+func (a *AIG) Or(x, y Lit) Lit { return a.And(x.Not(), y.Not()).Not() }
+
+// Xor returns x⊕y = (x∨y) ∧ ¬(x∧y), three AND gates.
+func (a *AIG) Xor(x, y Lit) Lit {
+	return a.And(a.And(x.Not(), y.Not()).Not(), a.And(x, y).Not())
+}
+
+// Mux returns s ? x : y.
+func (a *AIG) Mux(s, x, y Lit) Lit {
+	return a.Or(a.And(s, x), a.And(s.Not(), y))
+}
+
+// Maj returns 〈xyz〉 = (x∧y) ∨ ((x∨y)∧z), four AND gates.
+func (a *AIG) Maj(x, y, z Lit) Lit {
+	return a.Or(a.And(x, y), a.And(a.Or(x, y), z))
+}
+
+// AddOutput appends a primary output and returns its index.
+func (a *AIG) AddOutput(l Lit) int {
+	if int(l.ID()) >= len(a.fanin) {
+		panic("aig: dangling output literal")
+	}
+	a.outputs = append(a.outputs, l)
+	return len(a.outputs) - 1
+}
+
+// Outputs returns the output signals (owned by the AIG).
+func (a *AIG) Outputs() []Lit { return a.outputs }
+
+// Depth returns the AND levels on the longest terminal-to-output path.
+func (a *AIG) Depth() int {
+	levels := make([]int, len(a.fanin))
+	for id := a.numPI + 1; id < len(a.fanin); id++ {
+		f := a.fanin[id]
+		l := levels[f[0].ID()]
+		if l2 := levels[f[1].ID()]; l2 > l {
+			l = l2
+		}
+		levels[id] = l + 1
+	}
+	depth := 0
+	for _, o := range a.outputs {
+		if l := levels[o.ID()]; l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// Simulate returns one truth table per output; requires ≤ tt.MaxVars
+// inputs.
+func (a *AIG) Simulate() []tt.TT {
+	vals := make([]tt.TT, len(a.fanin))
+	vals[0] = tt.Const0(a.numPI)
+	for i := 0; i < a.numPI; i++ {
+		vals[i+1] = tt.Var(a.numPI, i)
+	}
+	at := func(l Lit) tt.TT { return vals[l.ID()].NotIf(l.Comp()) }
+	for id := a.numPI + 1; id < len(a.fanin); id++ {
+		f := a.fanin[id]
+		vals[id] = at(f[0]).And(at(f[1]))
+	}
+	out := make([]tt.TT, len(a.outputs))
+	for i, o := range a.outputs {
+		out[i] = at(o)
+	}
+	return out
+}
+
+// EvalBits evaluates the AIG on one input assignment.
+func (a *AIG) EvalBits(inputs []bool) []bool {
+	if len(inputs) != a.numPI {
+		panic(fmt.Sprintf("aig: %d inputs, want %d", len(inputs), a.numPI))
+	}
+	vals := make([]bool, len(a.fanin))
+	copy(vals[1:], inputs)
+	at := func(l Lit) bool { return vals[l.ID()] != l.Comp() }
+	for id := a.numPI + 1; id < len(a.fanin); id++ {
+		f := a.fanin[id]
+		vals[id] = at(f[0]) && at(f[1])
+	}
+	out := make([]bool, len(a.outputs))
+	for i, o := range a.outputs {
+		out[i] = at(o)
+	}
+	return out
+}
+
+// FromMIG converts an MIG gate-by-gate: each majority becomes the
+// four-AND gadget (x∧y) ∨ ((x∨y)∧z); structural hashing shares common
+// subterms, so the factor is usually below four.
+func FromMIG(m *mig.MIG) *AIG {
+	a := New(m.NumPIs())
+	lmap := make([]Lit, m.NumNodes())
+	lmap[0] = Const0
+	for i := 0; i < m.NumPIs(); i++ {
+		lmap[m.Input(i).ID()] = a.Input(i)
+	}
+	at := func(l mig.Lit) Lit { return lmap[l.ID()].NotIf(l.Comp()) }
+	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+		f := m.Fanin(mig.ID(id))
+		lmap[id] = a.Maj(at(f[0]), at(f[1]), at(f[2]))
+	}
+	for _, o := range m.Outputs() {
+		a.AddOutput(at(o))
+	}
+	return a
+}
+
+// ToMIG converts gate-by-gate: AND is majority with a constant-0 operand,
+// so the translation is size-preserving (Sec. II-B of the paper).
+func (a *AIG) ToMIG() *mig.MIG {
+	m := mig.New(a.numPI)
+	lmap := make([]mig.Lit, len(a.fanin))
+	lmap[0] = mig.Const0
+	for i := 0; i < a.numPI; i++ {
+		lmap[a.Input(i).ID()] = m.Input(i)
+	}
+	at := func(l Lit) mig.Lit { return lmap[l.ID()].NotIf(l.Comp()) }
+	for id := a.numPI + 1; id < len(a.fanin); id++ {
+		f := a.fanin[id]
+		lmap[id] = m.And(at(f[0]), at(f[1]))
+	}
+	for _, o := range a.outputs {
+		m.AddOutput(at(o))
+	}
+	return m
+}

@@ -1,0 +1,140 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mighash/internal/mig"
+	"mighash/internal/tt"
+)
+
+// TestAndSimplifications pins the strash normalizations.
+func TestAndSimplifications(t *testing.T) {
+	a := New(2)
+	x, y := a.Input(0), a.Input(1)
+	if got := a.And(x, Const0); got != Const0 {
+		t.Errorf("x∧0 = %v", got)
+	}
+	if got := a.And(Const1, y); got != y {
+		t.Errorf("1∧y = %v", got)
+	}
+	if got := a.And(x, x); got != x {
+		t.Errorf("x∧x = %v", got)
+	}
+	if got := a.And(x, x.Not()); got != Const0 {
+		t.Errorf("x∧x̄ = %v", got)
+	}
+	g1 := a.And(x, y)
+	g2 := a.And(y, x)
+	if g1 != g2 {
+		t.Error("strash missed the commuted gate")
+	}
+	if a.NumGates() != 1 {
+		t.Errorf("%d gates after one distinct AND", a.NumGates())
+	}
+	a.AddOutput(g1)
+	if a.Size() != 1 {
+		t.Errorf("reachable size %d, want 1", a.Size())
+	}
+}
+
+// TestGadgets verifies Or/Xor/Mux/Maj against truth tables.
+func TestGadgets(t *testing.T) {
+	a := New(3)
+	x, y, z := a.Input(0), a.Input(1), a.Input(2)
+	a.AddOutput(a.Or(x, y))
+	a.AddOutput(a.Xor(x, y))
+	a.AddOutput(a.Mux(x, y, z))
+	a.AddOutput(a.Maj(x, y, z))
+	sims := a.Simulate()
+	want := []tt.TT{
+		tt.Var(3, 0).Or(tt.Var(3, 1)),
+		tt.Var(3, 0).Xor(tt.Var(3, 1)),
+		tt.Mux(tt.Var(3, 0), tt.Var(3, 1), tt.Var(3, 2)),
+		tt.Maj(tt.Var(3, 0), tt.Var(3, 1), tt.Var(3, 2)),
+	}
+	for i := range want {
+		if sims[i] != want[i] {
+			t.Errorf("gadget %d computes %v, want %v", i, sims[i], want[i])
+		}
+	}
+}
+
+func randomMIG(rng *rand.Rand, pis, gates, pos int) *mig.MIG {
+	m := mig.New(pis)
+	sigs := []mig.Lit{mig.Const0}
+	for i := 0; i < pis; i++ {
+		sigs = append(sigs, m.Input(i))
+	}
+	for g := 0; g < gates; g++ {
+		pick := func() mig.Lit { return sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(3) == 0) }
+		sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+	}
+	for o := 0; o < pos; o++ {
+		m.AddOutput(sigs[len(sigs)-1-rng.Intn(4)].NotIf(rng.Intn(2) == 0))
+	}
+	return m
+}
+
+// TestRoundTripMIG checks FromMIG/ToMIG preserve every output function.
+func TestRoundTripMIG(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for round := 0; round < 15; round++ {
+		m := randomMIG(rng, 4+rng.Intn(3), 20+rng.Intn(40), 3)
+		want := m.Simulate()
+		a := FromMIG(m)
+		gotA := a.Simulate()
+		back := a.ToMIG()
+		gotM := back.Simulate()
+		for i := range want {
+			if gotA[i] != want[i] {
+				t.Fatalf("round %d: AIG output %d computes %v, want %v", round, i, gotA[i], want[i])
+			}
+			if gotM[i] != want[i] {
+				t.Fatalf("round %d: round-tripped MIG output %d differs", round, i)
+			}
+		}
+		if a.Size() > 4*m.Size() {
+			t.Errorf("round %d: conversion factor above 4: %d → %d", round, m.Size(), a.Size())
+		}
+		// The AND→MAJ direction is 1:1, but the MIG's richer strash
+		// normalization (e.g. AND of complements folding onto a shared OR
+		// node) can merge gates, so the MIG never comes out larger.
+		if back.Size() > a.Size() {
+			t.Errorf("round %d: AND→MAJ translation grew size %d → %d", round, a.Size(), back.Size())
+		}
+	}
+}
+
+// TestLitOpsQuick property-tests the literal arithmetic.
+func TestLitOpsQuick(t *testing.T) {
+	f := func(id uint16, comp bool) bool {
+		l := MakeLit(ID(id), comp)
+		return l.ID() == ID(id) && l.Comp() == comp &&
+			l.Not().Not() == l && l.NotIf(false) == l && l.NotIf(true) == l.Not()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalBitsAgreesWithSimulate cross-checks the two evaluators.
+func TestEvalBitsAgreesWithSimulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	m := randomMIG(rng, 5, 30, 2)
+	a := FromMIG(m)
+	sims := a.Simulate()
+	for v := 0; v < 32; v++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = v>>uint(i)&1 == 1
+		}
+		got := a.EvalBits(in)
+		for i := range got {
+			if got[i] != sims[i].Eval(uint(v)) {
+				t.Fatalf("vector %d output %d mismatch", v, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package circuits
+
+import (
+	"math"
+
+	"mighash/internal/mig"
+)
+
+// Spec describes one generated benchmark: its EPFL signature, a builder
+// and a bit-exact software model used to validate the construction.
+type Spec struct {
+	Name           string
+	NumPIs, NumPOs int
+	Build          func() *mig.MIG
+	// Model maps an input assignment (LSB-first, same layout as the
+	// circuit inputs) to the expected output assignment.
+	Model func(in []bool) []bool
+}
+
+// Parameters of the transcendental circuits. The mantissa width trades
+// circuit size against fraction accuracy exactly like the truncated
+// datapaths of the original benchmark netlists.
+const (
+	log2MantissaBits = 16 // 1.15 fixed-point recurrence mantissa
+	log2FracBits     = 27 // fraction bits of the 5.27 result
+	sineIterations   = 24 // CORDIC micro-rotations
+	sineWidth        = 28 // signed 3.25 fixed-point datapath
+)
+
+// All returns the eight arithmetic benchmarks in the paper's table order.
+func All() []Spec {
+	return []Spec{
+		{Name: "Adder", NumPIs: 256, NumPOs: 129, Build: BuildAdder, Model: modelAdder},
+		{Name: "Divisor", NumPIs: 128, NumPOs: 128, Build: BuildDivisor, Model: modelDivisor},
+		{Name: "Log2", NumPIs: 32, NumPOs: 32, Build: BuildLog2, Model: modelLog2},
+		{Name: "Max", NumPIs: 512, NumPOs: 130, Build: BuildMax, Model: modelMax},
+		{Name: "Multiplier", NumPIs: 128, NumPOs: 128, Build: BuildMultiplier, Model: modelMultiplier},
+		{Name: "Sine", NumPIs: 24, NumPOs: 25, Build: BuildSine, Model: modelSine},
+		{Name: "Square-root", NumPIs: 128, NumPOs: 64, Build: BuildSqrt, Model: modelSqrt},
+		{Name: "Square", NumPIs: 64, NumPOs: 128, Build: BuildSquare, Model: modelSquare},
+	}
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// BuildAdder returns the 256/129 adder: inputs a (bits 0..127) and b
+// (bits 128..255), outputs a+b as a 129-bit sum.
+func BuildAdder() *mig.MIG {
+	b := NewBuilder(256)
+	x := b.Inputs(0, 128)
+	y := b.Inputs(128, 128)
+	sum, cout := b.Add(x, y, mig.Const0)
+	b.Outputs(sum)
+	b.M.AddOutput(cout)
+	return b.M
+}
+
+// BuildDivisor returns the 128/128 divider: inputs dividend a (bits
+// 0..63) and divisor d (bits 64..127); outputs quotient (bits 0..63) and
+// remainder (bits 64..127) of the restoring division recurrence. Division
+// by zero yields quotient 2^64−1 and remainder a, the natural fixpoint of
+// the recurrence.
+func BuildDivisor() *mig.MIG {
+	b := NewBuilder(128)
+	a := b.Inputs(0, 64)
+	d := b.Extend(b.Inputs(64, 64), 65)
+	rem := b.Zero(65)
+	q := make(Word, 64)
+	for i := 63; i >= 0; i-- {
+		rem = b.ShiftLeftConst(rem, 1)
+		rem[0] = a[i]
+		diff, geq := b.Sub(rem, d)
+		q[i] = geq
+		rem = b.Mux(geq, diff, rem)
+	}
+	b.Outputs(q)
+	b.Outputs(rem[:64])
+	return b.M
+}
+
+// BuildLog2 returns the 32/32 binary logarithm: for a 32-bit integer x
+// the output packs ⌊log2 x⌋ in the top 5 bits and a 27-bit fraction
+// computed by the squaring digit recurrence over a truncated
+// log2MantissaBits-wide mantissa. x = 0 maps to 0.
+func BuildLog2() *mig.MIG {
+	const w = log2MantissaBits
+	b := NewBuilder(32)
+	x := b.Inputs(0, 32)
+
+	// Exponent: position of the most significant set bit, via a prefix-OR
+	// scan; isTop[i] = x_i ∧ ¬(x_31 ∨ … ∨ x_{i+1}).
+	prefix := mig.Const0
+	isTop := make([]mig.Lit, 32)
+	for i := 31; i >= 0; i-- {
+		isTop[i] = b.M.And(x[i], prefix.Not())
+		prefix = b.M.Or(prefix, x[i])
+	}
+	e := make(Word, 5)
+	for j := 0; j < 5; j++ {
+		bit := mig.Const0
+		for i := 0; i < 32; i++ {
+			if i>>uint(j)&1 == 1 {
+				bit = b.M.Or(bit, isTop[i])
+			}
+		}
+		e[j] = bit
+	}
+
+	// Normalize: m32 = x << (31−e); for a 5-bit exponent 31−e = ¬e, so the
+	// barrel shifter consumes the complemented exponent directly.
+	m32 := b.BarrelShiftLeft(x, b.Not(e))
+	m := m32[32-w:] // 1.(w−1) fixed-point mantissa in [1, 2)
+
+	// Fraction: squaring digit recurrence. m² ∈ [1, 4); its top bit is the
+	// next fraction bit and the mantissa renormalizes by one position.
+	frac := make(Word, log2FracBits)
+	for j := log2FracBits - 1; j >= 0; j-- {
+		sq := b.Mul(m, m)
+		top := sq[2*w-1]
+		frac[j] = top
+		m = b.Mux(top, sq[w:], sq[w-1:2*w-1])
+	}
+	b.Outputs(frac)
+	b.Outputs(e)
+	return b.M
+}
+
+// BuildMax returns the 512/130 four-way maximum: inputs a0..a3 of 128
+// bits each; outputs the 128-bit maximum followed by the 2-bit index of
+// the winner (ties prefer the higher index, matching the ≥ comparisons).
+func BuildMax() *mig.MIG {
+	b := NewBuilder(512)
+	a := make([]Word, 4)
+	for i := range a {
+		a[i] = b.Inputs(128*i, 128)
+	}
+	ge10 := b.Geq(a[1], a[0])
+	m01 := b.Mux(ge10, a[1], a[0])
+	ge32 := b.Geq(a[3], a[2])
+	m23 := b.Mux(ge32, a[3], a[2])
+	geF := b.Geq(m23, m01)
+	maxw := b.Mux(geF, m23, m01)
+	idx0 := b.M.Mux(geF, ge32, ge10)
+	b.Outputs(maxw)
+	b.M.AddOutput(idx0)
+	b.M.AddOutput(geF)
+	return b.M
+}
+
+// BuildMultiplier returns the 128/128 multiplier: inputs a (bits 0..63)
+// and c (bits 64..127), output the 128-bit product.
+func BuildMultiplier() *mig.MIG {
+	b := NewBuilder(128)
+	p := b.Mul(b.Inputs(0, 64), b.Inputs(64, 64))
+	b.Outputs(p)
+	return b.M
+}
+
+// sineAtanTable returns atan(2^-i) in units of (π/2)/2^24 — the same
+// quarter-turn fixed point as the circuit input, so the angle accumulator
+// consumes θ directly. The x/y datapath uses 0.25 fixed point; the two
+// units never mix.
+func sineAtanTable() []uint64 {
+	t := make([]uint64, sineIterations)
+	for i := range t {
+		t[i] = uint64(math.Round(math.Atan(math.Exp2(float64(-i))) / (math.Pi / 2) * (1 << 24)))
+	}
+	return t
+}
+
+// sineGain returns the CORDIC gain compensation ∏ 1/√(1+2^-2i) in 0.25
+// fixed point.
+func sineGain() uint64 {
+	k := 1.0
+	for i := 0; i < sineIterations; i++ {
+		k /= math.Sqrt(1 + math.Exp2(float64(-2*i)))
+	}
+	return uint64(math.Round(k * (1 << 25)))
+}
+
+// BuildSine returns the 24/25 sine: the input is an angle θ ∈ [0, π/2)
+// in 0.24 fixed-point quarter-turns, the output sin(θ) in 0.25 fixed
+// point, computed with sineIterations CORDIC rotations on a signed
+// sineWidth-bit datapath.
+func BuildSine() *mig.MIG {
+	b := NewBuilder(24)
+	theta := b.Extend(b.Inputs(0, 24), sineWidth) // zero-extended: θ ≥ 0
+	x := b.Constant(sineGain(), sineWidth)
+	y := b.Zero(sineWidth)
+	z := theta
+	for i, atan := range sineAtanTable() {
+		// d = +1 when z ≥ 0 (sign bit clear): rotate towards zero.
+		dNeg := z[sineWidth-1] // 1 when z < 0
+		xs := b.ShiftRightArith(x, i)
+		ys := b.ShiftRightArith(y, i)
+		// x' = x − d·(y>>i); y' = y + d·(x>>i); z' = z − d·atan_i.
+		nx, _ := b.AddSub(x, ys, dNeg.Not())
+		ny, _ := b.AddSub(y, xs, dNeg)
+		nz, _ := b.AddSub(z, b.Constant(atan, sineWidth), dNeg.Not())
+		x, y, z = nx, ny, nz
+	}
+	b.Outputs(y[:25])
+	return b.M
+}
+
+// BuildSqrt returns the 128/64 square root: a 128-bit radicand mapped to
+// the 64-bit integer square root by the restoring digit recurrence.
+func BuildSqrt() *mig.MIG {
+	b := NewBuilder(128)
+	a := b.Inputs(0, 128)
+	const w = 67 // remainder datapath: two new bits per step plus margin
+	rem := b.Zero(w)
+	root := b.Zero(w)
+	for i := 63; i >= 0; i-- {
+		rem = b.ShiftLeftConst(rem, 2)
+		rem[1], rem[0] = a[2*i+1], a[2*i]
+		trial := b.ShiftLeftConst(root, 2)
+		trial[0] = mig.Const1
+		diff, geq := b.Sub(rem, trial)
+		rem = b.Mux(geq, diff, rem)
+		root = b.ShiftLeftConst(root, 1)
+		root[0] = geq
+	}
+	b.Outputs(root[:64])
+	return b.M
+}
+
+// BuildSquare returns the 64/128 squarer; structural hashing shares the
+// symmetric partial products of the multiplier array.
+func BuildSquare() *mig.MIG {
+	b := NewBuilder(64)
+	a := b.Inputs(0, 64)
+	b.Outputs(b.Mul(a, a))
+	return b.M
+}

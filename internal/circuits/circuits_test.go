@@ -1,0 +1,285 @@
+package circuits
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"mighash/internal/mig"
+)
+
+// evalWord decodes width output bits starting at lo from an EvalBits
+// result.
+func evalWord(out []bool, lo, width int) *big.Int {
+	v := new(big.Int)
+	for i := 0; i < width; i++ {
+		if out[lo+i] {
+			v.SetBit(v, i, 1)
+		}
+	}
+	return v
+}
+
+func randInputs(rng *rand.Rand, n int) []bool {
+	in := make([]bool, n)
+	for i := range in {
+		in[i] = rng.Intn(2) == 1
+	}
+	return in
+}
+
+// cornerInputs yields deterministic corner-case assignments: all zero,
+// all one, single walking bits, and dense/sparse stripes.
+func cornerInputs(n int) [][]bool {
+	var out [][]bool
+	zero := make([]bool, n)
+	one := make([]bool, n)
+	for i := range one {
+		one[i] = true
+	}
+	out = append(out, zero, one)
+	for _, pos := range []int{0, 1, n / 2, n - 1} {
+		v := make([]bool, n)
+		v[pos] = true
+		out = append(out, v)
+	}
+	stripe := make([]bool, n)
+	for i := 0; i < n; i += 2 {
+		stripe[i] = true
+	}
+	out = append(out, stripe)
+	return out
+}
+
+// TestSpecsSignature pins the EPFL I/O signatures of Table III.
+func TestSpecsSignature(t *testing.T) {
+	want := map[string][2]int{
+		"Adder": {256, 129}, "Divisor": {128, 128}, "Log2": {32, 32},
+		"Max": {512, 130}, "Multiplier": {128, 128}, "Sine": {24, 25},
+		"Square-root": {128, 64}, "Square": {64, 128},
+	}
+	specs := All()
+	if len(specs) != 8 {
+		t.Fatalf("got %d specs, want 8", len(specs))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", s.Name)
+			continue
+		}
+		if s.NumPIs != w[0] || s.NumPOs != w[1] {
+			t.Errorf("%s: declared signature %d/%d, want %d/%d", s.Name, s.NumPIs, s.NumPOs, w[0], w[1])
+		}
+		m := s.Build()
+		if m.NumPIs() != w[0] || m.NumPOs() != w[1] {
+			t.Errorf("%s: built signature %d/%d, want %d/%d", s.Name, m.NumPIs(), m.NumPOs(), w[0], w[1])
+		}
+		if m.Size() == 0 {
+			t.Errorf("%s: empty circuit", s.Name)
+		}
+	}
+}
+
+// TestModelsMatchCircuits cross-validates every generator against its
+// bit-exact software model on corner cases plus random vectors.
+func TestModelsMatchCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m := s.Build()
+			vectors := cornerInputs(s.NumPIs)
+			for i := 0; i < 24; i++ {
+				vectors = append(vectors, randInputs(rng, s.NumPIs))
+			}
+			for vi, in := range vectors {
+				got := m.EvalBits(in)
+				want := s.Model(in)
+				if len(got) != len(want) {
+					t.Fatalf("vector %d: %d outputs, model %d", vi, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("vector %d: output %d = %v, model says %v", vi, j, got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDivisorAlgebra checks q·d + r = a and r < d directly on circuit
+// outputs, independent of the software model.
+func TestDivisorAlgebra(t *testing.T) {
+	m := BuildDivisor()
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 30; i++ {
+		in := randInputs(rng, 128)
+		a := evalWord(boolsToBig(in), 0, 64)
+		d := evalWord(boolsToBig(in), 64, 64)
+		if d.Sign() == 0 {
+			continue
+		}
+		out := m.EvalBits(in)
+		q := evalWord(out, 0, 64)
+		r := evalWord(out, 64, 64)
+		if r.Cmp(d) >= 0 {
+			t.Fatalf("remainder %v not smaller than divisor %v", r, d)
+		}
+		check := new(big.Int).Mul(q, d)
+		check.Add(check, r)
+		if check.Cmp(a) != 0 {
+			t.Fatalf("q·d+r = %v, want %v", check, a)
+		}
+	}
+}
+
+func boolsToBig(in []bool) []bool { return in } // alias for symmetric reads
+
+// TestSqrtAlgebra checks root² ≤ a < (root+1)² on circuit outputs.
+func TestSqrtAlgebra(t *testing.T) {
+	m := BuildSqrt()
+	rng := rand.New(rand.NewSource(47))
+	for i := 0; i < 30; i++ {
+		in := randInputs(rng, 128)
+		a := evalWord(in, 0, 128)
+		out := m.EvalBits(in)
+		root := evalWord(out, 0, 64)
+		lo := new(big.Int).Mul(root, root)
+		hi := new(big.Int).Add(root, big.NewInt(1))
+		hi.Mul(hi, hi)
+		if lo.Cmp(a) > 0 || hi.Cmp(a) <= 0 {
+			t.Fatalf("sqrt(%v) = %v out of bracket", a, root)
+		}
+	}
+}
+
+// TestSineAccuracy bounds the semantic error of the CORDIC circuit
+// against math.Sin — validating the algorithm, not just the mirror model.
+func TestSineAccuracy(t *testing.T) {
+	m := BuildSine()
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 25; i++ {
+		theta := rng.Uint64() & (1<<24 - 1)
+		in := make([]bool, 24)
+		for j := range in {
+			in[j] = theta>>uint(j)&1 == 1
+		}
+		out := m.EvalBits(in)
+		var y uint64
+		for j := 0; j < 25; j++ {
+			if out[j] {
+				y |= 1 << uint(j)
+			}
+		}
+		got := float64(y) / (1 << 25)
+		want := math.Sin(float64(theta) / (1 << 24) * math.Pi / 2)
+		if d := math.Abs(got - want); d > 1e-4 {
+			t.Errorf("sin(%d/2^24·π/2) = %.8f, want %.8f (err %.2e)", theta, got, want, d)
+		}
+	}
+}
+
+// TestLog2Accuracy bounds the semantic error of the squaring recurrence.
+func TestLog2Accuracy(t *testing.T) {
+	m := BuildLog2()
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 25; i++ {
+		x := rng.Uint64()&(1<<32-1) | 1
+		in := make([]bool, 32)
+		for j := range in {
+			in[j] = x>>uint(j)&1 == 1
+		}
+		out := m.EvalBits(in)
+		var v uint64
+		for j := 0; j < 32; j++ {
+			if out[j] {
+				v |= 1 << uint(j)
+			}
+		}
+		got := float64(v>>27) + float64(v&(1<<27-1))/(1<<27)
+		want := math.Log2(float64(x))
+		if d := math.Abs(got - want); d > 1e-3 {
+			t.Errorf("log2(%d) = %.8f, want %.8f (err %.2e)", x, got, want, d)
+		}
+	}
+}
+
+// TestWordOpsAgainstUint64 exercises the word-level builder on 8-bit
+// operands against machine arithmetic.
+func TestWordOpsAgainstUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for round := 0; round < 50; round++ {
+		av := rng.Uint64() & 0xFF
+		bv := rng.Uint64() & 0xFF
+		b := NewBuilder(16)
+		x := b.Inputs(0, 8)
+		y := b.Inputs(8, 8)
+		sum, cout := b.Add(x, y, mig.Const0)
+		b.Outputs(sum)
+		b.M.AddOutput(cout)
+		diff, geq := b.Sub(x, y)
+		b.Outputs(diff)
+		b.M.AddOutput(geq)
+		b.Outputs(b.Mul(x, y))
+		b.Outputs(b.ShiftLeftConst(x, 3))
+		b.Outputs(b.ShiftRightConst(x, 2))
+		b.Outputs(b.BarrelShiftLeft(x, y[:3]))
+		in := make([]bool, 16)
+		for i := 0; i < 8; i++ {
+			in[i] = av>>uint(i)&1 == 1
+			in[8+i] = bv>>uint(i)&1 == 1
+		}
+		out := b.M.EvalBits(in)
+		dec := func(lo, w int) uint64 {
+			var v uint64
+			for i := 0; i < w; i++ {
+				if out[lo+i] {
+					v |= 1 << uint(i)
+				}
+			}
+			return v
+		}
+		if got := dec(0, 9); got != av+bv {
+			t.Fatalf("add: %d+%d = %d", av, bv, got)
+		}
+		if got := dec(9, 8); got != (av-bv)&0xFF {
+			t.Fatalf("sub: %d-%d = %d", av, bv, got)
+		}
+		if got := dec(17, 1) == 1; got != (av >= bv) {
+			t.Fatalf("geq(%d,%d) = %v", av, bv, got)
+		}
+		if got := dec(18, 16); got != av*bv {
+			t.Fatalf("mul: %d·%d = %d", av, bv, got)
+		}
+		if got := dec(34, 8); got != av<<3&0xFF {
+			t.Fatalf("shl3: %d", got)
+		}
+		if got := dec(42, 8); got != av>>2 {
+			t.Fatalf("shr2: %d", got)
+		}
+		if got := dec(50, 8); got != av<<(bv&7)&0xFF {
+			t.Fatalf("barrel: %d<<%d = %d", av, bv&7, got)
+		}
+	}
+}
+
+// TestCircuitSizesRealistic guards against degenerate constructions: the
+// iterative circuits must be in the thousands of gates, like the
+// benchmark suite they stand in for.
+func TestCircuitSizesRealistic(t *testing.T) {
+	min := map[string]int{
+		"Adder": 300, "Divisor": 10000, "Log2": 8000, "Max": 1500,
+		"Multiplier": 8000, "Sine": 4000, "Square-root": 10000, "Square": 4000,
+	}
+	for _, s := range All() {
+		m := s.Build()
+		if got := m.Size(); got < min[s.Name] {
+			t.Errorf("%s: only %d gates, expected at least %d", s.Name, got, min[s.Name])
+		} else {
+			t.Logf("%s: %d gates, depth %d", s.Name, got, m.Depth())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"mighash/internal/mig"
+)
+
+// TestKoggeStoneMatchesRipple proves 16-bit equivalence of the two adder
+// architectures with the SAT checker, including the carry-in.
+func TestKoggeStoneMatchesRipple(t *testing.T) {
+	build := func(kogge bool) *mig.MIG {
+		b := NewBuilder(33)
+		x, y, cin := b.Inputs(0, 16), b.Inputs(16, 16), b.M.Input(32)
+		var sum Word
+		var cout mig.Lit
+		if kogge {
+			sum, cout = b.AddKoggeStone(x, y, cin)
+		} else {
+			sum, cout = b.Add(x, y, cin)
+		}
+		b.Outputs(sum)
+		b.M.AddOutput(cout)
+		return b.M
+	}
+	ripple, kogge := build(false), build(true)
+	eq, ce, err := mig.Equivalent(ripple, kogge, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("Kogge-Stone differs from ripple: %v", ce)
+	}
+	if kogge.Depth() >= ripple.Depth() {
+		t.Errorf("no depth advantage: ripple %d, Kogge-Stone %d", ripple.Depth(), kogge.Depth())
+	}
+	t.Logf("16-bit: ripple size=%d depth=%d, Kogge-Stone size=%d depth=%d",
+		ripple.Size(), ripple.Depth(), kogge.Size(), kogge.Depth())
+}
+
+// TestKoggeStone128RandomVectors validates the wide configuration against
+// machine arithmetic.
+func TestKoggeStone128RandomVectors(t *testing.T) {
+	b := NewBuilder(128)
+	x, y := b.Inputs(0, 64), b.Inputs(64, 64)
+	sum, cout := b.AddKoggeStone(x, y, mig.Const0)
+	b.Outputs(sum)
+	b.M.AddOutput(cout)
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 200; trial++ {
+		av, cv := rng.Uint64(), rng.Uint64()
+		in := make([]bool, 128)
+		for i := 0; i < 64; i++ {
+			in[i] = av>>uint(i)&1 == 1
+			in[64+i] = cv>>uint(i)&1 == 1
+		}
+		out := b.M.EvalBits(in)
+		var got uint64
+		for i := 0; i < 64; i++ {
+			if out[i] {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != av+cv || out[64] != (av+cv < av) {
+			t.Fatalf("trial %d: %d+%d computed wrong", trial, av, cv)
+		}
+	}
+}
+
+// TestKoggeStoneEdgeWidths covers degenerate widths.
+func TestKoggeStoneEdgeWidths(t *testing.T) {
+	b := NewBuilder(3)
+	sum, cout := b.AddKoggeStone(Word{b.M.Input(0)}, Word{b.M.Input(1)}, b.M.Input(2))
+	b.Outputs(sum)
+	b.M.AddOutput(cout)
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 == 1, v&2 == 2, v&4 == 4}
+		out := b.M.EvalBits(in)
+		total := v&1 + v>>1&1 + v>>2&1
+		if out[0] != (total&1 == 1) || out[1] != (total >= 2) {
+			t.Fatalf("1-bit adder wrong on %03b", v)
+		}
+	}
+	if s, c := b.AddKoggeStone(Word{}, Word{}, mig.Const1); len(s) != 0 || c != mig.Const1 {
+		t.Error("zero-width adder should pass the carry through")
+	}
+}

@@ -1,0 +1,163 @@
+package circuits
+
+import "math/big"
+
+// The software models below are the specifications the generated circuits
+// are tested against. They mirror the circuit datapaths bit-exactly —
+// including truncation behaviour of the fixed-point recurrences — so a
+// mismatch on any input vector is a construction bug, never a rounding
+// discrepancy.
+
+// getWord reads width bits starting at lo from the assignment, LSB first.
+func getWord(in []bool, lo, width int) *big.Int {
+	v := new(big.Int)
+	for i := 0; i < width; i++ {
+		if in[lo+i] {
+			v.SetBit(v, i, 1)
+		}
+	}
+	return v
+}
+
+// getUint is getWord for widths up to 64 bits.
+func getUint(in []bool, lo, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if in[lo+i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// putWord appends width bits of v to out, LSB first.
+func putWord(out []bool, v *big.Int, width int) []bool {
+	for i := 0; i < width; i++ {
+		out = append(out, v.Bit(i) == 1)
+	}
+	return out
+}
+
+// putUint appends width bits of v to out, LSB first.
+func putUint(out []bool, v uint64, width int) []bool {
+	for i := 0; i < width; i++ {
+		out = append(out, v>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+func modelAdder(in []bool) []bool {
+	a := getWord(in, 0, 128)
+	b := getWord(in, 128, 128)
+	return putWord(nil, a.Add(a, b), 129)
+}
+
+func modelDivisor(in []bool) []bool {
+	a := getWord(in, 0, 64)
+	d := getWord(in, 64, 64)
+	var q, r *big.Int
+	if d.Sign() == 0 {
+		// The restoring recurrence subtracts nothing: all quotient bits
+		// come out 1 and the dividend falls through as the remainder.
+		q = new(big.Int).Lsh(big.NewInt(1), 64)
+		q.Sub(q, big.NewInt(1))
+		r = a
+	} else {
+		q, r = new(big.Int).QuoRem(a, d, new(big.Int))
+	}
+	return putWord(putWord(nil, q, 64), r, 64)
+}
+
+func modelLog2(in []bool) []bool {
+	const w = log2MantissaBits
+	x := getUint(in, 0, 32)
+	if x == 0 {
+		return make([]bool, 32)
+	}
+	e := uint64(63 - leadingZeros32(x) - 32)
+	m := (x << (31 - e)) >> (32 - w) // top w bits of the normalized value
+	var frac uint64
+	for j := log2FracBits - 1; j >= 0; j-- {
+		sq := m * m // 2w ≤ 32 bits: fits easily in uint64
+		if sq>>(2*w-1)&1 == 1 {
+			frac |= 1 << uint(j)
+			m = sq >> w
+		} else {
+			m = sq >> (w - 1) & (1<<w - 1)
+		}
+	}
+	return putUint(putUint(nil, frac, log2FracBits), e, 5)
+}
+
+func leadingZeros32(x uint64) int {
+	n := 0
+	for i := 31; i >= 0 && x>>uint(i)&1 == 0; i-- {
+		n++
+	}
+	return n
+}
+
+func modelMax(in []bool) []bool {
+	a := make([]*big.Int, 4)
+	for i := range a {
+		a[i] = getWord(in, 128*i, 128)
+	}
+	// Same tie-breaking as the circuit: ≥ comparisons prefer the higher
+	// index within a pair and the 2/3 pair over the 0/1 pair.
+	ge10 := a[1].Cmp(a[0]) >= 0
+	m01, i01 := a[0], uint64(0)
+	if ge10 {
+		m01, i01 = a[1], 1
+	}
+	ge32 := a[3].Cmp(a[2]) >= 0
+	m23, i23 := a[2], uint64(2)
+	if ge32 {
+		m23, i23 = a[3], 3
+	}
+	m, idx := m01, i01
+	if m23.Cmp(m01) >= 0 {
+		m, idx = m23, i23
+	}
+	return putUint(putWord(nil, m, 128), idx, 2)
+}
+
+func modelMultiplier(in []bool) []bool {
+	a := getWord(in, 0, 64)
+	c := getWord(in, 64, 64)
+	return putWord(nil, a.Mul(a, c), 128)
+}
+
+func modelSine(in []bool) []bool {
+	theta := int64(getUint(in, 0, 24))
+	mask := int64(1)<<sineWidth - 1
+	sext := func(v int64) int64 { // interpret as signed sineWidth-bit
+		v &= mask
+		if v>>(sineWidth-1)&1 == 1 {
+			v -= 1 << sineWidth
+		}
+		return v
+	}
+	x := int64(sineGain())
+	y := int64(0)
+	z := theta
+	for i, atan := range sineAtanTable() {
+		xs, ys := sext(x)>>uint(i), sext(y)>>uint(i)
+		if z >= 0 {
+			x, y, z = x-ys, y+xs, z-int64(atan)
+		} else {
+			x, y, z = x+ys, y-xs, z+int64(atan)
+		}
+		x, y, z = sext(x), sext(y), sext(z)
+	}
+	return putUint(nil, uint64(y&mask), 25)
+}
+
+func modelSqrt(in []bool) []bool {
+	a := getWord(in, 0, 128)
+	return putWord(nil, new(big.Int).Sqrt(a), 64)
+}
+
+func modelSquare(in []bool) []bool {
+	a := getWord(in, 0, 64)
+	return putWord(nil, new(big.Int).Mul(a, a), 128)
+}

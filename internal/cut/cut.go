@@ -1,0 +1,205 @@
+// Package cut implements k-feasible cut enumeration on MIGs (Sec. II-C of
+// the paper).
+//
+// A cut (v, L) of a node v is a set of leaf nodes L such that every path
+// from v to a non-terminal passes through a leaf, and every leaf lies on at
+// least one such path; paths to the constant node are exempt. Cuts are
+// enumerated bottom-up with the saturating union ⊗k over the child cut
+// sets, exactly as in the paper:
+//
+//	cuts_k(0) = {{}}
+//	cuts_k(x) = {{x}}
+//	cuts_k(g) = cuts_k(g1) ⊗k cuts_k(g2) ⊗k cuts_k(g3)
+//
+// The number of cuts kept per node is capped priority-cut style (the paper
+// uses the same device for the candidate lists of its bottom-up rewriting,
+// citing Mishchenko et al.'s priority cuts). The trivial cut {v} is always
+// retained.
+package cut
+
+import (
+	"fmt"
+
+	"mighash/internal/mig"
+)
+
+// MaxK is the largest supported cut width; 6 covers both the 4-input
+// rewriting cuts and the 6-input LUT mapping cuts.
+const MaxK = 6
+
+// Cut is a set of at most MaxK leaves, sorted ascending. Sig is a 64-bit
+// Bloom-style signature for fast subset tests.
+type Cut struct {
+	Sig uint64
+	N   uint8
+	L   [MaxK]mig.ID
+}
+
+// Leaves returns the leaf IDs of the cut in ascending order. The slice
+// aliases the cut's storage.
+func (c *Cut) Leaves() []mig.ID { return c.L[:c.N] }
+
+// String renders the cut as {id id ...}.
+func (c *Cut) String() string {
+	s := "{"
+	for i := uint8(0); i < c.N; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprint(c.L[i])
+	}
+	return s + "}"
+}
+
+func sigOf(id mig.ID) uint64 { return 1 << (uint(id) & 63) }
+
+// subsetOf reports whether c ⊆ d.
+func (c *Cut) subsetOf(d *Cut) bool {
+	if c.N > d.N || c.Sig&^d.Sig != 0 {
+		return false
+	}
+	i, j := uint8(0), uint8(0)
+	for i < c.N {
+		for j < d.N && d.L[j] < c.L[i] {
+			j++
+		}
+		if j >= d.N || d.L[j] != c.L[i] {
+			return false
+		}
+		i++
+		j++
+	}
+	return true
+}
+
+// merge3 computes the union of three sorted cuts, failing when it exceeds k.
+func merge3(a, b, c *Cut, k int) (Cut, bool) {
+	var out Cut
+	i, j, l := uint8(0), uint8(0), uint8(0)
+	for i < a.N || j < b.N || l < c.N {
+		best := mig.ID(^uint32(0))
+		if i < a.N && a.L[i] < best {
+			best = a.L[i]
+		}
+		if j < b.N && b.L[j] < best {
+			best = b.L[j]
+		}
+		if l < c.N && c.L[l] < best {
+			best = c.L[l]
+		}
+		if int(out.N) >= k {
+			return Cut{}, false
+		}
+		out.L[out.N] = best
+		out.N++
+		if i < a.N && a.L[i] == best {
+			i++
+		}
+		if j < b.N && b.L[j] == best {
+			j++
+		}
+		if l < c.N && c.L[l] == best {
+			l++
+		}
+	}
+	out.Sig = a.Sig | b.Sig | c.Sig
+	return out, true
+}
+
+// Options configures the enumeration.
+type Options struct {
+	K       int // maximum leaves per cut (2..MaxK); default 4
+	MaxCuts int // cuts kept per node, excluding the trivial cut; default 24
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.K < 2 || o.K > MaxK {
+		panic(fmt.Sprintf("cut: unsupported cut width %d", o.K))
+	}
+	if o.MaxCuts == 0 {
+		o.MaxCuts = 24
+	}
+	return o
+}
+
+// Enumerate computes the cut sets of every node of m. The result is
+// indexed by node ID; terminals get their defining cuts and every gate's
+// set ends with the trivial cut {g}.
+func Enumerate(m *mig.MIG, opts Options) [][]Cut {
+	opts = opts.withDefaults()
+	sets := make([][]Cut, m.NumNodes())
+	sets[0] = []Cut{{}} // constant node: the empty cut
+	for i := 0; i < m.NumPIs(); i++ {
+		id := m.Input(i).ID()
+		sets[id] = []Cut{{Sig: sigOf(id), N: 1, L: [MaxK]mig.ID{id}}}
+	}
+	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+		gid := mig.ID(id)
+		f := m.Fanin(gid)
+		sets[id] = mergeSets(sets[f[0].ID()], sets[f[1].ID()], sets[f[2].ID()], gid, opts)
+	}
+	return sets
+}
+
+// mergeSets computes the saturating union of the three child cut sets with
+// irredundancy filtering and capping, then appends the trivial cut.
+func mergeSets(sa, sb, sc []Cut, root mig.ID, opts Options) []Cut {
+	out := make([]Cut, 0, opts.MaxCuts+1)
+	for ia := range sa {
+		for ib := range sb {
+			for ic := range sc {
+				c, ok := merge3(&sa[ia], &sb[ib], &sc[ic], opts.K)
+				if !ok {
+					continue
+				}
+				out = addIrredundant(out, c, opts.MaxCuts)
+			}
+		}
+	}
+	out = append(out, Cut{Sig: sigOf(root), N: 1, L: [MaxK]mig.ID{root}})
+	return out
+}
+
+// addIrredundant inserts c into set unless it is dominated by an existing
+// cut; cuts dominated by c are removed. The set is capped at maxCuts,
+// preferring cuts with fewer leaves.
+func addIrredundant(set []Cut, c Cut, maxCuts int) []Cut {
+	for i := range set {
+		if set[i].subsetOf(&c) {
+			return set // dominated: an existing cut is contained in c
+		}
+	}
+	n := 0
+	for i := range set {
+		if !c.subsetOf(&set[i]) {
+			set[n] = set[i]
+			n++
+		}
+	}
+	set = set[:n]
+	if len(set) < maxCuts {
+		// Keep the set ordered by leaf count so capping drops wide cuts
+		// last-in first.
+		pos := len(set)
+		for pos > 0 && set[pos-1].N > c.N {
+			pos--
+		}
+		set = append(set, Cut{})
+		copy(set[pos+1:], set[pos:])
+		set[pos] = c
+		return set
+	}
+	// Set full: replace the widest cut if c is narrower.
+	if set[len(set)-1].N > c.N {
+		pos := len(set) - 1
+		for pos > 0 && set[pos-1].N > c.N {
+			pos--
+		}
+		copy(set[pos+1:], set[pos:len(set)-1])
+		set[pos] = c
+	}
+	return set
+}

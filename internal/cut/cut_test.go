@@ -1,0 +1,293 @@
+package cut
+
+import (
+	"math/rand"
+	"testing"
+
+	"mighash/internal/mig"
+)
+
+// buildFullAdder returns the Fig. 1 full adder and its sum/carry literals.
+func buildFullAdder() (*mig.MIG, mig.Lit, mig.Lit) {
+	m := mig.New(3)
+	s, c := m.FullAdder(m.Input(0), m.Input(1), m.Input(2))
+	m.AddOutput(s)
+	m.AddOutput(c)
+	return m, s, c
+}
+
+func TestTerminalCuts(t *testing.T) {
+	m, _, _ := buildFullAdder()
+	sets := Enumerate(m, Options{})
+	if len(sets[0]) != 1 || sets[0][0].N != 0 {
+		t.Errorf("constant node cuts = %v, want the empty cut", sets[0])
+	}
+	for i := 0; i < 3; i++ {
+		id := m.Input(i).ID()
+		if len(sets[id]) != 1 || sets[id][0].N != 1 || sets[id][0].L[0] != id {
+			t.Errorf("input %d cuts = %v", i, sets[id])
+		}
+	}
+}
+
+func TestFullAdderCuts(t *testing.T) {
+	m, s, c := buildFullAdder()
+	sets := Enumerate(m, Options{})
+	// The carry node 〈abc〉 has exactly the input cut and its trivial cut.
+	carry := sets[c.ID()]
+	if len(carry) != 2 {
+		t.Fatalf("carry has %d cuts: %v", len(carry), carry)
+	}
+	if carry[0].N != 3 {
+		t.Errorf("carry primary cut = %v, want the 3 inputs", carry[0].String())
+	}
+	if carry[len(carry)-1].N != 1 || carry[len(carry)-1].L[0] != c.ID() {
+		t.Error("trivial cut missing or not last")
+	}
+	// The sum node must have a cut consisting of the three inputs.
+	foundInputs := false
+	for _, cc := range sets[s.ID()] {
+		if cc.N == 3 && cc.L[0] == m.Input(0).ID() && cc.L[1] == m.Input(1).ID() && cc.L[2] == m.Input(2).ID() {
+			foundInputs = true
+		}
+	}
+	if !foundInputs {
+		t.Errorf("sum node lacks the primary-input cut: %v", sets[s.ID()])
+	}
+}
+
+// validateCut checks the two cut conditions of Sec. II-C by cone traversal.
+func validateCut(m *mig.MIG, root mig.ID, c *Cut) bool {
+	inL := map[mig.ID]bool{}
+	for _, l := range c.Leaves() {
+		inL[l] = true
+	}
+	used := map[mig.ID]bool{}
+	ok := true
+	var visit func(id mig.ID)
+	seen := map[mig.ID]bool{}
+	var rec func(id mig.ID)
+	rec = func(id mig.ID) {
+		if id == 0 {
+			return // paths to the constant are exempt
+		}
+		if inL[id] {
+			used[id] = true
+			return
+		}
+		if !m.IsGate(id) {
+			ok = false // reached an input that is not a leaf
+			return
+		}
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, ch := range m.Fanin(id) {
+			rec(ch.ID())
+		}
+	}
+	visit = rec
+	visit(root)
+	if !ok {
+		return false
+	}
+	return len(used) == len(c.Leaves()) // every leaf on some path
+}
+
+func TestEnumeratedCutsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMIG(rng, 5, 25)
+		sets := Enumerate(m, Options{K: 4, MaxCuts: 50})
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			for i := range sets[id] {
+				c := &sets[id][i]
+				if int(c.N) > 4 {
+					t.Fatalf("cut %v exceeds k", c)
+				}
+				if !validateCut(m, mig.ID(id), c) {
+					t.Fatalf("trial %d: invalid cut %v of node %d", trial, c, id)
+				}
+			}
+		}
+	}
+}
+
+func TestCutFunctionsComposeCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		m := randomMIG(rng, 5, 20)
+		sets := Enumerate(m, Options{K: 4, MaxCuts: 20})
+		// Node functions over the PIs, for cross-checking.
+		ref := nodeTTs(m)
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			for i := range sets[id] {
+				c := &sets[id][i]
+				local := m.ConeTT(mig.MakeLit(mig.ID(id), false), c.Leaves())
+				// Compose: for every PI assignment, the cut function applied
+				// to the leaf values must equal the node value.
+				for j := uint(0); j < 32; j++ {
+					var idx uint
+					for li, leaf := range c.Leaves() {
+						if ref[leaf].Eval(j) {
+							idx |= 1 << uint(li)
+						}
+					}
+					if local.Eval(idx) != ref[id].Eval(j) {
+						t.Fatalf("trial %d node %d cut %v: composition mismatch at %d", trial, id, c, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIrredundance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		m := randomMIG(rng, 5, 20)
+		sets := Enumerate(m, Options{K: 4, MaxCuts: 50})
+		for id := range sets {
+			for i := range sets[id] {
+				for j := range sets[id] {
+					if i == j {
+						continue
+					}
+					if sets[id][i].subsetOf(&sets[id][j]) {
+						t.Fatalf("node %d keeps dominated cut %v ⊇ %v",
+							id, sets[id][j].String(), sets[id][i].String())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxCutsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomMIG(rng, 6, 60)
+	sets := Enumerate(m, Options{K: 4, MaxCuts: 5})
+	for id, s := range sets {
+		if len(s) > 6 { // 5 + trivial
+			t.Errorf("node %d has %d cuts, cap is 5+trivial", id, len(s))
+		}
+	}
+}
+
+func TestWiderK(t *testing.T) {
+	m := mig.New(6)
+	x := m.Input(0)
+	for i := 1; i < 6; i++ {
+		x = m.And(x, m.Input(i))
+	}
+	m.AddOutput(x)
+	sets := Enumerate(m, Options{K: 6, MaxCuts: 100})
+	// The 6-input AND chain's top node must have the all-inputs cut.
+	found := false
+	for _, c := range sets[x.ID()] {
+		if int(c.N) == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("6-feasible cut over all inputs not found")
+	}
+}
+
+func TestMerge3Saturation(t *testing.T) {
+	a := Cut{N: 3, L: [MaxK]mig.ID{1, 2, 3}}
+	b := Cut{N: 3, L: [MaxK]mig.ID{4, 5, 6}}
+	c := Cut{N: 0}
+	if _, ok := merge3(&a, &b, &c, 4); ok {
+		t.Error("merge exceeding k must fail")
+	}
+	if got, ok := merge3(&a, &a, &c, 4); !ok || got.N != 3 {
+		t.Errorf("idempotent merge broken: %v %v", got, ok)
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	mk := func(ids ...mig.ID) Cut {
+		var c Cut
+		for _, id := range ids {
+			c.L[c.N] = id
+			c.N++
+			c.Sig |= sigOf(id)
+		}
+		return c
+	}
+	a := mk(1, 3)
+	b := mk(1, 2, 3)
+	if !a.subsetOf(&b) || b.subsetOf(&a) {
+		t.Error("subsetOf broken")
+	}
+	e := mk()
+	if !e.subsetOf(&a) {
+		t.Error("empty cut must be subset of everything")
+	}
+}
+
+// randomMIG builds a random MIG over n inputs with g gates.
+func randomMIG(rng *rand.Rand, n, g int) *mig.MIG {
+	m := mig.New(n)
+	sigs := []mig.Lit{mig.Const0}
+	for i := 0; i < n; i++ {
+		sigs = append(sigs, m.Input(i))
+	}
+	for i := 0; i < g; i++ {
+		pick := func() mig.Lit {
+			return sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(2) == 1)
+		}
+		sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+	}
+	m.AddOutput(sigs[len(sigs)-1])
+	return m
+}
+
+// nodeTTs returns the function of every node over the primary inputs.
+func nodeTTs(m *mig.MIG) []ttLite {
+	out := make([]ttLite, m.NumNodes())
+	n := m.NumPIs()
+	for i := 0; i < n; i++ {
+		out[m.Input(i).ID()] = varTT(n, i)
+	}
+	for id := n + 1; id < m.NumNodes(); id++ {
+		f := m.Fanin(mig.ID(id))
+		a := out[f[0].ID()].notIf(f[0].Comp(), n)
+		b := out[f[1].ID()].notIf(f[1].Comp(), n)
+		c := out[f[2].ID()].notIf(f[2].Comp(), n)
+		out[id] = ttLite(uint64(a)&uint64(b) | uint64(a)&uint64(c) | uint64(b)&uint64(c))
+	}
+	return out
+}
+
+type ttLite uint64
+
+func varTT(n, i int) ttLite {
+	var v uint64
+	for j := uint(0); j < uint(1)<<uint(n); j++ {
+		if (j>>uint(i))&1 == 1 {
+			v |= 1 << j
+		}
+	}
+	return ttLite(v)
+}
+
+func (t ttLite) notIf(c bool, n int) ttLite {
+	if !c {
+		return t
+	}
+	return ttLite(^uint64(t) & (1<<(1<<uint(n)) - 1))
+}
+
+func (t ttLite) Eval(j uint) bool { return uint64(t)>>j&1 == 1 }
+
+func BenchmarkEnumerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	m := randomMIG(rng, 6, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enumerate(m, Options{K: 4, MaxCuts: 12})
+	}
+}

@@ -1,0 +1,63 @@
+package db
+
+import (
+	"fmt"
+
+	"mighash/internal/mig"
+	"mighash/internal/tt"
+)
+
+// Bound returns the Theorem 2 upper bound on MIG size for n-variable
+// functions: C(n) ≤ 10·(2^(n−4)−1)+7 for n ≥ 4; smaller arities embed
+// into four variables.
+func Bound(n int) int {
+	if n <= 4 {
+		return 7
+	}
+	return 10*(1<<uint(n-4)-1) + 7
+}
+
+// SynthesizeUpper constructs an MIG for f whose size respects the
+// Theorem 2 bound, mirroring the proof: Shannon expansion
+//
+//	f = 〈1 〈0 x̄ₙ f_{x̄ₙ}〉 〈0 xₙ f_{xₙ}〉〉
+//
+// down to 4 variables, where the database supplies the exact optimum. The
+// returned MIG often beats the bound thanks to structural hashing across
+// the cofactor trees; the bound itself is asserted by the caller (tests
+// and the Theorem 2 experiment).
+func (d *DB) SynthesizeUpper(f tt.TT) (*mig.MIG, error) {
+	m := mig.New(f.N)
+	leaves := make([]mig.Lit, f.N)
+	for i := range leaves {
+		leaves[i] = m.Input(i)
+	}
+	out, err := d.synthUpper(m, f, leaves)
+	if err != nil {
+		return nil, err
+	}
+	m.AddOutput(out)
+	return m, nil
+}
+
+// synthUpper builds f over the given leaf signals.
+func (d *DB) synthUpper(m *mig.MIG, f tt.TT, leaves []mig.Lit) (mig.Lit, error) {
+	if f.N <= 4 {
+		l, ok := d.Build(m, f, leaves)
+		if !ok {
+			return 0, fmt.Errorf("db: class of %v missing", f)
+		}
+		return l, nil
+	}
+	n := f.N
+	x := leaves[n-1]
+	f0, err := d.synthUpper(m, f.Cofactor0(n-1).Shrink(n-1), leaves[:n-1])
+	if err != nil {
+		return 0, err
+	}
+	f1, err := d.synthUpper(m, f.Cofactor1(n-1).Shrink(n-1), leaves[:n-1])
+	if err != nil {
+		return 0, err
+	}
+	return m.Or(m.And(x.Not(), f0), m.And(x, f1)), nil
+}

@@ -1,0 +1,339 @@
+// Package depthopt reduces MIG depth by algebraic rewriting with the
+// majority axioms, following the depth-optimization line of work the paper
+// builds on ([3], [4]): associativity, complementary associativity and
+// right-to-left distributivity applied along critical paths. It is used to
+// turn the freshly generated arithmetic circuits into "heavily optimized"
+// starting points comparable to the best-result netlists the paper
+// rewrites (Sec. V-C), and it doubles as an independent consumer of the
+// MIG substrate.
+//
+// The axioms (Ω from [3]), written over arbitrary — possibly complemented —
+// signals:
+//
+//	Associativity:          〈x u 〈y u z〉〉 = 〈z u 〈y u x〉〉
+//	Compl. associativity:   〈x u 〈y ū z〉〉 = 〈x u 〈y x z〉〉
+//	Distributivity (R→L):   〈x y 〈u v z〉〉 = 〈〈x y u〉 〈x y v〉 z〉
+//
+// Each pass rebuilds the graph bottom-up; at every gate the reassociation
+// that minimizes the arrival time of the new node is chosen. Distributivity
+// may duplicate logic, so it is only applied while the size budget allows.
+package depthopt
+
+import (
+	"fmt"
+	"time"
+
+	"mighash/internal/mig"
+)
+
+// Options tunes the optimization loop.
+type Options struct {
+	// MaxPasses caps the rebuild passes (default 12; the loop stops early
+	// at a fixpoint).
+	MaxPasses int
+	// SizeFactor hard-caps the result at SizeFactor × the original gate
+	// count (default 1.2). Reassociations are only taken while the rebuild
+	// provably stays below the cap, so a factor of 1 forbids any growth.
+	SizeFactor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 12
+	}
+	if o.SizeFactor == 0 {
+		o.SizeFactor = 1.2
+	}
+	return o
+}
+
+// Stats reports one Optimize call.
+type Stats struct {
+	SizeBefore, SizeAfter   int
+	DepthBefore, DepthAfter int
+	Passes                  int
+	Elapsed                 time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("depthopt: size %d→%d, depth %d→%d, %d passes, %v",
+		s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter, s.Passes, s.Elapsed)
+}
+
+// Optimize returns a depth-optimized copy of m.
+func Optimize(m *mig.MIG, opt Options) (*mig.MIG, Stats) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	st := Stats{SizeBefore: m.Size(), DepthBefore: m.Depth()}
+	limit := int(float64(st.SizeBefore) * opt.SizeFactor)
+	if limit < st.SizeBefore {
+		limit = st.SizeBefore
+	}
+	cur := m
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		next := onePass(cur, limit)
+		st.Passes = pass + 1
+		improved := next.Depth() < cur.Depth()
+		if improved || (next.Depth() == cur.Depth() && next.Size() < cur.Size()) {
+			cur = next
+		}
+		if !improved {
+			break
+		}
+	}
+	st.SizeAfter = cur.Size()
+	st.DepthAfter = cur.Depth()
+	st.Elapsed = time.Since(start)
+	return cur, st
+}
+
+// builder tracks the output graph plus finalized arrival times and the
+// size cap of the current pass.
+type builder struct {
+	out       *mig.MIG
+	levels    []int
+	limit     int  // maximum gates the pass may produce
+	remaining int  // original gates still to be rebuilt after the current one
+	critical  bool // the gate being rebuilt lies on an original critical path
+}
+
+// allow reports whether a plan producing at most planMax gates for the
+// current original gate keeps the final size under the cap, assuming every
+// remaining gate rebuilds to at most one gate (true for the default plan).
+func (b *builder) allow(planMax int) bool {
+	return b.out.NumGates()+planMax+b.remaining <= b.limit
+}
+
+func (b *builder) maj(x, y, z mig.Lit) mig.Lit {
+	l := b.out.Maj(x, y, z)
+	for len(b.levels) < b.out.NumNodes() {
+		id := mig.ID(len(b.levels))
+		lvl := 0
+		if b.out.IsGate(id) {
+			for _, ch := range b.out.Fanin(id) {
+				if v := b.levels[ch.ID()]; v >= lvl {
+					lvl = v + 1
+				}
+			}
+		}
+		b.levels = append(b.levels, lvl)
+	}
+	return l
+}
+
+func (b *builder) level(l mig.Lit) int { return b.levels[l.ID()] }
+
+// arrival of a would-be gate over the given operands.
+func (b *builder) arr(ops ...mig.Lit) int {
+	best := 0
+	for _, o := range ops {
+		if v := b.level(o); v > best {
+			best = v
+		}
+	}
+	return best + 1
+}
+
+// innerOf returns the fanins of g's gate with g's edge complement pushed
+// inside (self-duality: 〈abc〉' = 〈a'b'c'〉), so rewriting can treat every
+// child gate as plain.
+func (b *builder) innerOf(g mig.Lit) ([3]mig.Lit, bool) {
+	if !b.out.IsGate(g.ID()) {
+		return [3]mig.Lit{}, false
+	}
+	f := b.out.Fanin(g.ID())
+	if g.Comp() {
+		for i := range f {
+			f[i] = f[i].Not()
+		}
+	}
+	return f, true
+}
+
+// onePass rebuilds m bottom-up, greedily minimizing each gate's arrival.
+func onePass(m *mig.MIG, limit int) *mig.MIG {
+	out := mig.New(m.NumPIs())
+	b := &builder{out: out, levels: make([]int, out.NumNodes()), limit: limit}
+	lmap := make([]mig.Lit, m.NumNodes())
+	lmap[0] = mig.Const0
+	for i := 0; i < m.NumPIs(); i++ {
+		lmap[m.Input(i).ID()] = b.out.Input(i)
+	}
+	fo := m.FanoutCounts()
+	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+		if fo[id] > 0 {
+			b.remaining++
+		}
+	}
+	// Zero-slack (critical) gates of the original graph: reassociation is
+	// restricted to them so the size budget is spent where depth can
+	// actually improve.
+	slack0 := criticalNodes(m, fo)
+	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+		if fo[id] == 0 {
+			continue
+		}
+		f := m.Fanin(mig.ID(id))
+		var ops [3]mig.Lit
+		for c := range f {
+			ops[c] = lmap[f[c].ID()].NotIf(f[c].Comp())
+		}
+		b.remaining--
+		b.critical = slack0[id]
+		lmap[id] = rebuildGate(b, ops)
+	}
+	for _, o := range m.Outputs() {
+		b.out.AddOutput(lmap[o.ID()].NotIf(o.Comp()))
+	}
+	res, _ := b.out.Cleanup()
+	return res
+}
+
+// criticalNodes marks the gates with zero slack: level + longest path to
+// an output equals the graph depth.
+func criticalNodes(m *mig.MIG, fo []int) []bool {
+	levels := m.Levels()
+	depth := 0
+	for _, o := range m.Outputs() {
+		if levels[o.ID()] > depth {
+			depth = levels[o.ID()]
+		}
+	}
+	req := make([]int, m.NumNodes())
+	for i := range req {
+		req[i] = depth + 1 // unconstrained
+	}
+	for _, o := range m.Outputs() {
+		req[o.ID()] = depth
+	}
+	crit := make([]bool, m.NumNodes())
+	for id := m.NumNodes() - 1; id > m.NumPIs(); id-- {
+		if fo[id] == 0 {
+			continue
+		}
+		if req[id] <= levels[id] {
+			crit[id] = true
+		}
+		for _, ch := range m.Fanin(mig.ID(id)) {
+			if r := req[id] - 1; r < req[ch.ID()] {
+				req[ch.ID()] = r
+			}
+		}
+	}
+	return crit
+}
+
+// rebuildGate constructs 〈ops〉 with the arrival-minimizing reassociation.
+func rebuildGate(b *builder, ops [3]mig.Lit) mig.Lit {
+	bestArr := b.arr(ops[:]...)
+	build := func() mig.Lit { return b.maj(ops[0], ops[1], ops[2]) }
+	if !b.critical {
+		return build()
+	}
+
+	// Identify the unique deepest operand; reassociation only helps when
+	// one input dominates the arrival.
+	deep := 0
+	for c := 1; c < 3; c++ {
+		if b.level(ops[c]) > b.level(ops[deep]) {
+			deep = c
+		}
+	}
+	g := ops[deep]
+	p, q := ops[(deep+1)%3], ops[(deep+2)%3]
+	inner, isGate := b.innerOf(g)
+	if !isGate {
+		return build()
+	}
+
+	type plan struct {
+		arr      int
+		maxGates int // worst-case gates the emit can create
+		emit     func() mig.Lit
+	}
+	var plans []plan
+
+	// Associativity: 〈x u 〈y u z〉〉 = 〈z u 〈y u x〉〉 — needs a shared
+	// operand u between the gate and its deepest child. Hoists the deepest
+	// grandchild z next to the root.
+	for _, ou := range []struct{ u, x mig.Lit }{{p, q}, {q, p}} {
+		u, x := ou.u, ou.x
+		for i := 0; i < 3; i++ {
+			if inner[i] != u {
+				continue
+			}
+			ia, ib := inner[(i+1)%3], inner[(i+2)%3]
+			z, y := ia, ib
+			if b.level(ib) > b.level(ia) {
+				z, y = ib, ia
+			}
+			yn, un, xn, zn := y, u, x, z
+			arr := 1 + max3(b.level(zn), b.level(un), 1+max3(b.level(yn), b.level(un), b.level(xn)))
+			plans = append(plans, plan{arr: arr, maxGates: 2, emit: func() mig.Lit {
+				return b.maj(zn, un, b.maj(yn, un, xn))
+			}})
+		}
+	}
+
+	// Complementary associativity: 〈x u 〈y ū z〉〉 = 〈x u 〈y x z〉〉 —
+	// replaces a deep complemented shared operand inside the child by the
+	// (possibly shallower) x.
+	for _, ou := range []struct{ u, x mig.Lit }{{p, q}, {q, p}} {
+		u, x := ou.u, ou.x
+		for i := 0; i < 3; i++ {
+			if inner[i] != u.Not() {
+				continue
+			}
+			ia, ib := inner[(i+1)%3], inner[(i+2)%3]
+			yn, un, xn := ia, u, x
+			zn := ib
+			arr := 1 + max3(b.level(xn), b.level(un), 1+max3(b.level(yn), b.level(xn), b.level(zn)))
+			plans = append(plans, plan{arr: arr, maxGates: 2, emit: func() mig.Lit {
+				return b.maj(xn, un, b.maj(yn, xn, zn))
+			}})
+		}
+	}
+
+	// Distributivity R→L: 〈x y 〈u v z〉〉 = 〈〈x y u〉 〈x y v〉 z〉 — hoists the
+	// deepest grandchild at the price of extra gates.
+	{
+		zi := 0
+		for i := 1; i < 3; i++ {
+			if b.level(inner[i]) > b.level(inner[zi]) {
+				zi = i
+			}
+		}
+		u, v, z := inner[(zi+1)%3], inner[(zi+2)%3], inner[zi]
+		arr := 1 + max3(1+max3(b.level(p), b.level(q), b.level(u)),
+			1+max3(b.level(p), b.level(q), b.level(v)),
+			b.level(z))
+		plans = append(plans, plan{arr: arr, maxGates: 3, emit: func() mig.Lit {
+			return b.maj(b.maj(p, q, u), b.maj(p, q, v), z)
+		}})
+	}
+
+	bestPlan := -1
+	for i, pl := range plans {
+		if pl.arr >= bestArr || !b.allow(pl.maxGates) {
+			continue
+		}
+		if bestPlan < 0 || pl.arr < plans[bestPlan].arr ||
+			(pl.arr == plans[bestPlan].arr && pl.maxGates < plans[bestPlan].maxGates) {
+			bestPlan = i
+		}
+	}
+	if bestPlan < 0 {
+		return build()
+	}
+	return plans[bestPlan].emit()
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,347 @@
+package exact
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mighash/internal/aig"
+	"mighash/internal/sat"
+	"mighash/internal/tt"
+)
+
+// Exact synthesis of minimum And-Inverter Graphs, the same decision-ladder
+// construction as the MIG encoding of Sec. III but with two-input AND
+// semantics. It powers the MIG-vs-AIG compactness comparison (the paper's
+// premise that majority logic never loses against AND logic, Sec. I) and
+// doubles as a second client of the CDCL solver.
+//
+// Encoding differences from the MIG case: two select slots per gate with
+// strict ordering, no constant operand (a minimal AND chain never feeds a
+// gate a constant), free edge polarities (NOR-style gates are required),
+// and the usual all-gates-used pruning.
+
+// AndUpperBound bounds the AND-chain size of any n-variable function via
+// Shannon expansion: A(n+1) ≤ 2·A(n) + 3 with A(1) = 0.
+func AndUpperBound(n int) int {
+	ub := 0
+	for i := 1; i < n; i++ {
+		ub = 2*ub + 3
+	}
+	return ub
+}
+
+// aigEncoding is the CNF instance of one (f, k) AND-chain decision.
+type aigEncoding struct {
+	f      tt.TT
+	n, k   int
+	solver *sat.Solver
+
+	sel    [][2][]int // sel[l][c][i]: slot c of gate l selects option i
+	pol    [][2]int
+	b      [][]int
+	a      [][2][]int
+	outNeg int
+}
+
+// option index i: 0..n-1 are inputs x1..xn, n+j is gate j (0-based).
+
+func newAIGEncoding(f tt.TT, k int, opt Options) *aigEncoding {
+	n := f.N
+	e := &aigEncoding{f: f, n: n, k: k, solver: sat.New()}
+	s := e.solver
+	if opt.MaxConflicts > 0 {
+		s.MaxConflict = opt.MaxConflicts
+	}
+	if opt.Timeout > 0 {
+		s.Deadline = time.Now().Add(opt.Timeout)
+	}
+	nj := 1 << uint(n)
+
+	e.sel = make([][2][]int, k)
+	e.pol = make([][2]int, k)
+	e.b = make([][]int, k)
+	e.a = make([][2][]int, k)
+	for l := 0; l < k; l++ {
+		domain := n + l
+		for c := 0; c < 2; c++ {
+			e.sel[l][c] = make([]int, domain)
+			for i := range e.sel[l][c] {
+				e.sel[l][c][i] = s.NewVar()
+			}
+			e.pol[l][c] = s.NewVar()
+			e.a[l][c] = make([]int, nj)
+			for j := range e.a[l][c] {
+				e.a[l][c][j] = s.NewVar()
+			}
+		}
+		e.b[l] = make([]int, nj)
+		for j := range e.b[l] {
+			e.b[l][j] = s.NewVar()
+		}
+	}
+	e.outNeg = s.NewVar()
+
+	for l := 0; l < k; l++ {
+		domain := n + l
+		for c := 0; c < 2; c++ {
+			s.ExactlyOne(lits(e.sel[l][c])...)
+		}
+		// Strict operand ordering s1 < s2 (the AND is symmetric).
+		for i1 := 0; i1 < domain; i1++ {
+			for i2 := 0; i2 <= i1; i2++ {
+				s.AddClause(sat.NegLit(e.sel[l][0][i1]), sat.NegLit(e.sel[l][1][i2]))
+			}
+		}
+		for j := 0; j < nj; j++ {
+			// AND semantics: b ↔ a1 ∧ a2.
+			bv := sat.PosLit(e.b[l][j])
+			a1 := sat.PosLit(e.a[l][0][j])
+			a2 := sat.PosLit(e.a[l][1][j])
+			s.AddClause(a1.Not(), a2.Not(), bv)
+			s.AddClause(a1, bv.Not())
+			s.AddClause(a2, bv.Not())
+			for c := 0; c < 2; c++ {
+				av := sat.PosLit(e.a[l][c][j])
+				pv := sat.PosLit(e.pol[l][c])
+				for v := 0; v < e.n; v++ {
+					guard := sat.PosLit(e.sel[l][c][v])
+					if j>>uint(v)&1 == 1 {
+						s.EqualIf(guard, av, pv.Not())
+					} else {
+						s.EqualIf(guard, av, pv)
+					}
+				}
+				for g := 0; g < l; g++ {
+					guard := sat.PosLit(e.sel[l][c][e.n+g])
+					s.XorEqualIf(guard, av, sat.PosLit(e.b[g][j]), pv)
+				}
+			}
+		}
+	}
+	for j := 0; j < nj; j++ {
+		bv := sat.PosLit(e.b[k-1][j])
+		ov := sat.PosLit(e.outNeg)
+		if e.f.Eval(uint(j)) {
+			s.AddClause(ov, bv)
+			s.AddClause(ov.Not(), bv.Not())
+		} else {
+			s.AddClause(ov, bv.Not())
+			s.AddClause(ov.Not(), bv)
+		}
+	}
+	if !opt.NoExtraPruning {
+		// Every non-root gate feeds a later gate.
+		for g := 0; g < k-1; g++ {
+			var use []sat.Lit
+			for l := g + 1; l < k; l++ {
+				for c := 0; c < 2; c++ {
+					use = append(use, sat.PosLit(e.sel[l][c][e.n+g]))
+				}
+			}
+			s.AddClause(use...)
+		}
+		// Every support variable is referenced somewhere.
+		for v := 0; v < e.n; v++ {
+			if !e.f.DependsOn(v) {
+				continue
+			}
+			var use []sat.Lit
+			for l := 0; l < k; l++ {
+				for c := 0; c < 2; c++ {
+					use = append(use, sat.PosLit(e.sel[l][c][v]))
+				}
+			}
+			s.AddClause(use...)
+		}
+	}
+	return e
+}
+
+// extract reads the model into an AIG.
+func (e *aigEncoding) extract() *aig.AIG {
+	s := e.solver
+	a := aig.New(e.n)
+	gate := make([]aig.Lit, e.k)
+	for l := 0; l < e.k; l++ {
+		var ch [2]aig.Lit
+		for c := 0; c < 2; c++ {
+			choice := -1
+			for i, v := range e.sel[l][c] {
+				if s.Value(v) {
+					choice = i
+					break
+				}
+			}
+			if choice < 0 {
+				panic("exact: AND-chain model has no selected child")
+			}
+			var base aig.Lit
+			if choice < e.n {
+				base = a.Input(choice)
+			} else {
+				base = gate[choice-e.n]
+			}
+			ch[c] = base.NotIf(s.Value(e.pol[l][c]))
+		}
+		gate[l] = a.And(ch[0], ch[1])
+	}
+	a.AddOutput(gate[e.k-1].NotIf(s.Value(e.outNeg)))
+	return a
+}
+
+// trivialAIG handles k = 0: constants and literals.
+func trivialAIG(f tt.TT) (*aig.AIG, bool) {
+	a := aig.New(f.N)
+	switch {
+	case f.IsConst0():
+		a.AddOutput(aig.Const0)
+		return a, true
+	case f.IsConst1():
+		a.AddOutput(aig.Const1)
+		return a, true
+	}
+	for i := 0; i < f.N; i++ {
+		if f == tt.Var(f.N, i) {
+			a.AddOutput(a.Input(i))
+			return a, true
+		}
+		if f == tt.Var(f.N, i).Not() {
+			a.AddOutput(a.Input(i).Not())
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// DecideAIG determines whether an AND chain with exactly k gates computes
+// f.
+func DecideAIG(f tt.TT, k int, opt Options) (sat.Status, *aig.AIG) {
+	if k == 0 {
+		if a, ok := trivialAIG(f); ok {
+			return sat.Sat, a
+		}
+		return sat.Unsat, nil
+	}
+	e := newAIGEncoding(f, k, opt)
+	st := e.solver.Solve()
+	if st != sat.Sat {
+		return st, nil
+	}
+	a := e.extract()
+	if got := a.Simulate()[0]; got != f {
+		panic(fmt.Sprintf("exact: extracted AIG computes %v, want %v", got, f))
+	}
+	return sat.Sat, a
+}
+
+// MinimumAIG synthesizes a minimum-size AIG for f by the decision ladder,
+// cube-and-conquering steps with k ≥ 7 when workers allows.
+func MinimumAIG(f tt.TT, opt Options, workers int) (*aig.AIG, error) {
+	maxGates := opt.MaxGates
+	if maxGates == 0 {
+		maxGates = AndUpperBound(f.N)
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	for k := 0; k <= maxGates; k++ {
+		stepOpt := opt
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, fmt.Errorf("exact: timeout while proving k ≥ %d for %v", k, f)
+			}
+			stepOpt.Timeout = remaining
+		}
+		var (
+			st sat.Status
+			a  *aig.AIG
+		)
+		if workers > 1 && k >= 7 {
+			st, a = decideAIGSplit(f, k, stepOpt, workers)
+		} else {
+			st, a = DecideAIG(f, k, stepOpt)
+		}
+		switch st {
+		case sat.Sat:
+			return a, nil
+		case sat.Unknown:
+			return nil, errBudget(f, k)
+		}
+	}
+	return nil, errBound(f, maxGates)
+}
+
+// decideAIGSplit partitions on the root gate's operand pair.
+func decideAIGSplit(f tt.TT, k int, opt Options, workers int) (sat.Status, *aig.AIG) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	n := f.N
+	domain := n + k - 1
+	type cube struct{ a, b int }
+	var cubes []cube
+	for a := 0; a < domain; a++ {
+		for b := a + 1; b < domain; b++ {
+			cubes = append(cubes, cube{a, b})
+		}
+	}
+	var (
+		wg      sync.WaitGroup
+		next    int64 = -1
+		found   atomic.Bool
+		unknown atomic.Bool
+		model   *aig.AIG
+		mu      sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if found.Load() {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cubes) {
+					return
+				}
+				cu := cubes[i]
+				e := newAIGEncoding(f, k, opt)
+				root := k - 1
+				ok := e.solver.AddClause(sat.PosLit(e.sel[root][0][cu.a])) &&
+					e.solver.AddClause(sat.PosLit(e.sel[root][1][cu.b]))
+				if !ok {
+					continue
+				}
+				switch e.solver.Solve() {
+				case sat.Sat:
+					m := e.extract()
+					mu.Lock()
+					if model == nil {
+						model = m
+					}
+					mu.Unlock()
+					found.Store(true)
+					return
+				case sat.Unknown:
+					unknown.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	switch {
+	case model != nil:
+		return sat.Sat, model
+	case unknown.Load():
+		return sat.Unknown, nil
+	default:
+		return sat.Unsat, nil
+	}
+}

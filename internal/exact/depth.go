@@ -1,0 +1,213 @@
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mighash/internal/npn"
+	"mighash/internal/tt"
+)
+
+// Minimum-depth analysis (the D(f) column of Table II).
+//
+// Depth needs no SAT search: the set of functions computable by an MIG of
+// depth ≤ d is F_d = F_{d-1} ∪ {〈abc〉 : a,b,c ∈ F_{d-1}}, with F_0 the
+// constants and literals, because complement edges are free and every
+// depth-d MIG is a majority of three depth-(d-1) MIGs. F_0..F_2 are small
+// enough to close exhaustively. Membership of f in F_3 reduces — via the
+// observation that 〈g1 g2 g3〉 = f iff the disagreement masks x_i = g_i⊕f
+// are pairwise disjoint — to finding three pairwise-disjoint elements of
+// X = {g⊕f : g ∈ F_2}, which a subset-OR table answers quickly. Whatever
+// remains is depth ≥ 4, and a Shannon construction (two levels on top of
+// exact 3-variable depths) certifies depth 4 from above.
+
+// MinDepths returns D(f), the minimum MIG depth, for every function over n
+// variables (n ≤ 4), indexed by truth-table value.
+func MinDepths(n int) []int8 {
+	if n < 0 || n > 4 {
+		panic("exact: MinDepths supports up to 4 variables")
+	}
+	if n <= 3 {
+		return minDepthsSmall(n)
+	}
+	return minDepths4()
+}
+
+// minDepthsSmall closes the level sets exhaustively; for n ≤ 3 the
+// universe has at most 256 functions.
+func minDepthsSmall(n int) []int8 {
+	size := 1 << (1 << uint(n))
+	mask := uint64(tt.Mask(n))
+	depth := make([]int8, size)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var frontier []uint64
+	add := func(v uint64, d int8) {
+		if depth[v] == -1 {
+			depth[v] = d
+			frontier = append(frontier, v)
+		}
+	}
+	add(0, 0)
+	add(mask, 0)
+	for i := 0; i < n; i++ {
+		v := tt.Var(n, i).Bits
+		add(v, 0)
+		add(^v&mask, 0)
+	}
+	members := append([]uint64(nil), frontier...)
+	for d := int8(1); ; d++ {
+		frontier = frontier[:0]
+		for i := 0; i < len(members); i++ {
+			for j := i; j < len(members); j++ {
+				for k := j; k < len(members); k++ {
+					a, b, c := members[i], members[j], members[k]
+					add(a&b|a&c|b&c, d)
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		members = append(members, frontier...)
+	}
+	return depth
+}
+
+// minDepths4 computes exact depths for all 65536 functions of 4 variables.
+func minDepths4() []int8 {
+	const size = 1 << 16
+	const mask = 0xFFFF
+	depth := make([]int8, size)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var members []uint32
+	add := func(v uint32, d int8) {
+		if depth[v] == -1 {
+			depth[v] = d
+			members = append(members, v)
+		}
+	}
+	add(0, 0)
+	add(mask, 0)
+	for i := 0; i < 4; i++ {
+		v := uint32(tt.Var(4, i).Bits)
+		add(v, 0)
+		add(^v&mask, 0)
+	}
+	// Levels 1 and 2 by exhaustive closure over the cumulative set.
+	for d := int8(1); d <= 2; d++ {
+		prev := append([]uint32(nil), members...)
+		for i := 0; i < len(prev); i++ {
+			for j := i; j < len(prev); j++ {
+				ab := prev[i] & prev[j]
+				xab := prev[i] ^ prev[j]
+				for k := j; k < len(prev); k++ {
+					add(ab|prev[k]&xab, d)
+				}
+			}
+		}
+	}
+	f2 := append([]uint32(nil), members...) // all functions of depth ≤ 2
+
+	// For each undecided f: X = {g⊕f : g ∈ f2}; f has depth 3 iff X
+	// contains three pairwise-disjoint elements. Depth is NPN-invariant
+	// (input permutation/negation and output negation change neither the
+	// levels nor the structure), so the test runs once per NPN class and
+	// the answer is broadcast to the whole orbit.
+	scratch := make([]bool, size)
+	repDepth := make(map[uint64]int8)
+	for v := uint32(0); v < size; v++ {
+		if depth[v] != -1 {
+			continue
+		}
+		rep := npn.ClassOf4(tt.New(4, uint64(v))).Bits
+		d, ok := repDepth[rep]
+		if !ok {
+			if hasThreeDisjoint(f2, uint32(rep), scratch) {
+				d = 3
+			} else {
+				d = -1
+			}
+			repDepth[rep] = d
+		}
+		depth[v] = d
+	}
+	// Remaining functions are depth ≥ 4; certify ≤ 4 (and fill the value)
+	// with a Shannon construction over exact 3-variable depths.
+	d3 := minDepthsSmall(3)
+	for v := uint32(0); v < size; v++ {
+		if depth[v] != -1 {
+			continue
+		}
+		f := tt.New(4, uint64(v))
+		best := int8(127)
+		for i := 0; i < 4; i++ {
+			c0 := dropVar(f.Cofactor0(i), i)
+			c1 := dropVar(f.Cofactor1(i), i)
+			d := maxInt8(d3[c0.Bits], d3[c1.Bits]) + 2
+			if d < best {
+				best = d
+			}
+		}
+		if best != 4 {
+			panic(fmt.Sprintf("exact: function %04x escaped the depth analysis (bound %d)", v, best))
+		}
+		depth[v] = 4
+	}
+	return depth
+}
+
+// hasThreeDisjoint reports whether X = {g⊕f : g ∈ f2} contains three
+// pairwise disjoint masks, which holds exactly when f = 〈g1 g2 g3〉 for
+// some g1,g2,g3 ∈ f2 (at each truth-table bit at most one operand may
+// disagree with the majority value). scratch must hold 65536 entries.
+func hasThreeDisjoint(f2 []uint32, f uint32, scratch []bool) bool {
+	const size = 1 << 16
+	for i := range scratch {
+		scratch[i] = false
+	}
+	xs := make([]uint32, len(f2))
+	for i, g := range f2 {
+		xs[i] = g ^ f
+		scratch[xs[i]] = true
+	}
+	// anySubset[m]: some x ∈ X with x ⊆ m (subset-OR dynamic program).
+	for b := uint32(1); b < size; b <<= 1 {
+		for m := uint32(0); m < size; m++ {
+			if m&b != 0 && scratch[m^b] {
+				scratch[m] = true
+			}
+		}
+	}
+	// Scanning small masks first finds disjoint triples quickly for the
+	// depth-3 classes; only the genuinely depth-4 classes pay a full scan.
+	sort.Slice(xs, func(i, j int) bool { return bits.OnesCount32(xs[i]) < bits.OnesCount32(xs[j]) })
+	for i, x1 := range xs {
+		for _, x2 := range xs[i:] {
+			if x1&x2 != 0 {
+				continue
+			}
+			if scratch[^(x1|x2)&0xFFFF] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dropVar removes non-support variable i from a 4-variable function,
+// returning the 3-variable equivalent.
+func dropVar(f tt.TT, i int) tt.TT {
+	return f.SwapVars(i, 3).Shrink(3)
+}
+
+func maxInt8(a, b int8) int8 {
+	if a > b {
+		return a
+	}
+	return b
+}

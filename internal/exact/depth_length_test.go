@@ -1,0 +1,152 @@
+package exact
+
+import (
+	"testing"
+
+	"mighash/internal/npn"
+	"mighash/internal/tt"
+)
+
+func TestMinDepthsTwoVars(t *testing.T) {
+	d := MinDepths(2)
+	check := func(f tt.TT, want int8, name string) {
+		if got := d[f.Bits]; got != want {
+			t.Errorf("D(%s) = %d, want %d", name, got, want)
+		}
+	}
+	check(tt.Const0(2), 0, "const0")
+	check(tt.Const1(2), 0, "const1")
+	check(tt.Var(2, 0), 0, "x")
+	check(tt.Var(2, 1).Not(), 0, "~y")
+	check(tt.Var(2, 0).And(tt.Var(2, 1)), 1, "and")
+	check(tt.Var(2, 0).Or(tt.Var(2, 1)), 1, "or")
+	check(tt.Var(2, 0).Xor(tt.Var(2, 1)), 2, "xor")
+}
+
+func TestMinDepthsThreeVars(t *testing.T) {
+	d := MinDepths(3)
+	x, y, z := tt.Var(3, 0), tt.Var(3, 1), tt.Var(3, 2)
+	if got := d[tt.Maj(x, y, z).Bits]; got != 1 {
+		t.Errorf("D(maj3) = %d, want 1", got)
+	}
+	// The full-adder sum shows XOR3 is reachable at depth 2 (Fig. 1).
+	if got := d[x.Xor(y).Xor(z).Bits]; got != 2 {
+		t.Errorf("D(xor3) = %d, want 2", got)
+	}
+	if got := d[x.And(y).And(z).Bits]; got != 2 {
+		t.Errorf("D(and3) = %d, want 2", got)
+	}
+	for v, dep := range d {
+		if dep < 0 {
+			t.Fatalf("function %02x has no depth", v)
+		}
+	}
+}
+
+// TestMinDepths4TableII reproduces the D(f) columns of Table II:
+// classes 2/2/48/169/1 and functions 10/80/10260/55184/2 at depths 0..4.
+func TestMinDepths4TableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depth-4 analysis takes a few seconds")
+	}
+	d := MinDepths(4)
+	funcCount := map[int8]int{}
+	classes := map[int8]map[uint64]bool{}
+	for v, dep := range d {
+		if dep < 0 {
+			t.Fatalf("function %04x has no depth", v)
+		}
+		funcCount[dep]++
+		if classes[dep] == nil {
+			classes[dep] = map[uint64]bool{}
+		}
+		classes[dep][npn.ClassOf4(tt.New(4, uint64(v))).Bits] = true
+	}
+	wantFuncs := map[int8]int{0: 10, 1: 80, 2: 10260, 3: 55184, 4: 2}
+	wantClasses := map[int8]int{0: 2, 1: 2, 2: 48, 3: 169, 4: 1}
+	for dep, want := range wantFuncs {
+		if got := funcCount[dep]; got != want {
+			t.Errorf("functions at depth %d: %d, want %d (Table II)", dep, got, want)
+		}
+	}
+	for dep, want := range wantClasses {
+		if got := len(classes[dep]); got != want {
+			t.Errorf("classes at depth %d: %d, want %d (Table II)", dep, got, want)
+		}
+	}
+	// The single deepest class is the parity function S_{1,3} ≡ S_{0,2,4}.
+	parity := tt.Var(4, 0).Xor(tt.Var(4, 1)).Xor(tt.Var(4, 2)).Xor(tt.Var(4, 3))
+	if got := d[parity.Bits]; got != 4 {
+		t.Errorf("D(parity4) = %d, want 4", got)
+	}
+}
+
+func TestMinLengthsTwoVars(t *testing.T) {
+	l := MinLengths(2)
+	if got := l[tt.Var(2, 0).And(tt.Var(2, 1)).Bits]; got != 1 {
+		t.Errorf("L(and) = %d, want 1", got)
+	}
+	if got := l[tt.Var(2, 0).Xor(tt.Var(2, 1)).Bits]; got != 3 {
+		t.Errorf("L(xor) = %d, want 3", got)
+	}
+	if got := l[tt.Const1(2).Bits]; got != 0 {
+		t.Errorf("L(const) = %d, want 0", got)
+	}
+}
+
+func TestMinLengthsThreeVarsComplete(t *testing.T) {
+	l := MinLengths(3)
+	for v, c := range l {
+		if c < 0 {
+			t.Fatalf("function %02x has no expression length", v)
+		}
+	}
+	// L is invariant under complement (free output edge).
+	for v := 0; v < 256; v++ {
+		if l[v] != l[^uint32(v)&0xFF] {
+			t.Fatalf("L not complement-invariant at %02x", v)
+		}
+	}
+	// L ≥ C: a tree is a DAG. Check against single-gate functions.
+	x, y, z := tt.Var(3, 0), tt.Var(3, 1), tt.Var(3, 2)
+	if got := l[tt.Maj(x, y, z).Bits]; got != 1 {
+		t.Errorf("L(maj3) = %d, want 1", got)
+	}
+	// XOR3 as a tree: 〈c̄out cin 〈a b c̄in〉〉 duplicates the carry, so the
+	// expression needs 4 operators even though the DAG needs 3.
+	if got := l[x.Xor(y).Xor(z).Bits]; got <= 2 {
+		t.Errorf("L(xor3) = %d, suspiciously small", got)
+	}
+}
+
+// TestMinLengths4TableII reproduces the L(f) columns of Table II.
+func TestMinLengths4TableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expression-length DP over 4 variables is expensive")
+	}
+	l := MinLengths(4)
+	funcCount := map[int8]int{}
+	classes := map[int8]map[uint64]bool{}
+	for v, c := range l {
+		if c < 0 {
+			t.Fatalf("function %04x unreached", v)
+		}
+		funcCount[c]++
+		if classes[c] == nil {
+			classes[c] = map[uint64]bool{}
+		}
+		classes[c][npn.ClassOf4(tt.New(4, uint64(v))).Bits] = true
+	}
+	wantFuncs := map[int8]int{0: 10, 1: 80, 2: 640, 3: 3300, 4: 9312, 5: 28680, 6: 22568, 7: 832, 8: 80, 9: 34}
+	wantClasses := map[int8]int{0: 2, 1: 2, 2: 5, 3: 18, 4: 37, 5: 84, 6: 63, 7: 7, 8: 2, 9: 2}
+	for c, want := range wantFuncs {
+		if got := funcCount[c]; got != want {
+			t.Errorf("functions at L=%d: %d, want %d (Table II)", c, got, want)
+		}
+	}
+	for c, want := range wantClasses {
+		if got := len(classes[c]); got != want {
+			t.Errorf("classes at L=%d: %d, want %d (Table II)", c, got, want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package exact implements exact synthesis of minimum Majority-Inverter
+// Graphs (Sec. III of the paper), plus the complexity engines behind
+// Table II: combinational complexity C(f) via SAT, expression length L(f)
+// via dynamic programming, and minimum depth D(f) via level-set
+// reachability.
+//
+// The paper encodes the decision problem "is there an MIG with k majority
+// gates computing f" in SMT and solves it with Z3. The constraints are
+// finite-domain, so this package bit-blasts the identical constraint system
+// to CNF — one-hot select variables, per-assignment evaluation variables,
+// the majority semantics of Eq. (4), the connection implications of
+// Eq. (6)–(8), the output semantics of Eq. (9) and the operand-ordering
+// symmetry break of Eq. (10) — and solves it with the internal CDCL solver.
+// Minimality follows from the ladder search k = 0, 1, 2, … .
+package exact
+
+import (
+	"fmt"
+	"time"
+
+	"mighash/internal/mig"
+	"mighash/internal/sat"
+	"mighash/internal/tt"
+)
+
+// Options tunes the synthesis search.
+type Options struct {
+	// MaxGates caps the ladder search. Zero selects the Theorem 2 upper
+	// bound 10·(2^(n-4)−1)+7 for n ≥ 4 and 7 below.
+	MaxGates int
+	// MaxConflicts bounds each SAT call; zero means unlimited.
+	MaxConflicts int64
+	// Timeout bounds the whole Minimum call; zero means unlimited.
+	Timeout time.Duration
+	// NoExtraPruning disables the sound search-space reductions that go
+	// beyond the paper's encoding (all-gates-used and at-most-one
+	// complemented operand). Mainly useful for ablation benchmarks.
+	NoExtraPruning bool
+}
+
+// UpperBound returns the Theorem 2 bound on the size of an MIG for any
+// n-variable function: C(n) ≤ 10·(2^(n-4)−1)+7 for n ≥ 4. Functions of
+// fewer variables embed into four variables, so the n = 4 bound of 7
+// applies to them as well (it is not tight there, which is harmless for a
+// ladder cap).
+func UpperBound(n int) int {
+	if n <= 4 {
+		return 7
+	}
+	return 10*(1<<uint(n-4)-1) + 7
+}
+
+// Decide determines whether an MIG with exactly k majority gates computes
+// f, returning the extracted MIG on success. For k = 0 the answer is
+// immediate: only constants and literals qualify.
+func Decide(f tt.TT, k int, opt Options) (sat.Status, *mig.MIG) {
+	if k == 0 {
+		if m, ok := trivialMIG(f); ok {
+			return sat.Sat, m
+		}
+		return sat.Unsat, nil
+	}
+	e := newEncoding(f, k, opt)
+	st := e.solver.Solve()
+	if st != sat.Sat {
+		return st, nil
+	}
+	m := e.extract()
+	// Guard against encoder bugs: the extracted MIG must compute f.
+	if got := m.Simulate()[0]; got != f {
+		panic(fmt.Sprintf("exact: extracted MIG computes %v, want %v", got, f))
+	}
+	return sat.Sat, m
+}
+
+// Minimum synthesizes a minimum-size MIG for f by solving the decision
+// problem for k = 0, 1, 2, … (Sec. III). It fails only when a budget
+// expires.
+func Minimum(f tt.TT, opt Options) (*mig.MIG, error) {
+	maxGates := opt.MaxGates
+	if maxGates == 0 {
+		maxGates = UpperBound(f.N)
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	for k := 0; k <= maxGates; k++ {
+		stepOpt := opt
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, fmt.Errorf("exact: timeout after %v while proving k ≥ %d for %v", opt.Timeout, k, f)
+			}
+			stepOpt.Timeout = remaining
+		}
+		st, m := Decide(f, k, stepOpt)
+		switch st {
+		case sat.Sat:
+			return m, nil
+		case sat.Unknown:
+			return nil, fmt.Errorf("exact: budget exhausted at k = %d for %v", k, f)
+		}
+	}
+	return nil, fmt.Errorf("exact: no MIG with ≤ %d gates for %v (bound too small?)", maxGates, f)
+}
+
+// trivialMIG returns an MIG of size 0 for f if one exists (constants and
+// single literals).
+func trivialMIG(f tt.TT) (*mig.MIG, bool) {
+	m := mig.New(f.N)
+	switch {
+	case f.IsConst0():
+		m.AddOutput(mig.Const0)
+		return m, true
+	case f.IsConst1():
+		m.AddOutput(mig.Const1)
+		return m, true
+	}
+	for i := 0; i < f.N; i++ {
+		if f == tt.Var(f.N, i) {
+			m.AddOutput(m.Input(i))
+			return m, true
+		}
+		if f == tt.Var(f.N, i).Not() {
+			m.AddOutput(m.Input(i).Not())
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// encoding is the CNF instance for one (f, k) decision problem.
+type encoding struct {
+	f      tt.TT
+	n, k   int
+	solver *sat.Solver
+
+	sel    [][3][]int // sel[l][c][i]: child c of gate l+1 selects option i
+	pol    [][3]int   // pol[l][c]: the edge is complemented
+	b      [][]int    // b[l][j]: output of gate l+1 under assignment j
+	a      [][3][]int // a[l][c][j]: input value
+	outNeg int        // output edge polarity
+}
+
+func newEncoding(f tt.TT, k int, opt Options) *encoding {
+	n := f.N
+	e := &encoding{f: f, n: n, k: k, solver: sat.New()}
+	s := e.solver
+	if opt.MaxConflicts > 0 {
+		s.MaxConflict = opt.MaxConflicts
+	}
+	if opt.Timeout > 0 {
+		s.Deadline = time.Now().Add(opt.Timeout)
+	}
+	nj := 1 << uint(n)
+
+	e.sel = make([][3][]int, k)
+	e.pol = make([][3]int, k)
+	e.b = make([][]int, k)
+	e.a = make([][3][]int, k)
+	for l := 0; l < k; l++ {
+		domain := n + l + 1 // options: const 0, inputs 1..n, gates n+1..n+l
+		for c := 0; c < 3; c++ {
+			e.sel[l][c] = make([]int, domain)
+			for i := range e.sel[l][c] {
+				e.sel[l][c][i] = s.NewVar()
+			}
+			e.pol[l][c] = s.NewVar()
+			e.a[l][c] = make([]int, nj)
+			for j := range e.a[l][c] {
+				e.a[l][c][j] = s.NewVar()
+			}
+		}
+		e.b[l] = make([]int, nj)
+		for j := range e.b[l] {
+			e.b[l][j] = s.NewVar()
+		}
+	}
+	e.outNeg = s.NewVar()
+
+	for l := 0; l < k; l++ {
+		domain := n + l + 1
+		for c := 0; c < 3; c++ {
+			s.ExactlyOne(lits(e.sel[l][c])...)
+		}
+		// Eq. (10): s1 < s2 < s3 — forbid any non-increasing pair.
+		for c := 0; c < 2; c++ {
+			for i1 := 0; i1 < domain; i1++ {
+				for i2 := 0; i2 <= i1; i2++ {
+					s.AddClause(sat.NegLit(e.sel[l][c][i1]), sat.NegLit(e.sel[l][c+1][i2]))
+				}
+			}
+		}
+		for j := 0; j < nj; j++ {
+			// Eq. (4): majority semantics.
+			s.Majority(sat.PosLit(e.b[l][j]),
+				sat.PosLit(e.a[l][0][j]), sat.PosLit(e.a[l][1][j]), sat.PosLit(e.a[l][2][j]))
+			for c := 0; c < 3; c++ {
+				guard := sat.PosLit(e.sel[l][c][0])
+				av := sat.PosLit(e.a[l][c][j])
+				pv := sat.PosLit(e.pol[l][c])
+				// Eq. (6): constant child — value is the edge polarity
+				// (a complemented constant-0 edge delivers 1).
+				s.EqualIf(guard, av, pv)
+				// Eq. (7): input child.
+				for v := 1; v <= e.n; v++ {
+					guard = sat.PosLit(e.sel[l][c][v])
+					bit := j>>(uint(v)-1)&1 == 1
+					if bit {
+						s.EqualIf(guard, av, pv.Not())
+					} else {
+						s.EqualIf(guard, av, pv)
+					}
+				}
+				// Eq. (8): gate child.
+				for g := 0; g < l; g++ {
+					guard = sat.PosLit(e.sel[l][c][e.n+1+g])
+					s.XorEqualIf(guard, av, sat.PosLit(e.b[g][j]), pv)
+				}
+			}
+		}
+	}
+	// Eq. (9): the root gate computes f up to the output polarity.
+	for j := 0; j < nj; j++ {
+		bv := sat.PosLit(e.b[k-1][j])
+		ov := sat.PosLit(e.outNeg)
+		if e.f.Eval(uint(j)) {
+			s.AddClause(ov, bv)
+			s.AddClause(ov.Not(), bv.Not())
+		} else {
+			s.AddClause(ov, bv.Not())
+			s.AddClause(ov.Not(), bv)
+		}
+	}
+	if !opt.NoExtraPruning {
+		// Every non-root gate must feed a later gate (a minimum MIG has no
+		// dead gates, so this preserves the ladder's answers).
+		for g := 0; g < k-1; g++ {
+			var use []sat.Lit
+			for l := g + 1; l < k; l++ {
+				for c := 0; c < 3; c++ {
+					use = append(use, sat.PosLit(e.sel[l][c][e.n+1+g]))
+				}
+			}
+			s.AddClause(use...)
+		}
+		// At most one complemented operand per gate: self-duality lets any
+		// gate with two or more complemented fanins be replaced by its dual
+		// with the complement pushed to the fanouts, so restricting the
+		// search keeps at least one minimum solution.
+		for l := 0; l < k; l++ {
+			s.AtMostOne(sat.PosLit(e.pol[l][0]), sat.PosLit(e.pol[l][1]), sat.PosLit(e.pol[l][2]))
+		}
+	}
+	return e
+}
+
+func lits(vars []int) []sat.Lit {
+	out := make([]sat.Lit, len(vars))
+	for i, v := range vars {
+		out[i] = sat.PosLit(v)
+	}
+	return out
+}
+
+// extract reads the model and reconstructs the MIG of Theorem 1.
+func (e *encoding) extract() *mig.MIG {
+	s := e.solver
+	m := mig.New(e.n)
+	gate := make([]mig.Lit, e.k)
+	for l := 0; l < e.k; l++ {
+		var ch [3]mig.Lit
+		for c := 0; c < 3; c++ {
+			choice := -1
+			for i, v := range e.sel[l][c] {
+				if s.Value(v) {
+					choice = i
+					break
+				}
+			}
+			if choice < 0 {
+				panic("exact: model has no selected child")
+			}
+			var base mig.Lit
+			switch {
+			case choice == 0:
+				base = mig.Const0
+			case choice <= e.n:
+				base = m.Input(choice - 1)
+			default:
+				base = gate[choice-e.n-1]
+			}
+			ch[c] = base.NotIf(s.Value(e.pol[l][c]))
+		}
+		gate[l] = m.Maj(ch[0], ch[1], ch[2])
+	}
+	m.AddOutput(gate[e.k-1].NotIf(s.Value(e.outNeg)))
+	return m
+}

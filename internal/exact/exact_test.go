@@ -1,0 +1,199 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mighash/internal/sat"
+	"mighash/internal/tt"
+)
+
+func TestUpperBound(t *testing.T) {
+	cases := map[int]int{1: 7, 2: 7, 3: 7, 4: 7, 5: 17, 6: 37}
+	for n, want := range cases {
+		if got := UpperBound(n); got != want {
+			t.Errorf("UpperBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTrivialSizeZero(t *testing.T) {
+	for _, f := range []tt.TT{
+		tt.Const0(3), tt.Const1(3),
+		tt.Var(3, 0), tt.Var(3, 2).Not(),
+	} {
+		m, err := Minimum(f, Options{})
+		if err != nil {
+			t.Fatalf("Minimum(%v): %v", f, err)
+		}
+		if m.Size() != 0 {
+			t.Errorf("Minimum(%v) has size %d, want 0", f, m.Size())
+		}
+		if got := m.Simulate()[0]; got != f {
+			t.Errorf("Minimum(%v) computes %v", f, got)
+		}
+	}
+}
+
+func TestSingleGateFunctions(t *testing.T) {
+	n := 3
+	x, y, z := tt.Var(n, 0), tt.Var(n, 1), tt.Var(n, 2)
+	for name, f := range map[string]tt.TT{
+		"and":     x.And(y),
+		"or":      x.Or(z),
+		"maj":     tt.Maj(x, y, z),
+		"nand":    x.And(y).Not(),
+		"maj-nxy": tt.Maj(x.Not(), y, z),
+	} {
+		m, err := Minimum(f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Size() != 1 {
+			t.Errorf("%s: size %d, want 1", name, m.Size())
+		}
+		if got := m.Simulate()[0]; got != f {
+			t.Errorf("%s: computes %v, want %v", name, got, f)
+		}
+	}
+}
+
+func TestAndThree(t *testing.T) {
+	// x∧y∧z requires exactly two majority gates.
+	f := tt.Var(3, 0).And(tt.Var(3, 1)).And(tt.Var(3, 2))
+	if st, _ := Decide(f, 1, Options{}); st != sat.Unsat {
+		t.Error("AND3 should not fit in one gate")
+	}
+	st, m := Decide(f, 2, Options{})
+	if st != sat.Sat {
+		t.Fatal("AND3 should fit in two gates")
+	}
+	if got := m.Simulate()[0]; got != f {
+		t.Errorf("AND3 MIG computes %v", got)
+	}
+}
+
+func TestXor2NeedsThreeGates(t *testing.T) {
+	f := tt.Var(2, 0).Xor(tt.Var(2, 1))
+	m, err := Minimum(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Errorf("XOR2 minimum size = %d, want 3", m.Size())
+	}
+	if got := m.Simulate()[0]; got != f {
+		t.Errorf("XOR2 MIG computes %v", got)
+	}
+}
+
+func TestFullAdderSumExact(t *testing.T) {
+	// XOR3 has a 3-gate MIG (the full-adder sum of Fig. 1 shares the carry).
+	f := tt.Var(3, 0).Xor(tt.Var(3, 1)).Xor(tt.Var(3, 2))
+	m, err := Minimum(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() > 3 {
+		t.Errorf("XOR3 minimum size = %d, want ≤ 3", m.Size())
+	}
+	if got := m.Simulate()[0]; got != f {
+		t.Errorf("XOR3 MIG computes %v", got)
+	}
+}
+
+func TestMinimumRandom4VarConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		f := tt.New(4, uint64(rng.Intn(1<<16)))
+		m, err := Minimum(f, Options{Timeout: 2 * time.Minute})
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, f, err)
+		}
+		if got := m.Simulate()[0]; got != f {
+			t.Fatalf("trial %d: MIG computes %v, want %v", trial, got, f)
+		}
+		k := m.Size()
+		if k > UpperBound(4) {
+			t.Fatalf("trial %d: size %d exceeds Theorem 2 bound", trial, k)
+		}
+		if k > 0 {
+			// Minimality: one gate fewer must be UNSAT.
+			if st, _ := Decide(f, k-1, Options{}); st != sat.Unsat {
+				t.Fatalf("trial %d: Decide(k-1) = %v, not UNSAT", trial, st)
+			}
+		}
+	}
+}
+
+func TestPruningPreservesMinimum(t *testing.T) {
+	// The extra pruning constraints must not change the ladder's answers.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 4; trial++ {
+		f := tt.New(3, uint64(rng.Intn(1<<8)))
+		m1, err1 := Minimum(f, Options{})
+		m2, err2 := Minimum(f, Options{NoExtraPruning: true})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v %v", trial, err1, err2)
+		}
+		if m1.Size() != m2.Size() {
+			t.Fatalf("trial %d (%v): pruned size %d != unpruned size %d",
+				trial, f, m1.Size(), m2.Size())
+		}
+	}
+}
+
+func TestFiveVariableMajority(t *testing.T) {
+	// Exact synthesis is "also applicable to functions with more than 4
+	// inputs" (contribution 1): the 5-input majority has a 4-gate MIG.
+	n := 5
+	var f tt.TT = tt.Const0(n)
+	// maj5(x) = 1 iff at least 3 of 5 inputs are set.
+	var bits uint64
+	for j := uint(0); j < 32; j++ {
+		if popcount(j) >= 3 {
+			bits |= 1 << j
+		}
+	}
+	f = tt.New(n, bits)
+	m, err := Minimum(f, Options{Timeout: 3 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Simulate()[0]; got != f {
+		t.Errorf("maj5 MIG computes %v", got)
+	}
+	if m.Size() != 4 {
+		t.Errorf("maj5 minimum size = %d, want 4", m.Size())
+	}
+}
+
+func popcount(v uint) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestDecideBudget(t *testing.T) {
+	f := tt.New(4, 0x1668) // a nontrivial function
+	st, _ := Decide(f, 5, Options{MaxConflicts: 1})
+	if st == sat.Sat {
+		// A single conflict budget may still solve easy instances; accept.
+		return
+	}
+	if st != sat.Unknown && st != sat.Unsat {
+		t.Errorf("Decide with tiny budget = %v", st)
+	}
+}
+
+func BenchmarkMinimumXor3(b *testing.B) {
+	f := tt.Var(3, 0).Xor(tt.Var(3, 1)).Xor(tt.Var(3, 2))
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimum(f, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

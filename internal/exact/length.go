@@ -1,0 +1,147 @@
+package exact
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"mighash/internal/tt"
+)
+
+// Minimum expression length (the L(f) column of Table II).
+//
+// L(f) counts the operators of the smallest majority *expression* — an MIG
+// without sharing, i.e. a tree with complement edges. Because a minimal
+// tree of cost ℓ is a root over minimal subtrees whose costs sum to ℓ−1,
+// L is computable by a breadth-first dynamic program over truth tables:
+// frontier F_ℓ collects the functions first reached at cost ℓ, and level
+// ℓ combines all cost partitions ℓ1+ℓ2+ℓ3 = ℓ−1. Operand complementation
+// is absorbed by keeping every frontier complement-closed (a complemented
+// root edge is free, so L(¬f) = L(f)).
+
+// MinLengths returns L(f) for every function over n variables (n ≤ 4),
+// indexed by truth-table value.
+func MinLengths(n int) []int8 {
+	if n < 0 || n > 4 {
+		panic("exact: MinLengths supports up to 4 variables")
+	}
+	size := 1 << (1 << uint(n))
+	mask := uint32(tt.Mask(n))
+	cost := make([]int8, size)
+	for i := range cost {
+		cost[i] = -1
+	}
+	var frontiers [][]uint32
+	level0 := []uint32{0, mask}
+	for i := 0; i < n; i++ {
+		v := uint32(tt.Var(n, i).Bits)
+		level0 = append(level0, v, ^v&mask)
+	}
+	for _, v := range level0 {
+		cost[v] = 0
+	}
+	frontiers = append(frontiers, dedup(level0))
+
+	remaining := size - len(frontiers[0])
+	for l := 1; remaining > 0; l++ {
+		var found []uint32
+		// All unordered cost partitions c1 ≤ c2 ≤ c3 with sum l-1.
+		for c1 := 0; 3*c1 <= l-1; c1++ {
+			for c2 := c1; c1+2*c2 <= l-1; c2++ {
+				c3 := l - 1 - c1 - c2
+				if c3 < c2 {
+					continue
+				}
+				found = append(found, combineLevel(frontiers, cost, c1, c2, c3)...)
+			}
+		}
+		frontier := make([]uint32, 0, len(found))
+		for _, v := range found {
+			if cost[v] == -1 {
+				cost[v] = int8(l)
+				frontier = append(frontier, v)
+			}
+		}
+		remaining -= len(frontier)
+		frontiers = append(frontiers, frontier)
+		if l > 32 {
+			panic("exact: expression-length DP failed to converge")
+		}
+	}
+	return cost
+}
+
+// combineLevel enumerates maj(a,b,c) for a ∈ F_{c1}, b ∈ F_{c2}, c ∈ F_{c3}
+// and returns the results not yet assigned a cost. The outer loop is
+// sharded across CPUs; each worker collects hits in a private bitset so
+// the shared cost array is only read.
+func combineLevel(frontiers [][]uint32, cost []int8, c1, c2, c3 int) []uint32 {
+	fa, fb, fc := frontiers[c1], frontiers[c2], frontiers[c3]
+	if len(fa) == 0 || len(fb) == 0 || len(fc) == 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(fa) {
+		workers = len(fa)
+	}
+	hits := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]uint64, (len(cost)+63)/64)
+			for ia := w; ia < len(fa); ia += workers {
+				a := fa[ia]
+				jb0 := 0
+				if c2 == c1 {
+					jb0 = ia // same frontier: combinations, not permutations
+				}
+				for jb := jb0; jb < len(fb); jb++ {
+					b := fb[jb]
+					ab := a & b
+					xab := a ^ b
+					kc0 := 0
+					if c3 == c2 {
+						kc0 = jb
+					}
+					for _, c := range fc[kc0:] {
+						r := ab | c&xab
+						if cost[r] == -1 {
+							local[r>>6] |= 1 << (r & 63)
+						}
+					}
+				}
+			}
+			hits[w] = local
+		}(w)
+	}
+	wg.Wait()
+	words := (len(cost) + 63) / 64
+	merged := make([]uint64, words)
+	for _, local := range hits {
+		for i, v := range local {
+			merged[i] |= v
+		}
+	}
+	var out []uint32
+	for wi, v := range merged {
+		for v != 0 {
+			out = append(out, uint32(wi*64)+uint32(bits.TrailingZeros64(v)))
+			v &= v - 1
+		}
+	}
+	return out
+}
+
+func dedup(in []uint32) []uint32 {
+	seen := map[uint32]bool{}
+	var out []uint32
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

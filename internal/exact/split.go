@@ -1,0 +1,139 @@
+package exact
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mighash/internal/mig"
+	"mighash/internal/sat"
+	"mighash/internal/tt"
+)
+
+// DecideSplit solves the same decision problem as Decide by
+// cube-and-conquer: the search space is partitioned on the operand triple
+// of the root gate (the symmetry break of Eq. (10) makes the triples
+// strictly increasing, so the C(n+k-1, 3) choices are disjoint and
+// exhaustive), and the sub-instances are solved on `workers` goroutines.
+// UNSAT requires every cube to be refuted — exactly the case where the
+// single-solver ladder step is slow — while SAT returns as soon as any
+// cube produces a model.
+//
+// The hardest Table I instance (proving that S0,2 needs more than 6
+// gates) takes ~24 minutes sequentially and a few minutes split this way.
+func DecideSplit(f tt.TT, k int, opt Options, workers int) (sat.Status, *mig.MIG) {
+	if k < 2 {
+		// Nothing worth splitting: a 0/1-gate instance is immediate.
+		return Decide(f, k, opt)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	n := f.N
+	domain := n + k // operand options of the root gate: 0, x1..xn, g1..g_{k-1}
+
+	type cube struct{ a, b, c int }
+	var cubes []cube
+	for a := 0; a < domain; a++ {
+		for b := a + 1; b < domain; b++ {
+			for c := b + 1; c < domain; c++ {
+				cubes = append(cubes, cube{a, b, c})
+			}
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		next    int64 = -1
+		found   atomic.Bool
+		unknown atomic.Bool
+		model   *mig.MIG
+		mu      sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if found.Load() {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cubes) {
+					return
+				}
+				cu := cubes[i]
+				e := newEncoding(f, k, opt)
+				root := k - 1
+				ok := e.solver.AddClause(sat.PosLit(e.sel[root][0][cu.a])) &&
+					e.solver.AddClause(sat.PosLit(e.sel[root][1][cu.b])) &&
+					e.solver.AddClause(sat.PosLit(e.sel[root][2][cu.c]))
+				if !ok {
+					continue // cube contradicts the base constraints: refuted
+				}
+				switch e.solver.Solve() {
+				case sat.Sat:
+					m := e.extract()
+					mu.Lock()
+					if model == nil {
+						model = m
+					}
+					mu.Unlock()
+					found.Store(true)
+					return
+				case sat.Unknown:
+					unknown.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	switch {
+	case model != nil:
+		return sat.Sat, model
+	case unknown.Load():
+		return sat.Unknown, nil
+	default:
+		return sat.Unsat, nil
+	}
+}
+
+// MinimumParallel is Minimum with cube-and-conquer ladder steps for
+// k ≥ splitFrom (the small steps are faster solved whole).
+func MinimumParallel(f tt.TT, opt Options, workers, splitFrom int) (*mig.MIG, error) {
+	if splitFrom <= 0 {
+		splitFrom = 5
+	}
+	maxGates := opt.MaxGates
+	if maxGates == 0 {
+		maxGates = UpperBound(f.N)
+	}
+	for k := 0; k <= maxGates; k++ {
+		var (
+			st sat.Status
+			m  *mig.MIG
+		)
+		if k >= splitFrom {
+			st, m = DecideSplit(f, k, opt, workers)
+		} else {
+			st, m = Decide(f, k, opt)
+		}
+		switch st {
+		case sat.Sat:
+			return m, nil
+		case sat.Unknown:
+			return nil, errBudget(f, k)
+		}
+	}
+	return nil, errBound(f, maxGates)
+}
+
+func errBudget(f tt.TT, k int) error {
+	return fmt.Errorf("exact: budget exhausted at k = %d for %v", k, f)
+}
+
+func errBound(f tt.TT, maxGates int) error {
+	return fmt.Errorf("exact: no MIG with ≤ %d gates for %v (bound too small?)", maxGates, f)
+}

@@ -1,0 +1,65 @@
+package exact
+
+import (
+	"testing"
+
+	"mighash/internal/sat"
+	"mighash/internal/tt"
+)
+
+// TestDecideSplitAgreesWithDecide compares the cube-and-conquer decision
+// against the monolithic solver on both satisfiable and unsatisfiable
+// ladder steps.
+func TestDecideSplitAgreesWithDecide(t *testing.T) {
+	cases := []struct {
+		bits uint64
+		k    int
+	}{
+		{0x0001, 2}, // AND4-like class: C = 3, so k = 2 is UNSAT
+		{0x0001, 3}, // and k = 3 is SAT
+		{0x0096, 3},
+		{0x0096, 4},
+		{0x6996, 5}, // parity: around its optimum
+	}
+	for _, c := range cases {
+		f := tt.New(4, c.bits)
+		want, _ := Decide(f, c.k, Options{})
+		got, m := DecideSplit(f, c.k, Options{}, 8)
+		if got != want {
+			t.Errorf("f=%v k=%d: split says %v, monolithic says %v", f, c.k, got, want)
+		}
+		if got == sat.Sat {
+			if m == nil {
+				t.Fatalf("f=%v k=%d: SAT without model", f, c.k)
+			}
+			if sim := m.Simulate()[0]; sim != f {
+				t.Errorf("f=%v k=%d: model computes %v", f, c.k, sim)
+			}
+			if m.Size() > c.k {
+				t.Errorf("f=%v k=%d: model has %d gates", f, c.k, m.Size())
+			}
+		}
+	}
+}
+
+// TestMinimumParallelMatchesMinimum checks that the parallel ladder finds
+// the same optimum sizes.
+func TestMinimumParallelMatchesMinimum(t *testing.T) {
+	for _, bits := range []uint64{0x0001, 0x0116, 0x0696, 0x1ee1} {
+		f := tt.New(4, bits)
+		seq, err := Minimum(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MinimumParallel(f, Options{}, 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Size() != par.Size() {
+			t.Errorf("f=%v: sequential %d gates, parallel %d", f, seq.Size(), par.Size())
+		}
+		if sim := par.Simulate()[0]; sim != f {
+			t.Errorf("f=%v: parallel result computes %v", f, sim)
+		}
+	}
+}

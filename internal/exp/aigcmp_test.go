@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mighash/internal/exact"
+)
+
+// TestAIGComparisonInvariants runs the MIG-vs-AIG comparison with a tiny
+// per-class budget (most classes fall back to the converted upper bound,
+// which keeps the test fast) and checks the structural invariants: the
+// buckets cover all 222 classes and 65536 functions, and C_MIG ≤ C_AIG
+// in every bucket.
+func TestAIGComparisonInvariants(t *testing.T) {
+	d := loadDB(t)
+	rows, err := AIGComparison(d, exact.Options{Timeout: 100 * time.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classes, functions int
+	for _, r := range rows {
+		if r.MIGSize > r.AIGSize {
+			t.Errorf("bucket (%d, %d): majority lost to AND", r.MIGSize, r.AIGSize)
+		}
+		classes += r.Classes
+		functions += r.Functions
+	}
+	if classes != 222 || functions != 1<<16 {
+		t.Fatalf("buckets cover %d classes / %d functions", classes, functions)
+	}
+	out := FormatAIGComparison(rows)
+	if !strings.Contains(out, "average C_AIG/C_MIG") {
+		t.Errorf("missing aggregate line:\n%s", out)
+	}
+}

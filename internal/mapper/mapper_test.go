@@ -1,0 +1,139 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"mighash/internal/circuits"
+	"mighash/internal/mig"
+)
+
+func randomMIG(rng *rand.Rand, pis, gates, pos int) *mig.MIG {
+	m := mig.New(pis)
+	sigs := []mig.Lit{mig.Const0}
+	for i := 0; i < pis; i++ {
+		sigs = append(sigs, m.Input(i))
+	}
+	for g := 0; g < gates; g++ {
+		pick := func() mig.Lit { return sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(3) == 0) }
+		sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+	}
+	for o := 0; o < pos; o++ {
+		m.AddOutput(sigs[len(sigs)-1-rng.Intn(4)].NotIf(rng.Intn(2) == 0))
+	}
+	return m
+}
+
+// TestFullAdderCoverExhaustive maps Fig. 1's full adder for every LUT size
+// and compares the cover against the MIG on all 8 assignments.
+func TestFullAdderCoverExhaustive(t *testing.T) {
+	m := mig.New(3)
+	s, c := m.FullAdder(m.Input(0), m.Input(1), m.Input(2))
+	m.AddOutput(s)
+	m.AddOutput(c)
+	for k := 3; k <= 6; k++ {
+		r := Map(m, Options{K: k})
+		if r.Area == 0 || r.Depth == 0 {
+			t.Fatalf("K=%d: degenerate mapping %v", k, r)
+		}
+		if k >= 3 && r.Area > 3 {
+			t.Errorf("K=%d: full adder needs %d LUTs, expected at most 3", k, r.Area)
+		}
+		for v := 0; v < 8; v++ {
+			in := []bool{v&1 == 1, v&2 == 2, v&4 == 4}
+			got, want := r.Eval(in), m.EvalBits(in)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("K=%d vector %d output %d: cover %v, MIG %v", k, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCoverMatchesCircuitExhaustive verifies covers of random small MIGs
+// on all 2^n assignments.
+func TestCoverMatchesCircuitExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 10; round++ {
+		pis := 4 + rng.Intn(3)
+		m := randomMIG(rng, pis, 25+rng.Intn(50), 3)
+		r := Map(m, Options{K: 3 + rng.Intn(4)})
+		for v := 0; v < 1<<uint(pis); v++ {
+			in := make([]bool, pis)
+			for i := range in {
+				in[i] = v>>uint(i)&1 == 1
+			}
+			got, want := r.Eval(in), m.EvalBits(in)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d vector %d output %d mismatch", round, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMapsArithmeticCircuits maps the generated benchmarks and sanity
+// checks the metrics: every cover must be smaller than the gate count and
+// much shallower than the gate-level depth.
+func TestMapsArithmeticCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, name := range []string{"Adder", "Max", "Sine"} {
+		spec, _ := circuits.ByName(name)
+		m := spec.Build()
+		r := Map(m, Options{})
+		if r.Area >= m.Size() {
+			t.Errorf("%s: area %d not below gate count %d", name, r.Area, m.Size())
+		}
+		if r.Depth >= m.Depth() {
+			t.Errorf("%s: LUT depth %d not below gate depth %d", name, r.Depth, m.Depth())
+		}
+		t.Logf("%s: gates=%d depth=%d → %v", name, m.Size(), m.Depth(), r)
+		for v := 0; v < 5; v++ {
+			in := make([]bool, spec.NumPIs)
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			got, want := r.Eval(in), m.EvalBits(in)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s vector %d output %d mismatch", name, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestConstantAndPassthroughOutputs covers POs driven by terminals.
+func TestConstantAndPassthroughOutputs(t *testing.T) {
+	m := mig.New(2)
+	m.AddOutput(mig.Const1)
+	m.AddOutput(m.Input(1).Not())
+	m.AddOutput(m.And(m.Input(0), m.Input(1)))
+	r := Map(m, Options{K: 4})
+	if r.Area != 1 {
+		t.Fatalf("area %d, want 1 (only the AND needs a LUT)", r.Area)
+	}
+	for v := 0; v < 4; v++ {
+		in := []bool{v&1 == 1, v&2 == 2}
+		got, want := r.Eval(in), m.EvalBits(in)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vector %d output %d mismatch", v, i)
+			}
+		}
+	}
+}
+
+// TestAreaRecoveryEffect documents that area passes do not blow up area.
+func TestAreaRecoveryEffect(t *testing.T) {
+	spec, _ := circuits.ByName("Max")
+	m := spec.Build()
+	delayOnly := Map(m, Options{AreaPasses: 1})
+	recovered := Map(m, Options{AreaPasses: 3})
+	t.Logf("Max: 1 pass %v, 3 passes %v", delayOnly, recovered)
+	if recovered.Area > delayOnly.Area*11/10 {
+		t.Errorf("area recovery made things worse: %d → %d", delayOnly.Area, recovered.Area)
+	}
+}

@@ -1,0 +1,128 @@
+package mig
+
+// Structural analyses used by the rewriting algorithms: fanout-free
+// regions (Sec. IV-C of the paper) and cone extraction.
+
+// FFRRoots computes, for every node, the root of its fanout-free region.
+// A node is a region root if it drives a primary output or has fanout
+// other than one among the live part of the graph; every single-fanout
+// gate belongs to the region of its unique parent. Terminals are their own
+// roots. Dead nodes map to themselves.
+func (m *MIG) FFRRoots() []ID {
+	fo := m.FanoutCounts()
+	parent := make([]ID, len(m.fanin)) // unique parent of single-fanout nodes
+	seen := make([]bool, len(m.fanin))
+	poRef := make([]bool, len(m.fanin)) // directly drives a primary output
+	var stack []ID
+	for _, o := range m.outputs {
+		poRef[o.ID()] = true
+		if id := o.ID(); m.IsGate(id) && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ch := range m.fanin[id] {
+			cid := ch.ID()
+			if fo[cid] == 1 {
+				parent[cid] = id
+			}
+			if m.IsGate(cid) && !seen[cid] {
+				seen[cid] = true
+				stack = append(stack, cid)
+			}
+		}
+	}
+	root := make([]ID, len(m.fanin))
+	done := make([]bool, len(m.fanin))
+	var find func(id ID) ID
+	find = func(id ID) ID {
+		if done[id] {
+			return root[id]
+		}
+		r := id
+		// Chain upward only when the sole fanout is another gate; nodes
+		// driving a primary output are roots of their own region.
+		if m.IsGate(id) && seen[id] && fo[id] == 1 && !poRef[id] {
+			r = find(parent[id])
+		}
+		root[id], done[id] = r, true
+		return r
+	}
+	for id := range root {
+		find(ID(id))
+	}
+	return root
+}
+
+// FFRMembers groups live gates by their fanout-free-region root. The map
+// value lists the gates of the region in ascending (topological) order,
+// including the root itself.
+func (m *MIG) FFRMembers() map[ID][]ID {
+	roots := m.FFRRoots()
+	fo := m.FanoutCounts()
+	groups := make(map[ID][]ID)
+	for id := m.numPI + 1; id < len(m.fanin); id++ {
+		if fo[id] == 0 {
+			continue // dead gate
+		}
+		groups[roots[id]] = append(groups[roots[id]], ID(id))
+	}
+	return groups
+}
+
+// ConeNodes returns the gate IDs in the cone of root bounded by leaves, in
+// ascending order and including root's gate if any. Leaves themselves are
+// not included; the constant node never blocks traversal.
+func (m *MIG) ConeNodes(root ID, leaves []ID) []ID {
+	isLeaf := make(map[ID]bool, len(leaves))
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	seen := map[ID]bool{}
+	var order []ID
+	var visit func(id ID)
+	visit = func(id ID) {
+		if seen[id] || isLeaf[id] || !m.IsGate(id) {
+			return
+		}
+		seen[id] = true
+		for _, ch := range m.fanin[id] {
+			visit(ch.ID())
+		}
+		order = append(order, id)
+	}
+	visit(root)
+	return order
+}
+
+// ConeIsReplaceable reports whether the cone of root bounded by leaves can
+// be replaced without duplicating logic: every internal gate (excluding the
+// root) must have all of its fanout inside the cone. fo must come from
+// FanoutCounts of the same MIG.
+func (m *MIG) ConeIsReplaceable(root ID, leaves []ID, fo []int) bool {
+	nodes := m.ConeNodes(root, leaves)
+	inCone := make(map[ID]bool, len(nodes))
+	for _, id := range nodes {
+		inCone[id] = true
+	}
+	// Count internal references: each internal gate's fanout must be fully
+	// accounted for by cone-internal edges.
+	internalRefs := make(map[ID]int)
+	for _, id := range nodes {
+		for _, ch := range m.fanin[id] {
+			internalRefs[ch.ID()]++
+		}
+	}
+	for _, id := range nodes {
+		if id == root {
+			continue
+		}
+		if internalRefs[id] != fo[id] {
+			return false
+		}
+	}
+	return true
+}

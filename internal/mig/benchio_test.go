@@ -1,0 +1,149 @@
+package mig
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestBENCHRoundTrip writes random MIGs to BENCH and reads them back,
+// comparing output functions by exhaustive simulation.
+func TestBENCHRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for round := 0; round < 15; round++ {
+		pis := 3 + rng.Intn(4)
+		m := New(pis)
+		sigs := []Lit{Const0}
+		for i := 0; i < pis; i++ {
+			sigs = append(sigs, m.Input(i))
+		}
+		for g := 0; g < 15+rng.Intn(30); g++ {
+			pick := func() Lit { return sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(3) == 0) }
+			sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+		}
+		for o := 0; o < 1+rng.Intn(3); o++ {
+			m.AddOutput(sigs[len(sigs)-1-rng.Intn(4)].NotIf(rng.Intn(2) == 0))
+		}
+
+		var buf bytes.Buffer
+		if err := m.WriteBENCH(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBENCH(&buf)
+		if err != nil {
+			t.Fatalf("round %d: %v\n%s", round, err, buf.String())
+		}
+		if back.NumPIs() != m.NumPIs() || back.NumPOs() != m.NumPOs() {
+			t.Fatalf("round %d: interface changed to %d/%d", round, back.NumPIs(), back.NumPOs())
+		}
+		want := m.Simulate()
+		got := back.Simulate()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d output %d: %v, want %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReadBENCHClassicGates parses a netlist using the traditional gate
+// set and checks it against hand-computed functions.
+func TestReadBENCHClassicGates(t *testing.T) {
+	src := `
+# c17-style example with every supported operator
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y1)
+OUTPUT(y2)
+OUTPUT(y3)
+g1 = NAND(a, b)
+g2 = NOR(b, c)
+g3 = XOR(g1, g2)
+g4 = AND(a, b, c)     # 3-input reduction
+y1 = BUF(g3)
+y2 = XNOR(g4, c)
+one = CONST1
+y3 = MAJ(a, b, one)
+`
+	m, err := ReadBENCH(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := m.Simulate()
+	for v := uint(0); v < 8; v++ {
+		a := v&1 == 1
+		b := v>>1&1 == 1
+		c := v>>2&1 == 1
+		g1 := !(a && b)
+		g2 := !(b || c)
+		want := []bool{g1 != g2, !((a && b && c) != c), a || b}
+		for i := range want {
+			if sims[i].Eval(v) != want[i] {
+				t.Fatalf("assignment %03b output %d: got %v, want %v", v, i, sims[i].Eval(v), want[i])
+			}
+		}
+	}
+}
+
+// TestReadBENCHForwardReferences: gate lines may appear before their
+// operands are defined.
+func TestReadBENCHForwardReferences(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(later, a)
+later = OR(a, b)
+`
+	m, err := ReadBENCH(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Simulate()[0]; got.Bits != 0b1010 { // (a∨b)∧a = a
+		t.Errorf("forward-referenced netlist computes %v", got)
+	}
+}
+
+// TestReadBENCHErrors covers the failure paths.
+func TestReadBENCHErrors(t *testing.T) {
+	cases := map[string]string{
+		"cycle":       "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = OR(a, y)\n",
+		"unknown op":  "INPUT(a)\nOUTPUT(y)\ny = FOO(a)\n",
+		"bad arity":   "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a)\n",
+		"redefine":    "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n",
+		"missing out": "INPUT(a)\nOUTPUT(y)\nz = NOT(a)\n",
+		"no assign":   "INPUT(a)\nOUTPUT(y)\njust words\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadBENCH(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted malformed netlist", name)
+		}
+	}
+}
+
+// TestWriteBENCHConstantUse: the constant node gets declared when used.
+func TestWriteBENCHConstantUse(t *testing.T) {
+	m := New(2)
+	m.AddOutput(m.And(m.Input(0), Const1)) // strash folds this to x0
+	m.AddOutput(m.Maj(m.Input(0), m.Input(1), Const0))
+	var buf bytes.Buffer
+	if err := m.WriteBENCH(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CONST0") {
+		t.Fatalf("missing constant declaration:\n%s", buf.String())
+	}
+	back, err := ReadBENCH(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Simulate()
+	got := back.Simulate()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package mig implements Majority-Inverter Graphs.
+//
+// An MIG (Sec. II-B of the paper) is a directed acyclic graph whose
+// non-terminal nodes all compute the ternary majority function 〈abc〉 and
+// whose edges may be complemented. Terminals are the primary inputs and the
+// constant-0 node; primary outputs are (possibly complemented) pointers to
+// arbitrary nodes. MIGs subsume AND-inverter graphs because 〈0ab〉 = a∧b
+// and 〈1ab〉 = a∨b, and they are universal.
+//
+// Nodes are identified by dense integer IDs: ID 0 is the constant-0 node,
+// IDs 1..NumPIs() are the primary inputs, and higher IDs are majority
+// gates. Gates are created strictly after their children, so ascending ID
+// order is always a topological order. A signal is addressed by a Lit,
+// which packs a node ID and a complement bit.
+//
+// Gate creation performs structural hashing with the majority-axiom
+// normalizations 〈aab〉 = a and 〈aāb〉 = b, operand sorting
+// (commutativity), and inverter canonicalization through the self-duality
+// 〈abc〉 = ¬〈āb̄c̄〉, so structurally equivalent subgraphs are
+// automatically shared.
+package mig
+
+import "fmt"
+
+// ID identifies a node. ID 0 is the constant-0 terminal.
+type ID uint32
+
+// Lit is a signal: a node ID with a complement bit in the lowest position.
+type Lit uint32
+
+// The two constant signals.
+const (
+	Const0 Lit = 0 // the constant-0 node, plain
+	Const1 Lit = 1 // the constant-0 node, complemented
+)
+
+// MakeLit returns the signal for node id, complemented if comp is set.
+func MakeLit(id ID, comp bool) Lit {
+	l := Lit(id) << 1
+	if comp {
+		l |= 1
+	}
+	return l
+}
+
+// ID returns the node the signal points to.
+func (l Lit) ID() ID { return ID(l >> 1) }
+
+// Comp reports whether the signal is complemented.
+func (l Lit) Comp() bool { return l&1 == 1 }
+
+// Not returns the complemented signal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// NotIf returns the signal complemented when c is true.
+func (l Lit) NotIf(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// String renders the signal as the node ID, prefixed with ~ if complemented.
+func (l Lit) String() string {
+	if l.Comp() {
+		return fmt.Sprintf("~%d", l.ID())
+	}
+	return fmt.Sprintf("%d", l.ID())
+}
+
+type strashKey [3]Lit
+
+// MIG is a majority-inverter graph. Create instances with New.
+type MIG struct {
+	fanin   [][3]Lit // per-node children; unused for terminals
+	numPI   int
+	strash  map[strashKey]ID
+	outputs []Lit
+}
+
+// New returns an MIG with numPIs primary inputs and no gates or outputs.
+func New(numPIs int) *MIG {
+	if numPIs < 0 {
+		panic("mig: negative number of inputs")
+	}
+	m := &MIG{
+		fanin:  make([][3]Lit, 1+numPIs),
+		numPI:  numPIs,
+		strash: make(map[strashKey]ID),
+	}
+	return m
+}
+
+// NumPIs returns the number of primary inputs.
+func (m *MIG) NumPIs() int { return m.numPI }
+
+// NumPOs returns the number of primary outputs.
+func (m *MIG) NumPOs() int { return len(m.outputs) }
+
+// NumNodes returns the total number of nodes including terminals and any
+// dead gates.
+func (m *MIG) NumNodes() int { return len(m.fanin) }
+
+// NumGates returns the total number of gate nodes, including gates no
+// longer reachable from the outputs; Size reports the live count.
+func (m *MIG) NumGates() int { return len(m.fanin) - 1 - m.numPI }
+
+// Input returns the signal of primary input i (0-based).
+func (m *MIG) Input(i int) Lit {
+	if i < 0 || i >= m.numPI {
+		panic(fmt.Sprintf("mig: input %d out of range (have %d)", i, m.numPI))
+	}
+	return MakeLit(ID(i+1), false)
+}
+
+// IsGate reports whether id is a majority gate.
+func (m *MIG) IsGate(id ID) bool { return int(id) > m.numPI && int(id) < len(m.fanin) }
+
+// IsInput reports whether id is a primary input.
+func (m *MIG) IsInput(id ID) bool { return id >= 1 && int(id) <= m.numPI }
+
+// InputIndex returns the 0-based index of the primary input id.
+func (m *MIG) InputIndex(id ID) int {
+	if !m.IsInput(id) {
+		panic(fmt.Sprintf("mig: node %d is not an input", id))
+	}
+	return int(id) - 1
+}
+
+// Fanin returns the three children of gate id.
+func (m *MIG) Fanin(id ID) [3]Lit {
+	if !m.IsGate(id) {
+		panic(fmt.Sprintf("mig: node %d is not a gate", id))
+	}
+	return m.fanin[id]
+}
+
+// Maj returns the signal computing 〈abc〉, creating a gate unless the
+// result simplifies or an equivalent gate already exists.
+func (m *MIG) Maj(a, b, c Lit) Lit {
+	m.checkLit(a)
+	m.checkLit(b)
+	m.checkLit(c)
+	// Sort operands (majority is fully symmetric).
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	// Majority axiom Ω.M: 〈aab〉 = a, 〈aāb〉 = b. After sorting, equal or
+	// complementary literals are adjacent.
+	if a == b || b == c {
+		return b
+	}
+	if a == b.Not() {
+		return c
+	}
+	if b == c.Not() {
+		return a
+	}
+	// Inverter canonicalization via self-duality 〈abc〉 = ¬〈āb̄c̄〉: store
+	// the polarity-minimal version. Flipping complement bits cannot change
+	// the operand order because all IDs are distinct here.
+	neg := false
+	if int(a&1)+int(b&1)+int(c&1) >= 2 {
+		a, b, c = a^1, b^1, c^1
+		neg = true
+	}
+	key := strashKey{a, b, c}
+	if id, ok := m.strash[key]; ok {
+		return MakeLit(id, neg)
+	}
+	id := ID(len(m.fanin))
+	m.fanin = append(m.fanin, [3]Lit{a, b, c})
+	m.strash[key] = id
+	return MakeLit(id, neg)
+}
+
+func (m *MIG) checkLit(l Lit) {
+	if int(l.ID()) >= len(m.fanin) {
+		panic(fmt.Sprintf("mig: literal %v refers to nonexistent node", l))
+	}
+}
+
+// And returns a∧b = 〈0ab〉.
+func (m *MIG) And(a, b Lit) Lit { return m.Maj(Const0, a, b) }
+
+// Or returns a∨b = 〈1ab〉.
+func (m *MIG) Or(a, b Lit) Lit { return m.Maj(Const1, a, b) }
+
+// Xor returns a⊕b, built from three majority gates.
+func (m *MIG) Xor(a, b Lit) Lit {
+	return m.And(m.Or(a, b), m.And(a, b).Not())
+}
+
+// Mux returns s ? a : b.
+func (m *MIG) Mux(s, a, b Lit) Lit {
+	return m.Or(m.And(s, a), m.And(s.Not(), b))
+}
+
+// FullAdder returns (sum, carry) of a+b+cin using the classic 3-gate MIG of
+// Fig. 1 of the paper: carry = 〈a b cin〉 and sum = 〈c̄arry cin 〈a b c̄in〉〉.
+func (m *MIG) FullAdder(a, b, cin Lit) (sum, carry Lit) {
+	carry = m.Maj(a, b, cin)
+	sum = m.Maj(carry.Not(), cin, m.Maj(a, b, cin.Not()))
+	return sum, carry
+}
+
+// AddOutput appends a primary output pointing at l and returns its index.
+func (m *MIG) AddOutput(l Lit) int {
+	m.checkLit(l)
+	m.outputs = append(m.outputs, l)
+	return len(m.outputs) - 1
+}
+
+// Output returns the signal of primary output i.
+func (m *MIG) Output(i int) Lit { return m.outputs[i] }
+
+// Outputs returns the output signals. The slice is owned by the MIG.
+func (m *MIG) Outputs() []Lit { return m.outputs }
+
+// SetOutput redirects primary output i to l.
+func (m *MIG) SetOutput(i int, l Lit) {
+	m.checkLit(l)
+	m.outputs[i] = l
+}
+
+// Size returns the number of majority gates reachable from the outputs —
+// the "size" metric of the paper.
+func (m *MIG) Size() int {
+	seen := make([]bool, len(m.fanin))
+	var stack []ID
+	count := 0
+	for _, o := range m.outputs {
+		if id := o.ID(); m.IsGate(id) && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, ch := range m.fanin[id] {
+			if cid := ch.ID(); m.IsGate(cid) && !seen[cid] {
+				seen[cid] = true
+				stack = append(stack, cid)
+			}
+		}
+	}
+	return count
+}
+
+// Levels returns per-node logic levels: terminals are level 0 and a gate is
+// one more than its deepest child, i.e. depth counts visited gates as in
+// the paper.
+func (m *MIG) Levels() []int {
+	lv := make([]int, len(m.fanin))
+	for id := m.numPI + 1; id < len(m.fanin); id++ {
+		max := 0
+		for _, ch := range m.fanin[id] {
+			if l := lv[ch.ID()]; l > max {
+				max = l
+			}
+		}
+		lv[id] = max + 1
+	}
+	return lv
+}
+
+// Depth returns the maximum output level.
+func (m *MIG) Depth() int {
+	lv := m.Levels()
+	d := 0
+	for _, o := range m.outputs {
+		if l := lv[o.ID()]; l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// FanoutCounts returns, for every node, the number of references from
+// gates that are reachable from the outputs, plus one per primary output
+// pointing at the node.
+func (m *MIG) FanoutCounts() []int {
+	fo := make([]int, len(m.fanin))
+	seen := make([]bool, len(m.fanin))
+	var stack []ID
+	for _, o := range m.outputs {
+		fo[o.ID()]++
+		if id := o.ID(); m.IsGate(id) && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ch := range m.fanin[id] {
+			fo[ch.ID()]++
+			if cid := ch.ID(); m.IsGate(cid) && !seen[cid] {
+				seen[cid] = true
+				stack = append(stack, cid)
+			}
+		}
+	}
+	return fo
+}
+
+// Cleanup returns a compacted copy containing only nodes reachable from the
+// outputs, with the same inputs and outputs (in order), plus the mapping
+// from old signals to new signals for reachable nodes.
+func (m *MIG) Cleanup() (*MIG, map[Lit]Lit) {
+	out := New(m.numPI)
+	lmap := make([]Lit, len(m.fanin)) // old ID -> new plain literal
+	known := make([]bool, len(m.fanin))
+	lmap[0], known[0] = Const0, true
+	for i := 0; i < m.numPI; i++ {
+		lmap[i+1], known[i+1] = out.Input(i), true
+	}
+	var build func(id ID) Lit
+	build = func(id ID) Lit {
+		if known[id] {
+			return lmap[id]
+		}
+		f := m.fanin[id]
+		a := build(f[0].ID()).NotIf(f[0].Comp())
+		b := build(f[1].ID()).NotIf(f[1].Comp())
+		c := build(f[2].ID()).NotIf(f[2].Comp())
+		l := out.Maj(a, b, c)
+		lmap[id], known[id] = l, true
+		return l
+	}
+	sigMap := make(map[Lit]Lit)
+	for _, o := range m.outputs {
+		nl := build(o.ID()).NotIf(o.Comp())
+		out.AddOutput(nl)
+	}
+	for id, ok := range known {
+		if ok {
+			sigMap[MakeLit(ID(id), false)] = lmap[id]
+			sigMap[MakeLit(ID(id), true)] = lmap[id].Not()
+		}
+	}
+	return out, sigMap
+}
+
+// Clone returns a deep copy of the MIG.
+func (m *MIG) Clone() *MIG {
+	c := &MIG{
+		fanin:   append([][3]Lit(nil), m.fanin...),
+		numPI:   m.numPI,
+		strash:  make(map[strashKey]ID, len(m.strash)),
+		outputs: append([]Lit(nil), m.outputs...),
+	}
+	for k, v := range m.strash {
+		c.strash[k] = v
+	}
+	return c
+}
+
+// Stats summarizes an MIG for reporting.
+type Stats struct {
+	PIs, POs, Size, Depth int
+}
+
+// Stats returns the current statistics of the MIG.
+func (m *MIG) Stats() Stats {
+	return Stats{PIs: m.numPI, POs: len(m.outputs), Size: m.Size(), Depth: m.Depth()}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("i/o=%d/%d size=%d depth=%d", s.PIs, s.POs, s.Size, s.Depth)
+}

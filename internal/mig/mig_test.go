@@ -1,0 +1,391 @@
+package mig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mighash/internal/tt"
+)
+
+func TestLitPacking(t *testing.T) {
+	l := MakeLit(5, true)
+	if l.ID() != 5 || !l.Comp() {
+		t.Errorf("MakeLit broken: %v", l)
+	}
+	if l.Not().Comp() || l.Not().ID() != 5 {
+		t.Errorf("Not broken: %v", l.Not())
+	}
+	if l.NotIf(false) != l || l.NotIf(true) != l.Not() {
+		t.Error("NotIf broken")
+	}
+	if Const1 != Const0.Not() {
+		t.Error("constants inconsistent")
+	}
+	if l.String() != "~5" || l.Not().String() != "5" {
+		t.Errorf("String: %q %q", l.String(), l.Not().String())
+	}
+}
+
+func TestTerminals(t *testing.T) {
+	m := New(3)
+	if m.NumPIs() != 3 || m.NumNodes() != 4 || m.NumGates() != 0 {
+		t.Fatalf("fresh MIG wrong: %+v", m.Stats())
+	}
+	for i := 0; i < 3; i++ {
+		in := m.Input(i)
+		if !m.IsInput(in.ID()) || m.InputIndex(in.ID()) != i {
+			t.Errorf("input %d misidentified", i)
+		}
+	}
+	if m.IsGate(0) || m.IsGate(1) {
+		t.Error("terminals classified as gates")
+	}
+}
+
+func TestMajAxioms(t *testing.T) {
+	m := New(3)
+	a, b := m.Input(0), m.Input(1)
+	if got := m.Maj(a, a, b); got != a {
+		t.Errorf("〈aab〉 = %v, want %v", got, a)
+	}
+	if got := m.Maj(a, a.Not(), b); got != b {
+		t.Errorf("〈aāb〉 = %v, want %v", got, b)
+	}
+	if got := m.Maj(Const0, Const1, b); got != b {
+		t.Errorf("〈01b〉 = %v, want %v", got, b)
+	}
+	if got := m.Maj(Const0, Const0, b); got != Const0 {
+		t.Errorf("〈00b〉 = %v, want const 0", got)
+	}
+	if m.NumGates() != 0 {
+		t.Errorf("axiom applications created %d gates", m.NumGates())
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Input(0), m.Input(1), m.Input(2)
+	g1 := m.Maj(a, b, c)
+	g2 := m.Maj(c, a, b) // commutativity
+	if g1 != g2 {
+		t.Error("commutative operands not hashed together")
+	}
+	g3 := m.Maj(a.Not(), b.Not(), c.Not()) // self-duality
+	if g3 != g1.Not() {
+		t.Errorf("self-dual gate not shared: %v vs %v", g3, g1.Not())
+	}
+	if m.NumGates() != 1 {
+		t.Errorf("expected 1 gate, have %d", m.NumGates())
+	}
+}
+
+func TestDerivedOps(t *testing.T) {
+	m := New(2)
+	a, b := m.Input(0), m.Input(1)
+	m.AddOutput(m.And(a, b))
+	m.AddOutput(m.Or(a, b))
+	m.AddOutput(m.Xor(a, b))
+	m.AddOutput(m.Mux(a, b, b.Not()))
+	tts := m.Simulate()
+	x, y := tt.Var(2, 0), tt.Var(2, 1)
+	if tts[0] != x.And(y) {
+		t.Errorf("And = %v", tts[0])
+	}
+	if tts[1] != x.Or(y) {
+		t.Errorf("Or = %v", tts[1])
+	}
+	if tts[2] != x.Xor(y) {
+		t.Errorf("Xor = %v", tts[2])
+	}
+	if tts[3] != tt.Mux(x, y, y.Not()) {
+		t.Errorf("Mux = %v", tts[3])
+	}
+}
+
+// TestFullAdderFig1 reproduces Fig. 1 of the paper: a full adder in three
+// majority gates with depth 2.
+func TestFullAdderFig1(t *testing.T) {
+	m := New(3)
+	a, b, cin := m.Input(0), m.Input(1), m.Input(2)
+	sum, carry := m.FullAdder(a, b, cin)
+	m.AddOutput(sum)
+	m.AddOutput(carry)
+	if got := m.Size(); got != 3 {
+		t.Errorf("full adder size = %d, want 3 (Fig. 1)", got)
+	}
+	if got := m.Depth(); got != 2 {
+		t.Errorf("full adder depth = %d, want 2 (Fig. 1)", got)
+	}
+	tts := m.Simulate()
+	x, y, z := tt.Var(3, 0), tt.Var(3, 1), tt.Var(3, 2)
+	if tts[0] != x.Xor(y).Xor(z) {
+		t.Errorf("sum = %v, want xor3", tts[0])
+	}
+	if tts[1] != tt.Maj(x, y, z) {
+		t.Errorf("carry = %v, want maj", tts[1])
+	}
+}
+
+func TestSizeIgnoresDeadGates(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Input(0), m.Input(1), m.Input(2)
+	m.Maj(a, b, c) // dead gate: never connected to an output
+	live := m.And(a, b)
+	m.AddOutput(live)
+	if m.NumGates() != 2 {
+		t.Fatalf("expected 2 created gates, have %d", m.NumGates())
+	}
+	if m.Size() != 1 {
+		t.Errorf("Size = %d, want 1 (dead gate must not count)", m.Size())
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	m := New(4)
+	l1 := m.And(m.Input(0), m.Input(1))
+	l2 := m.And(l1, m.Input(2))
+	l3 := m.And(l2, m.Input(3))
+	m.AddOutput(l3)
+	if got := m.Depth(); got != 3 {
+		t.Errorf("chain depth = %d, want 3", got)
+	}
+	lv := m.Levels()
+	if lv[l1.ID()] != 1 || lv[l2.ID()] != 2 || lv[l3.ID()] != 3 {
+		t.Errorf("levels wrong: %v", lv)
+	}
+}
+
+func TestFanoutCounts(t *testing.T) {
+	m := New(2)
+	a, b := m.Input(0), m.Input(1)
+	g := m.And(a, b)
+	h := m.Or(g, a)
+	m.AddOutput(h)
+	m.AddOutput(g.Not())
+	fo := m.FanoutCounts()
+	if fo[g.ID()] != 2 { // used by h and by an output
+		t.Errorf("fanout of g = %d, want 2", fo[g.ID()])
+	}
+	if fo[a.ID()] != 2 {
+		t.Errorf("fanout of a = %d, want 2", fo[a.ID()])
+	}
+}
+
+func TestCleanupDropsDeadNodes(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Input(0), m.Input(1), m.Input(2)
+	m.Maj(a, b, c)           // dead
+	m.And(m.Maj(a, b, c), c) // dead
+	out := m.Xor(a, b)       // live, 3 gates
+	m.AddOutput(out.Not())
+	clean, smap := m.Cleanup()
+	if clean.Size() != 3 || clean.NumGates() != 3 {
+		t.Errorf("cleanup kept %d gates, want 3", clean.NumGates())
+	}
+	if clean.NumPIs() != 3 || clean.NumPOs() != 1 {
+		t.Error("cleanup changed the interface")
+	}
+	want := m.Simulate()
+	got := clean.Simulate()
+	if want[0] != got[0] {
+		t.Error("cleanup changed the function")
+	}
+	if nl, ok := smap[out]; !ok || nl != clean.Output(0).Not() {
+		t.Error("signal map inconsistent")
+	}
+}
+
+func TestSimulateWordsAgainstTT(t *testing.T) {
+	m := New(4)
+	f := m.Maj(m.Xor(m.Input(0), m.Input(1)), m.Input(2), m.And(m.Input(3), m.Input(0)))
+	m.AddOutput(f)
+	want := m.Simulate()[0]
+	inputs := make([]uint64, 4)
+	for i := range inputs {
+		inputs[i] = tt.Var(4, i).Bits // the 16 exhaustive patterns
+	}
+	got := m.SimulateWords(inputs)[0] & tt.Mask(4)
+	if got != want.Bits {
+		t.Errorf("word simulation %#x != tt simulation %v", got, want)
+	}
+}
+
+func TestEvalBits(t *testing.T) {
+	m := New(3)
+	s, c := m.FullAdder(m.Input(0), m.Input(1), m.Input(2))
+	m.AddOutput(s)
+	m.AddOutput(c)
+	for a := 0; a < 8; a++ {
+		in := []bool{a&1 == 1, a&2 == 2, a&4 == 4}
+		got := m.EvalBits(in)
+		n := a&1 + a>>1&1 + a>>2&1
+		if got[0] != (n&1 == 1) || got[1] != (n >= 2) {
+			t.Fatalf("EvalBits(%03b) = %v", a, got)
+		}
+	}
+}
+
+func TestConeTT(t *testing.T) {
+	m := New(4)
+	a, b, c, d := m.Input(0), m.Input(1), m.Input(2), m.Input(3)
+	g := m.And(a, b)
+	h := m.Or(g, c)
+	top := m.Xor(h, d)
+	m.AddOutput(top)
+	// Cone of h with leaves {g, c}: local function is x0 | x1.
+	local := m.ConeTT(h, []ID{g.ID(), c.ID()})
+	if local != tt.Var(2, 0).Or(tt.Var(2, 1)) {
+		t.Errorf("cone function = %v", local)
+	}
+	// Whole cone of top over the inputs.
+	full := m.ConeTT(top, []ID{a.ID(), b.ID(), c.ID(), d.ID()})
+	if full != m.Simulate()[0] {
+		t.Error("full cone disagrees with simulation")
+	}
+}
+
+func TestConeTTPanicsOnEscape(t *testing.T) {
+	m := New(2)
+	g := m.And(m.Input(0), m.Input(1))
+	m.AddOutput(g)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for an escaping cone")
+		}
+	}()
+	m.ConeTT(g, []ID{m.Input(0).ID()}) // missing input 1
+}
+
+func TestFFRRoots(t *testing.T) {
+	m := New(4)
+	a, b, c, d := m.Input(0), m.Input(1), m.Input(2), m.Input(3)
+	shared := m.And(a, b) // fanout 2 -> own region root
+	u := m.Or(shared, c)  // single fanout -> belongs to top's region
+	v := m.And(shared, d) // single fanout -> belongs to top's region
+	top := m.Maj(u, v, a) // output root
+	m.AddOutput(top)
+	roots := m.FFRRoots()
+	if roots[shared.ID()] != shared.ID() {
+		t.Errorf("multi-fanout node should be its own root, got %d", roots[shared.ID()])
+	}
+	if roots[u.ID()] != top.ID() || roots[v.ID()] != top.ID() {
+		t.Errorf("single-fanout nodes should chain to top: %d %d", roots[u.ID()], roots[v.ID()])
+	}
+	groups := m.FFRMembers()
+	if len(groups[top.ID()]) != 3 { // u, v, top
+		t.Errorf("top region has %d members, want 3", len(groups[top.ID()]))
+	}
+	if len(groups[shared.ID()]) != 1 {
+		t.Errorf("shared region has %d members, want 1", len(groups[shared.ID()]))
+	}
+}
+
+func TestConeIsReplaceable(t *testing.T) {
+	m := New(4)
+	a, b, c, d := m.Input(0), m.Input(1), m.Input(2), m.Input(3)
+	inner := m.And(a, b)
+	top := m.Or(inner, c)
+	other := m.Xor(inner, d) // gives inner external fanout
+	m.AddOutput(top)
+	m.AddOutput(other)
+	fo := m.FanoutCounts()
+	leaves := []ID{a.ID(), b.ID(), c.ID()}
+	if m.ConeIsReplaceable(top.ID(), leaves, fo) {
+		t.Error("cone with escaping internal fanout reported replaceable")
+	}
+	// Without the second output the cone becomes replaceable.
+	m2 := New(4)
+	a2, b2, c2 := m2.Input(0), m2.Input(1), m2.Input(2)
+	inner2 := m2.And(a2, b2)
+	top2 := m2.Or(inner2, c2)
+	m2.AddOutput(top2)
+	fo2 := m2.FanoutCounts()
+	if !m2.ConeIsReplaceable(top2.ID(), []ID{a2.ID(), b2.ID(), c2.ID()}, fo2) {
+		t.Error("clean cone reported non-replaceable")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(2)
+	m.AddOutput(m.And(m.Input(0), m.Input(1)))
+	c := m.Clone()
+	c.AddOutput(c.Or(c.Input(0), c.Input(1)))
+	if m.NumPOs() != 1 || c.NumPOs() != 2 {
+		t.Error("clone shares state with original")
+	}
+	if m.Simulate()[0] != c.Simulate()[0] {
+		t.Error("clone changed existing function")
+	}
+}
+
+// randomMIG builds a random MIG over n inputs with g gates for fuzzing.
+func randomMIG(rng *rand.Rand, n, g, outs int) *MIG {
+	m := New(n)
+	sigs := []Lit{Const0}
+	for i := 0; i < n; i++ {
+		sigs = append(sigs, m.Input(i))
+	}
+	for i := 0; i < g; i++ {
+		pick := func() Lit {
+			return sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(2) == 1)
+		}
+		sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+	}
+	for i := 0; i < outs; i++ {
+		m.AddOutput(sigs[len(sigs)-1-rng.Intn(minInt(len(sigs), 5))].NotIf(rng.Intn(2) == 1))
+	}
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCleanupPreservesFunctionFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		m := randomMIG(rng, 5, 30, 3)
+		clean, _ := m.Cleanup()
+		want := m.Simulate()
+		got := clean.Simulate()
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: cleanup changed output %d", trial, i)
+			}
+		}
+		if clean.Size() > m.Size() {
+			t.Fatalf("trial %d: cleanup grew the MIG", trial)
+		}
+	}
+}
+
+func TestStrashNormalFormProperty(t *testing.T) {
+	// Any way of writing the same majority over the same three signals must
+	// return the identical literal.
+	f := func(perm uint8, comps uint8) bool {
+		m := New(3)
+		base := [3]Lit{m.Input(0), m.Input(1), m.Input(2)}
+		ref := m.Maj(base[0], base[1], base[2])
+		p := Perms3[perm%6]
+		a := base[p[0]]
+		b := base[p[1]]
+		c := base[p[2]]
+		// Complement all three: self-dual, must give ref.Not().
+		if comps&1 == 1 {
+			a, b, c = a.Not(), b.Not(), c.Not()
+			return m.Maj(a, b, c) == ref.Not()
+		}
+		return m.Maj(a, b, c) == ref
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Perms3 lists the six permutations of three elements (exported for reuse
+// in other tests of this package).
+var Perms3 = [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}

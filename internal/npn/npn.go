@@ -1,0 +1,286 @@
+// Package npn implements exact NPN classification of Boolean functions.
+//
+// Two functions are NPN-equivalent when one can be obtained from the other
+// by Negating inputs, Permuting inputs, and/or Negating the output (Sec.
+// II-D of the paper). NPN equivalence partitions the 2^2^n functions of n
+// variables into a small number of classes — 2, 4, 14 and 222 classes for
+// n = 1..4 — and the size of a minimum MIG is invariant within a class, so
+// the functional-hashing database only needs one optimal MIG per class.
+//
+// Following the paper, the representative of a class is the function whose
+// truth table, read as a 2^n-bit binary number, is smallest.
+//
+// A Transform T describes one NPN manipulation. Apply(T, f) evaluates
+//
+//	g(x_0, …, x_{n-1}) = f(u_0, …, u_{n-1}) ⊕ NegOut,  u_j = x_{Perm[j]} ⊕ Flip_j,
+//
+// that is, input j of f is driven by variable Perm[j] of g, complemented
+// when bit j of Flip is set. This "wiring" form is exactly what is needed
+// to instantiate a database MIG on the leaves of a cut.
+package npn
+
+import (
+	"fmt"
+	"sync"
+
+	"mighash/internal/tt"
+)
+
+// Transform is one NPN transformation over N variables. See the package
+// comment for the semantics of Apply.
+type Transform struct {
+	N      int
+	Perm   [tt.MaxVars]int // Perm[j]: g-variable feeding input j of f
+	Flip   uint8           // bit j: input j of f is complemented
+	NegOut bool            // the output of f is complemented
+}
+
+// Identity returns the identity transform over n variables.
+func Identity(n int) Transform {
+	var t Transform
+	t.N = n
+	for i := 0; i < n; i++ {
+		t.Perm[i] = i
+	}
+	return t
+}
+
+// Apply computes the truth table of Apply(T, f) as defined in the package
+// comment. f must have T.N variables.
+func (t Transform) Apply(f tt.TT) tt.TT {
+	if f.N != t.N {
+		panic(fmt.Sprintf("npn: transform over %d variables applied to %d-variable function", t.N, f.N))
+	}
+	var out uint64
+	n := uint(t.N)
+	for x := uint(0); x < uint(1)<<n; x++ {
+		var u uint
+		for j := uint(0); j < n; j++ {
+			bit := (x >> uint(t.Perm[j])) & 1
+			bit ^= uint(t.Flip>>j) & 1
+			u |= bit << j
+		}
+		v := (f.Bits >> u) & 1
+		if t.NegOut {
+			v ^= 1
+		}
+		out |= uint64(v) << x
+	}
+	return tt.TT{Bits: out, N: t.N}
+}
+
+// Inverse returns the transform S with Apply(S, Apply(T, f)) = f for all f.
+func (t Transform) Inverse() Transform {
+	inv := Transform{N: t.N, NegOut: t.NegOut}
+	for j := 0; j < t.N; j++ {
+		inv.Perm[t.Perm[j]] = j
+	}
+	for i := 0; i < t.N; i++ {
+		if t.Flip>>uint(inv.Perm[i])&1 == 1 {
+			inv.Flip |= 1 << uint(i)
+		}
+	}
+	return inv
+}
+
+// String renders the transform in a compact human-readable form.
+func (t Transform) String() string {
+	s := "perm("
+	for i := 0; i < t.N; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprint(t.Perm[i])
+	}
+	s += fmt.Sprintf(") flip=%0*b", t.N, t.Flip)
+	if t.NegOut {
+		s += " negout"
+	}
+	return s
+}
+
+// Perms returns all permutations of 0..n-1 in lexicographic order.
+func Perms(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(prefix []int, rest []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i, v := range rest {
+			nr := make([]int, 0, len(rest)-1)
+			nr = append(nr, rest[:i]...)
+			nr = append(nr, rest[i+1:]...)
+			rec(append(prefix, v), nr)
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rec(nil, idx)
+	return out
+}
+
+// All returns every NPN transform over n variables: 2·2^n·n! in total
+// (for n = 4 that is 768). The order is deterministic.
+func All(n int) []Transform {
+	perms := Perms(n)
+	out := make([]Transform, 0, len(perms)<<uint(n+1))
+	for _, p := range perms {
+		var base Transform
+		base.N = n
+		copy(base.Perm[:], p)
+		for flip := 0; flip < 1<<uint(n); flip++ {
+			base.Flip = uint8(flip)
+			base.NegOut = false
+			out = append(out, base)
+			base.NegOut = true
+			out = append(out, base)
+		}
+	}
+	return out
+}
+
+// Canonize returns the NPN class representative rep of f together with a
+// transform T such that Apply(T, rep) = f. The representative is the
+// minimum truth-table value over the whole class. For n = 4 a precomputed
+// table makes this O(1); other arities fall back to explicit enumeration.
+func Canonize(f tt.TT) (rep tt.TT, t Transform) {
+	if f.N == 4 {
+		e := table4()[f.Bits&0xFFFF]
+		return tt.New(4, uint64(e.rep)), transforms4()[e.tid]
+	}
+	return canonizeSlow(f)
+}
+
+func canonizeSlow(f tt.TT) (tt.TT, Transform) {
+	best := f
+	bestT := Identity(f.N)
+	for _, t := range All(f.N) {
+		g := t.Apply(f)
+		if g.Bits < best.Bits {
+			best = g
+			bestT = t
+		}
+	}
+	// bestT maps f to the representative; the caller wants the opposite
+	// direction (instantiate f from the representative).
+	return best, bestT.Inverse()
+}
+
+// Classes returns the truth tables of all NPN class representatives over n
+// variables, in increasing truth-table order. It panics for n > 4, where
+// exhaustive enumeration is impractical (Sec. IV of the paper).
+func Classes(n int) []tt.TT {
+	if n > 4 {
+		panic("npn: exhaustive class enumeration is only supported for n <= 4")
+	}
+	if n == 4 {
+		reps := classReps4()
+		out := make([]tt.TT, len(reps))
+		for i, r := range reps {
+			out[i] = tt.New(4, uint64(r))
+		}
+		return out
+	}
+	size := 1 << (1 << uint(n))
+	seen := make([]bool, size)
+	var out []tt.TT
+	all := All(n)
+	for v := 0; v < size; v++ {
+		if seen[v] {
+			continue
+		}
+		f := tt.New(n, uint64(v))
+		out = append(out, f)
+		for _, t := range all {
+			seen[t.Apply(f).Bits] = true
+		}
+	}
+	return out
+}
+
+// entry4 is one row of the 4-variable lookup table: the class
+// representative of the function and the index (into transforms4) of a
+// transform T with Apply(T, rep) = f.
+type entry4 struct {
+	rep uint16
+	tid uint16
+}
+
+var (
+	tbl4Once  sync.Once
+	tbl4      []entry4
+	tbl4Reps  []uint16
+	tbl4Trans []Transform
+	tbl4Sizes map[uint16]int
+)
+
+func buildTable4() {
+	tbl4Trans = All(4)
+	tbl4 = make([]entry4, 1<<16)
+	present := make([]bool, 1<<16)
+	for v := 0; v < 1<<16; v++ {
+		if present[v] {
+			continue
+		}
+		// v is unseen and we scan in increasing order, so it is the
+		// smallest truth table of its class: the representative.
+		tbl4Reps = append(tbl4Reps, uint16(v))
+		rep := tt.New(4, uint64(v))
+		for tid, t := range tbl4Trans {
+			g := t.Apply(rep)
+			if !present[g.Bits] {
+				present[g.Bits] = true
+				tbl4[g.Bits] = entry4{rep: uint16(v), tid: uint16(tid)}
+			}
+		}
+	}
+	tbl4Sizes = make(map[uint16]int, len(tbl4Reps))
+	for v := 0; v < 1<<16; v++ {
+		tbl4Sizes[tbl4[v].rep]++
+	}
+}
+
+// ClassSize4 returns the number of 4-variable functions in the NPN class
+// of f. The sizes over all 222 classes sum to 2^16.
+func ClassSize4(f tt.TT) int {
+	if f.N != 4 {
+		panic("npn: ClassSize4 requires a 4-variable function")
+	}
+	tbl4Once.Do(buildTable4)
+	return tbl4Sizes[uint16(table4()[f.Bits&0xFFFF].rep)]
+}
+
+func table4() []entry4 {
+	tbl4Once.Do(buildTable4)
+	return tbl4
+}
+
+func classReps4() []uint16 {
+	tbl4Once.Do(buildTable4)
+	return tbl4Reps
+}
+
+func transforms4() []Transform {
+	tbl4Once.Do(buildTable4)
+	return tbl4Trans
+}
+
+// NumClasses4 returns the number of NPN classes of 4-variable functions
+// (222, per Sec. II-D of the paper).
+func NumClasses4() int { return len(classReps4()) }
+
+// ClassOf4 returns the representative truth table of the class of the
+// 4-variable function f.
+func ClassOf4(f tt.TT) tt.TT {
+	if f.N != 4 {
+		panic("npn: ClassOf4 requires a 4-variable function")
+	}
+	return tt.New(4, uint64(table4()[f.Bits&0xFFFF].rep))
+}

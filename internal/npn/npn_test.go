@@ -1,0 +1,206 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mighash/internal/tt"
+)
+
+func TestIdentityApply(t *testing.T) {
+	f := tt.New(4, 0xBEEF)
+	if got := Identity(4).Apply(f); got != f {
+		t.Errorf("identity transform changed %v to %v", f, got)
+	}
+}
+
+func TestApplyOutputNegation(t *testing.T) {
+	f := tt.New(3, 0xE8)
+	tr := Identity(3)
+	tr.NegOut = true
+	if got := tr.Apply(f); got != f.Not() {
+		t.Errorf("output negation: got %v, want %v", got, f.Not())
+	}
+}
+
+func TestApplyInputFlip(t *testing.T) {
+	f := tt.New(4, 0x8000) // AND of four variables
+	tr := Identity(4)
+	tr.Flip = 0b0010
+	got := tr.Apply(f)
+	// AND with x1 complemented is true only at assignment 1101 = 13.
+	if got.Bits != 1<<13 {
+		t.Errorf("input flip: got %v", got)
+	}
+}
+
+func TestApplyPermutation(t *testing.T) {
+	// f = x0 AND (NOT x1): permuting inputs 0<->1 must give x1 AND (NOT x0).
+	f := tt.Var(2, 0).And(tt.Var(2, 1).Not())
+	tr := Identity(2)
+	tr.Perm[0], tr.Perm[1] = 1, 0
+	want := tt.Var(2, 1).And(tt.Var(2, 0).Not())
+	if got := tr.Apply(f); got != want {
+		t.Errorf("permutation: got %v, want %v", got, want)
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	for n, want := range map[int]int{1: 4, 2: 16, 3: 96, 4: 768} {
+		if got := len(All(n)); got != want {
+			t.Errorf("len(All(%d)) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPerms(t *testing.T) {
+	p := Perms(3)
+	if len(p) != 6 {
+		t.Fatalf("Perms(3) has %d entries", len(p))
+	}
+	seen := map[[3]int]bool{}
+	for _, perm := range p {
+		var k [3]int
+		copy(k[:], perm)
+		if seen[k] {
+			t.Errorf("duplicate permutation %v", perm)
+		}
+		seen[k] = true
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(bits uint16, tid uint16) bool {
+		all := All(4)
+		tr := all[int(tid)%len(all)]
+		fn := tt.New(4, uint64(bits))
+		inv := tr.Inverse()
+		return inv.Apply(tr.Apply(fn)) == fn && tr.Apply(inv.Apply(fn)) == fn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonizeDirection(t *testing.T) {
+	// Canonize(f) returns (rep, T) with Apply(T, rep) == f.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		f := tt.New(4, uint64(rng.Intn(1<<16)))
+		rep, tr := Canonize(f)
+		if got := tr.Apply(rep); got != f {
+			t.Fatalf("Canonize(%v): Apply(T, %v) = %v, want %v", f, rep, got, f)
+		}
+		if rep.Bits > f.Bits {
+			t.Fatalf("representative %v larger than member %v", rep, f)
+		}
+	}
+}
+
+func TestCanonizeSlowAgreesWithTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		f := tt.New(4, uint64(rng.Intn(1<<16)))
+		repFast, _ := Canonize(f)
+		repSlow, trSlow := canonizeSlow(f)
+		if repFast != repSlow {
+			t.Fatalf("table rep %v != enumerated rep %v for %v", repFast, repSlow, f)
+		}
+		if got := trSlow.Apply(repSlow); got != f {
+			t.Fatalf("slow transform direction broken for %v", f)
+		}
+	}
+}
+
+func TestClassCountsMatchPaper(t *testing.T) {
+	// Sec. II-D: 2, 4, 14, 222 NPN classes for n = 1..4.
+	for n, want := range map[int]int{0: 1, 1: 2, 2: 4, 3: 14} {
+		if got := len(Classes(n)); got != want {
+			t.Errorf("Classes(%d) = %d classes, want %d", n, got, want)
+		}
+	}
+	if got := NumClasses4(); got != 222 {
+		t.Errorf("NumClasses4() = %d, want 222", got)
+	}
+	if got := len(Classes(4)); got != 222 {
+		t.Errorf("len(Classes(4)) = %d, want 222", got)
+	}
+}
+
+func TestClassOf4Consistency(t *testing.T) {
+	// Every member of a class must canonize to the same representative,
+	// and the representative canonizes to itself.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		f := tt.New(4, uint64(rng.Intn(1<<16)))
+		rep := ClassOf4(f)
+		if ClassOf4(rep) != rep {
+			t.Fatalf("representative %v not a fixed point", rep)
+		}
+		// Apply a random transform: class must not change.
+		all := All(4)
+		tr := all[rng.Intn(len(all))]
+		if got := ClassOf4(tr.Apply(f)); got != rep {
+			t.Fatalf("transforming %v changed class from %v to %v", f, rep, got)
+		}
+	}
+}
+
+func TestClassFunctionTotals(t *testing.T) {
+	// The orbits of the 222 classes must partition all 65536 functions.
+	total := 0
+	counted := make(map[uint64]bool)
+	for _, rep := range Classes(4) {
+		for _, tr := range All(4) {
+			g := tr.Apply(rep)
+			if !counted[g.Bits] {
+				counted[g.Bits] = true
+				total++
+			}
+		}
+	}
+	if total != 1<<16 {
+		t.Errorf("class orbits cover %d functions, want 65536", total)
+	}
+}
+
+func TestKnownRepresentatives(t *testing.T) {
+	// Constant zero is its own representative; so is the 2-input AND
+	// embedded in 4 variables (0x8888 canonizes to the smallest AND-like
+	// table 0x0888? — verify only invariants that are certain:
+	// the constant class and that x0*x1 is in a one-node class with 0x7888's
+	// family is checked elsewhere via exact synthesis).
+	zero := tt.Const0(4)
+	rep, _ := Canonize(zero)
+	if !rep.IsConst0() {
+		t.Errorf("constant 0 canonizes to %v", rep)
+	}
+	one := tt.Const1(4)
+	rep1, _ := Canonize(one)
+	if !rep1.IsConst0() {
+		t.Errorf("constant 1 should share the constant class, got %v", rep1)
+	}
+}
+
+func TestCanonizeNonFourVar(t *testing.T) {
+	f := tt.Var(3, 0).Xor(tt.Var(3, 1)).Xor(tt.Var(3, 2))
+	rep, tr := Canonize(f)
+	if tr.Apply(rep) != f {
+		t.Error("3-variable canonization direction broken")
+	}
+}
+
+func BenchmarkCanonize4(b *testing.B) {
+	Canonize(tt.New(4, 0x1ee1)) // force table construction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Canonize(tt.New(4, uint64(i&0xFFFF)))
+	}
+}
+
+func BenchmarkCanonizeSlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		canonizeSlow(tt.New(4, uint64(i&0xFFFF)))
+	}
+}

@@ -1,0 +1,321 @@
+// Package rewrite implements the paper's primary contribution: MIG size
+// optimization by functional hashing (Sec. IV). Every 4-feasible cut of
+// the graph is NPN-canonicalized and, when profitable, replaced by the
+// precomputed minimum MIG of its class.
+//
+// Both traversal orders of the paper are provided — the top-down greedy
+// Algorithm 1 and the bottom-up dynamic-programming Algorithm 2 — together
+// with the two orthogonal options discussed in Sec. IV: restricting the
+// rewriting to fanout-free regions (Sec. IV-C) and the depth-preserving
+// heuristic. The five variant acronyms of the experimental section (TF, T,
+// TFD, TD, BF) are predefined.
+package rewrite
+
+import (
+	"fmt"
+	"time"
+
+	"mighash/internal/cut"
+	"mighash/internal/db"
+	"mighash/internal/mig"
+)
+
+// Options selects and tunes a functional-hashing variant.
+type Options struct {
+	// BottomUp switches from the top-down greedy Algorithm 1 to the
+	// bottom-up dynamic-programming Algorithm 2. Bottom-up rewriting
+	// requires FFR (candidate lists are only sound inside a fanout-free
+	// region, where intermediate results have a single consumer).
+	BottomUp bool
+	// FFR partitions the graph into fanout-free regions first and rewrites
+	// each region in isolation (Sec. IV-C).
+	FFR bool
+	// DepthPreserve discards cuts whose replacement would increase the
+	// arrival time of the root (the paper's depth heuristic; variants
+	// TD/TFD). The check is arrival-accurate: each leaf's level plus the
+	// matching leaf depth of the minimum MIG is compared against the
+	// root's current level, which also catches the individual-path
+	// enlargement the paper warns about.
+	DepthPreserve bool
+	// AllowZeroGain also applies replacements with zero size gain when
+	// they locally reduce depth. Off in the paper's variants; used by the
+	// ablation benchmarks.
+	AllowZeroGain bool
+
+	// MaxCuts caps the per-node cut sets (default 24).
+	MaxCuts int
+	// MaxCandidates caps the bottom-up candidate lists (default 8),
+	// mirroring priority cuts in technology mapping.
+	MaxCandidates int
+	// PerLeafCandidates caps how many candidates of each cut leaf are
+	// combined in Algorithm 2 line 7 (default 2).
+	PerLeafCandidates int
+}
+
+// The paper's five experiment variants (Sec. V, Tables III and IV).
+var (
+	TF  = Options{FFR: true}
+	T   = Options{}
+	TFD = Options{FFR: true, DepthPreserve: true}
+	TD  = Options{DepthPreserve: true}
+	BF  = Options{BottomUp: true, FFR: true}
+)
+
+// VariantName returns the paper's acronym for o, or a descriptive string
+// for non-paper configurations.
+func VariantName(o Options) string {
+	switch {
+	case o.BottomUp && o.FFR && !o.DepthPreserve:
+		return "BF"
+	case o.BottomUp:
+		return "B?"
+	case o.FFR && o.DepthPreserve:
+		return "TFD"
+	case o.FFR:
+		return "TF"
+	case o.DepthPreserve:
+		return "TD"
+	default:
+		return "T"
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCuts == 0 {
+		o.MaxCuts = 24
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 8
+	}
+	if o.PerLeafCandidates == 0 {
+		o.PerLeafCandidates = 2
+	}
+	return o
+}
+
+// Stats reports one rewriting pass.
+type Stats struct {
+	Variant                 string
+	SizeBefore, SizeAfter   int
+	DepthBefore, DepthAfter int
+	Replacements            int // cuts replaced by database MIGs
+	Elapsed                 time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: size %d→%d, depth %d→%d, %d replacements, %v",
+		s.Variant, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter, s.Replacements, s.Elapsed)
+}
+
+// Run applies one functional-hashing pass over m and returns the optimized
+// MIG (a fresh graph; m is unchanged). The database provides the minimum
+// representations; db.MustLoad() supplies the embedded one.
+func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
+	opt = opt.withDefaults()
+	if opt.BottomUp && !opt.FFR {
+		panic("rewrite: bottom-up rewriting requires fanout-free-region partitioning")
+	}
+	start := time.Now()
+	r := &rewriter{
+		m:         m,
+		d:         d,
+		opt:       opt,
+		cuts:      cut.Enumerate(m, cut.Options{K: 4, MaxCuts: opt.MaxCuts}),
+		fo:        m.FanoutCounts(),
+		out:       mig.New(m.NumPIs()),
+		oldLevels: m.Levels(),
+	}
+	if opt.FFR {
+		r.ffr = m.FFRRoots()
+	}
+	if opt.BottomUp {
+		r.runBottomUp()
+	} else {
+		r.runTopDown()
+	}
+	res, _ := r.out.Cleanup()
+	st := Stats{
+		Variant:      VariantName(opt),
+		SizeBefore:   m.Size(),
+		SizeAfter:    res.Size(),
+		DepthBefore:  m.Depth(),
+		DepthAfter:   res.Depth(),
+		Replacements: r.replacements,
+		Elapsed:      time.Since(start),
+	}
+	return res, st
+}
+
+// rewriter carries the shared state of one pass.
+type rewriter struct {
+	m    *mig.MIG
+	d    *db.DB
+	opt  Options
+	cuts [][]cut.Cut
+	fo   []int
+	ffr  []mig.ID // FFR root per node (nil when not partitioning)
+	out  *mig.MIG
+
+	oldLevels []int // levels in the input graph, for the depth heuristic
+
+	levels       []int // level of every node in out (maintained on creation)
+	replacements int
+}
+
+// addMaj creates a majority gate in the output graph, keeping the level
+// array in sync so candidate depths are available without re-traversal.
+func (r *rewriter) addMaj(a, b, c mig.Lit) mig.Lit {
+	l := r.out.Maj(a, b, c)
+	r.growLevels()
+	return l
+}
+
+func (r *rewriter) growLevels() {
+	for len(r.levels) < r.out.NumNodes() {
+		id := mig.ID(len(r.levels))
+		lvl := 0
+		if r.out.IsGate(id) {
+			for _, ch := range r.out.Fanin(id) {
+				if l := r.levels[ch.ID()]; l >= lvl {
+					lvl = l + 1
+				}
+			}
+		}
+		r.levels = append(r.levels, lvl)
+	}
+}
+
+func (r *rewriter) level(l mig.Lit) int {
+	r.growLevels()
+	return r.levels[l.ID()]
+}
+
+// candidateCut is one admissible replacement for a node.
+type candidateCut struct {
+	leaves []mig.ID
+	entry  *db.Entry
+	tr     transformRef
+	gain   int
+	depth  int // structural depth of the replacement
+}
+
+// transformRef avoids importing npn here twice; see lookup.
+type transformRef struct {
+	perm   [4]int
+	flip   uint8
+	negOut bool
+}
+
+// lookup canonicalizes the cone function of (v, leaves) and returns the
+// database entry plus instantiation data, or nil when the class is absent.
+func (r *rewriter) lookup(v mig.ID, leaves []mig.ID) (*db.Entry, transformRef) {
+	f := r.m.ConeTT(mig.MakeLit(v, false), leaves).Expand(4)
+	e, t, ok := r.d.Lookup(f)
+	if !ok {
+		return nil, transformRef{}
+	}
+	var tr transformRef
+	for j := 0; j < 4; j++ {
+		tr.perm[j] = t.Perm[j]
+	}
+	tr.flip = t.Flip
+	tr.negOut = t.NegOut
+	return e, tr
+}
+
+// instantiate builds the entry over the given leaf signals (padded to 4
+// with constant 0) in the output graph.
+func (r *rewriter) instantiate(e *db.Entry, tr transformRef, leafSigs []mig.Lit) mig.Lit {
+	var padded [4]mig.Lit
+	copy(padded[:], leafSigs)
+	sig := make([]mig.Lit, 5+e.Size())
+	sig[0] = mig.Const0
+	for j := 0; j < 4; j++ {
+		sig[1+j] = padded[tr.perm[j]].NotIf(tr.flip>>uint(j)&1 == 1)
+	}
+	at := func(l mig.Lit) mig.Lit { return sig[l.ID()].NotIf(l.Comp()) }
+	for l, g := range e.Gates {
+		sig[5+l] = r.addMaj(at(g[0]), at(g[1]), at(g[2]))
+	}
+	return at(e.Out).NotIf(tr.negOut)
+}
+
+// coneAdmissible reports whether the cone of v bounded by leaves may be
+// replaced under the current options, and returns its internal gates.
+func (r *rewriter) coneAdmissible(v mig.ID, leaves []mig.ID) ([]mig.ID, bool) {
+	nodes := r.m.ConeNodes(v, leaves)
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	if r.ffr != nil {
+		// Sec. IV-C: every internal gate must live in v's fanout-free
+		// region; the region structure then guarantees replaceability.
+		root := r.ffr[v]
+		for _, id := range nodes {
+			if r.ffr[id] != root {
+				return nil, false
+			}
+		}
+		return nodes, true
+	}
+	// Whole-graph mode: exclude cuts whose internal gates have fanout that
+	// escapes the cone ("not to include them when enumerating cuts").
+	if !r.m.ConeIsReplaceable(v, leaves, r.fo) {
+		return nil, false
+	}
+	return nodes, true
+}
+
+// arrivalOf predicts the level of the cut root after replacement: every
+// representative input j of the entry is driven by leaves[t.Perm[j]], so
+// the root arrives LeafDepth[j] gates after that leaf.
+func (r *rewriter) arrivalOf(e *db.Entry, tr transformRef, leaves []mig.ID) int {
+	arr := 0
+	for j := 0; j < 4; j++ {
+		ld := e.LeafDepth[j]
+		if ld < 0 || tr.perm[j] >= len(leaves) {
+			continue // unused input or constant-padded position
+		}
+		if a := r.oldLevels[leaves[tr.perm[j]]] + ld; a > arr {
+			arr = a
+		}
+	}
+	return arr
+}
+
+// bestCut evaluates all admissible cuts of v and returns the most
+// profitable replacement under the current options, or nil.
+func (r *rewriter) bestCut(v mig.ID) *candidateCut {
+	var best *candidateCut
+	for i := range r.cuts[v] {
+		c := &r.cuts[v][i]
+		if c.N == 1 && c.L[0] == v {
+			continue // trivial cut: replaces nothing
+		}
+		leaves := c.Leaves()
+		nodes, ok := r.coneAdmissible(v, leaves)
+		if !ok {
+			continue
+		}
+		e, tr := r.lookup(v, leaves)
+		if e == nil {
+			continue
+		}
+		gain := len(nodes) - e.Size()
+		if gain < 0 || (gain == 0 && !r.opt.AllowZeroGain) {
+			continue
+		}
+		if r.opt.DepthPreserve && r.arrivalOf(e, tr, leaves) > r.oldLevels[v] {
+			continue
+		}
+		if gain == 0 && r.arrivalOf(e, tr, leaves) >= r.oldLevels[v] {
+			continue // zero-gain replacements must at least reduce arrival
+		}
+		cand := &candidateCut{leaves: leaves, entry: e, tr: tr, gain: gain, depth: e.Depth}
+		if best == nil || cand.gain > best.gain ||
+			(cand.gain == best.gain && cand.depth < best.depth) {
+			best = cand
+		}
+	}
+	return best
+}

@@ -1,0 +1,48 @@
+package rewrite
+
+import "mighash/internal/mig"
+
+// runTopDown implements Algorithm 1 of the paper. Starting from every
+// output, opt(v) looks for the cut of v whose replacement by its minimum
+// representation yields the largest size reduction; if one exists the
+// internal nodes of the cone are skipped and optimization recurs on the
+// cut leaves, otherwise it recurs on the fanins of v. Results are
+// memoized, which is what makes the recursion well-defined on a DAG: a
+// node shared by several outputs or cones is rebuilt exactly once.
+func (r *rewriter) runTopDown() {
+	known := make([]bool, r.m.NumNodes())
+	res := make([]mig.Lit, r.m.NumNodes())
+	res[0], known[0] = mig.Const0, true
+	for i := 0; i < r.m.NumPIs(); i++ {
+		id := r.m.Input(i).ID()
+		res[id], known[id] = r.out.Input(i), true
+	}
+	// Fanins and cut leaves always have smaller IDs than the node they
+	// feed, so the recursion strictly descends and terminates.
+	var opt func(v mig.ID) mig.Lit
+	opt = func(v mig.ID) mig.Lit {
+		if known[v] {
+			return res[v]
+		}
+		var l mig.Lit
+		if best := r.bestCut(v); best != nil {
+			leafSigs := make([]mig.Lit, len(best.leaves))
+			for i, lf := range best.leaves {
+				leafSigs[i] = opt(lf)
+			}
+			l = r.instantiate(best.entry, best.tr, leafSigs)
+			r.replacements++
+		} else {
+			f := r.m.Fanin(v)
+			l = r.addMaj(
+				opt(f[0].ID()).NotIf(f[0].Comp()),
+				opt(f[1].ID()).NotIf(f[1].Comp()),
+				opt(f[2].ID()).NotIf(f[2].Comp()))
+		}
+		res[v], known[v] = l, true
+		return l
+	}
+	for _, o := range r.m.Outputs() {
+		r.out.AddOutput(opt(o.ID()).NotIf(o.Comp()))
+	}
+}

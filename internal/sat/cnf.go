@@ -1,0 +1,54 @@
+package sat
+
+// Encoding helpers shared by the exact-synthesis CNF construction. All
+// helpers add clauses to the solver and report the solver's health like
+// AddClause does.
+
+// AtMostOne adds pairwise at-most-one constraints over lits. The quadratic
+// encoding is the right choice here: exact-synthesis select domains have at
+// most n+k ≤ a dozen values.
+func (s *Solver) AtMostOne(lits ...Lit) bool {
+	ok := true
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			ok = s.AddClause(lits[i].Not(), lits[j].Not()) && ok
+		}
+	}
+	return ok
+}
+
+// ExactlyOne adds an exactly-one constraint over lits.
+func (s *Solver) ExactlyOne(lits ...Lit) bool {
+	ok := s.AddClause(lits...)
+	return s.AtMostOne(lits...) && ok
+}
+
+// Implies adds the clause a → b.
+func (s *Solver) Implies(a, b Lit) bool { return s.AddClause(a.Not(), b) }
+
+// EqualIf adds guard → (a ↔ b): whenever guard holds, literals a and b take
+// the same value.
+func (s *Solver) EqualIf(guard, a, b Lit) bool {
+	ok := s.AddClause(guard.Not(), a.Not(), b)
+	return s.AddClause(guard.Not(), a, b.Not()) && ok
+}
+
+// XorEqualIf adds guard → (a ↔ b⊕c): the XOR-link clauses used to connect a
+// gate input to a (possibly complemented) child output, Eq. (6)-(8) of the
+// paper.
+func (s *Solver) XorEqualIf(guard, a, b, c Lit) bool {
+	ok := s.AddClause(guard.Not(), a.Not(), b, c)
+	ok = s.AddClause(guard.Not(), a.Not(), b.Not(), c.Not()) && ok
+	ok = s.AddClause(guard.Not(), a, b.Not(), c) && ok
+	return s.AddClause(guard.Not(), a, b, c.Not()) && ok
+}
+
+// Majority adds out ↔ 〈a b c〉, the six ternary clauses of Eq. (4).
+func (s *Solver) Majority(out, a, b, c Lit) bool {
+	ok := s.AddClause(a.Not(), b.Not(), out)
+	ok = s.AddClause(a.Not(), c.Not(), out) && ok
+	ok = s.AddClause(b.Not(), c.Not(), out) && ok
+	ok = s.AddClause(a, b, out.Not()) && ok
+	ok = s.AddClause(a, c, out.Not()) && ok
+	return s.AddClause(b, c, out.Not()) && ok
+}

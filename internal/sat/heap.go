@@ -1,0 +1,99 @@
+package sat
+
+// varHeap is an indexed binary max-heap over variable activities, used for
+// VSIDS branching. Activities live in the solver; the heap stores variable
+// indices plus each variable's position for O(log n) updates.
+type varHeap struct {
+	data []int // heap of variable indices
+	pos  []int // pos[v] = index of v in data, or -1
+}
+
+func newVarHeap() *varHeap { return &varHeap{} }
+
+func (h *varHeap) grow(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *varHeap) contains(v int) bool { return v < len(h.pos) && h.pos[v] >= 0 }
+
+func (h *varHeap) insert(v int, act []float64) {
+	h.grow(v)
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = len(h.data)
+	h.data = append(h.data, v)
+	h.up(h.pos[v], act)
+}
+
+func (h *varHeap) insertIfAbsent(v int, act []float64) {
+	if !h.contains(v) {
+		h.insert(v, act)
+	}
+}
+
+// update restores the heap property after v's activity increased.
+func (h *varHeap) update(v int, act []float64) {
+	if h.contains(v) {
+		h.up(h.pos[v], act)
+	}
+}
+
+// pop removes and returns the variable with the highest activity, or -1 if
+// the heap is empty.
+func (h *varHeap) pop(act []float64) int {
+	if len(h.data) == 0 {
+		return -1
+	}
+	top := h.data[0]
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	h.pos[top] = -1
+	if len(h.data) > 0 {
+		h.data[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return top
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	v := h.data[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := h.data[parent]
+		if act[pv] >= act[v] {
+			break
+		}
+		h.data[i] = pv
+		h.pos[pv] = i
+		i = parent
+	}
+	h.data[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	v := h.data[i]
+	for {
+		l := 2*i + 1
+		if l >= len(h.data) {
+			break
+		}
+		best := l
+		if r := l + 1; r < len(h.data) && act[h.data[r]] > act[h.data[l]] {
+			best = r
+		}
+		bv := h.data[best]
+		if act[v] >= act[bv] {
+			break
+		}
+		h.data[i] = bv
+		h.pos[bv] = i
+		i = best
+	}
+	h.data[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,327 @@
+// Package tt implements bit-parallel truth tables for Boolean functions of
+// up to six variables.
+//
+// A truth table over n variables is stored in the low 2^n bits of a single
+// uint64 word: bit j holds the function value under the assignment whose
+// binary encoding is j (bit i of j is the value of variable i). All bits
+// above 2^n are kept zero, which makes comparison, hashing, and canonical
+// representative selection (the "smallest truth table" rule used for NPN
+// classification in the paper) plain integer operations.
+//
+// The package provides the Boolean operations needed by the rest of the
+// system — in particular the ternary majority operator that Majority-
+// Inverter Graphs are built from — together with the structural operations
+// used by NPN canonicalization (input flips, variable swaps, permutations)
+// and by exact synthesis (cofactors, support analysis).
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxVars is the largest number of variables a TT can hold. With six
+// variables the 2^6 = 64 function values exactly fill a uint64.
+const MaxVars = 6
+
+// projection[i] has bit j set iff bit i of j is one, i.e. it is the truth
+// table of the i-th variable over six variables.
+var projection = [MaxVars]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// TT is a truth table over N variables. The zero value is the constant-zero
+// function of zero variables.
+type TT struct {
+	Bits uint64 // function values, one bit per assignment
+	N    int    // number of variables, 0 <= N <= MaxVars
+}
+
+// Mask returns the bit mask covering the 2^n valid assignment bits.
+func Mask(n int) uint64 {
+	if n >= MaxVars {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << uint(n))) - 1
+}
+
+// New returns a truth table over n variables with the given value bits.
+// Bits outside the valid range are cleared. It panics if n is out of range.
+func New(n int, bits uint64) TT {
+	checkN(n)
+	return TT{Bits: bits & Mask(n), N: n}
+}
+
+// Const0 returns the constant-false function over n variables.
+func Const0(n int) TT {
+	checkN(n)
+	return TT{N: n}
+}
+
+// Const1 returns the constant-true function over n variables.
+func Const1(n int) TT {
+	checkN(n)
+	return TT{Bits: Mask(n), N: n}
+}
+
+// Var returns the projection function x_i over n variables.
+// It panics unless 0 <= i < n.
+func Var(n, i int) TT {
+	checkN(n)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("tt: variable index %d out of range for %d variables", i, n))
+	}
+	return TT{Bits: projection[i] & Mask(n), N: n}
+}
+
+func checkN(n int) {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("tt: %d variables not supported (max %d)", n, MaxVars))
+	}
+}
+
+// NumBits returns the number of assignment bits, 2^N.
+func (t TT) NumBits() int { return 1 << uint(t.N) }
+
+// Eval returns the function value under assignment j, where bit i of j is
+// the value of variable i.
+func (t TT) Eval(j uint) bool { return (t.Bits>>j)&1 == 1 }
+
+// Not returns the complement of t.
+func (t TT) Not() TT { return TT{Bits: ^t.Bits & Mask(t.N), N: t.N} }
+
+// NotIf returns the complement of t if c is true, and t unchanged otherwise.
+func (t TT) NotIf(c bool) TT {
+	if c {
+		return t.Not()
+	}
+	return t
+}
+
+// And returns the conjunction of t and u. Both operands must have the same
+// number of variables.
+func (t TT) And(u TT) TT { t.check(u); return TT{Bits: t.Bits & u.Bits, N: t.N} }
+
+// Or returns the disjunction of t and u.
+func (t TT) Or(u TT) TT { t.check(u); return TT{Bits: t.Bits | u.Bits, N: t.N} }
+
+// Xor returns the exclusive or of t and u.
+func (t TT) Xor(u TT) TT { t.check(u); return TT{Bits: t.Bits ^ u.Bits, N: t.N} }
+
+func (t TT) check(u TT) {
+	if t.N != u.N {
+		panic(fmt.Sprintf("tt: operand arity mismatch: %d vs %d variables", t.N, u.N))
+	}
+}
+
+// Maj returns the bitwise ternary majority 〈a b c〉, the fundamental MIG
+// operation: true wherever at least two of a, b, c are true.
+func Maj(a, b, c TT) TT {
+	a.check(b)
+	a.check(c)
+	return TT{Bits: (a.Bits & b.Bits) | (a.Bits & c.Bits) | (b.Bits & c.Bits), N: a.N}
+}
+
+// Mux returns s ? a : b computed bitwise (if s then a else b).
+func Mux(s, a, b TT) TT {
+	s.check(a)
+	s.check(b)
+	return TT{Bits: (s.Bits & a.Bits) | (^s.Bits & b.Bits & Mask(s.N)), N: s.N}
+}
+
+// IsConst0 reports whether t is the constant-false function.
+func (t TT) IsConst0() bool { return t.Bits == 0 }
+
+// IsConst1 reports whether t is the constant-true function.
+func (t TT) IsConst1() bool { return t.Bits == Mask(t.N) }
+
+// CountOnes returns the number of satisfying assignments.
+func (t TT) CountOnes() int { return bits.OnesCount64(t.Bits) }
+
+// Cofactor0 returns the negative cofactor of t with respect to variable i:
+// the function obtained by fixing x_i = 0, still expressed over N variables
+// (the result no longer depends on x_i).
+func (t TT) Cofactor0(i int) TT {
+	t.checkVar(i)
+	lo := t.Bits &^ projection[i]
+	return TT{Bits: (lo | lo<<(1<<uint(i))) & Mask(t.N), N: t.N}
+}
+
+// Cofactor1 returns the positive cofactor of t with respect to variable i
+// (x_i fixed to 1).
+func (t TT) Cofactor1(i int) TT {
+	t.checkVar(i)
+	hi := t.Bits & projection[i]
+	return TT{Bits: (hi | hi>>(1<<uint(i))) & Mask(t.N), N: t.N}
+}
+
+func (t TT) checkVar(i int) {
+	if i < 0 || i >= t.N {
+		panic(fmt.Sprintf("tt: variable index %d out of range for %d variables", i, t.N))
+	}
+}
+
+// DependsOn reports whether t functionally depends on variable i.
+func (t TT) DependsOn(i int) bool {
+	t.checkVar(i)
+	return t.Cofactor0(i).Bits != t.Cofactor1(i).Bits
+}
+
+// SupportSize returns the number of variables t actually depends on.
+func (t TT) SupportSize() int {
+	s := 0
+	for i := 0; i < t.N; i++ {
+		if t.DependsOn(i) {
+			s++
+		}
+	}
+	return s
+}
+
+// Support returns the indices of the variables t depends on, in order.
+func (t TT) Support() []int {
+	var s []int
+	for i := 0; i < t.N; i++ {
+		if t.DependsOn(i) {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// FlipVar returns t with variable i complemented, i.e. f(x) with x_i
+// replaced by ¬x_i.
+func (t TT) FlipVar(i int) TT {
+	t.checkVar(i)
+	sh := uint(1) << uint(i)
+	hi := t.Bits & projection[i]
+	lo := t.Bits &^ projection[i]
+	return TT{Bits: hi>>sh | lo<<sh, N: t.N}
+}
+
+// SwapVars returns t with variables i and j exchanged.
+func (t TT) SwapVars(i, j int) TT {
+	t.checkVar(i)
+	t.checkVar(j)
+	if i == j {
+		return t
+	}
+	if i > j {
+		i, j = j, i
+	}
+	pi, pj := projection[i], projection[j]
+	sh := uint(1)<<uint(j) - uint(1)<<uint(i)
+	keep := t.Bits & ((pi & pj) | (^pi & ^pj))
+	up := (t.Bits & pi &^ pj) << sh
+	down := (t.Bits & pj &^ pi) >> sh
+	return TT{Bits: keep | up | down, N: t.N}
+}
+
+// Permute returns the truth table of f(x_{perm[0]}, …, x_{perm[n-1]}); that
+// is, input position i of the result reads the variable that position
+// perm[i] of t read. perm must be a permutation of 0..N-1.
+func (t TT) Permute(perm []int) TT {
+	if len(perm) != t.N {
+		panic(fmt.Sprintf("tt: permutation length %d does not match %d variables", len(perm), t.N))
+	}
+	var out uint64
+	n := uint(t.N)
+	for j := uint(0); j < uint(1)<<n; j++ {
+		if (t.Bits>>j)&1 == 0 {
+			continue
+		}
+		// Assignment j of t corresponds to the assignment of the result in
+		// which result-variable i takes the value t-variable perm[i] had.
+		var rj uint
+		for i := uint(0); i < n; i++ {
+			if (j>>uint(perm[i]))&1 == 1 {
+				rj |= 1 << i
+			}
+		}
+		out |= 1 << rj
+	}
+	return TT{Bits: out, N: t.N}
+}
+
+// Expand returns t re-expressed over n >= t.N variables; the added
+// variables are don't-cares the function does not depend on.
+func (t TT) Expand(n int) TT {
+	checkN(n)
+	if n < t.N {
+		panic(fmt.Sprintf("tt: cannot expand from %d to %d variables", t.N, n))
+	}
+	b := t.Bits
+	for i := t.N; i < n; i++ {
+		b |= b << (1 << uint(i))
+	}
+	return TT{Bits: b & Mask(n), N: n}
+}
+
+// Shrink returns t expressed over n <= t.N variables. It panics if t
+// depends on any removed variable.
+func (t TT) Shrink(n int) TT {
+	checkN(n)
+	if n > t.N {
+		panic(fmt.Sprintf("tt: cannot shrink from %d to %d variables", t.N, n))
+	}
+	for i := n; i < t.N; i++ {
+		if t.DependsOn(i) {
+			panic(fmt.Sprintf("tt: cannot shrink: function depends on variable %d", i))
+		}
+	}
+	return TT{Bits: t.Bits & Mask(n), N: n}
+}
+
+// String renders t as a hexadecimal literal of 2^N bits, most significant
+// digit first, e.g. the 4-variable majority-like 0xe8e8.
+func (t TT) String() string {
+	digits := t.NumBits() / 4
+	if digits == 0 {
+		digits = 1
+	}
+	return fmt.Sprintf("0x%0*x", digits, t.Bits)
+}
+
+// BinaryString renders t as 2^N binary digits, assignment 2^N−1 first.
+func (t TT) BinaryString() string {
+	var b strings.Builder
+	for j := t.NumBits() - 1; j >= 0; j-- {
+		if t.Eval(uint(j)) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Parse reads a truth table over n variables from s. Accepted forms are a
+// hexadecimal literal (with or without the 0x prefix) and a binary string of
+// exactly 2^n digits.
+func Parse(n int, s string) (TT, error) {
+	checkN(n)
+	orig := s
+	if len(s) == 1<<uint(n) && strings.Trim(s, "01") == "" && n >= 2 {
+		var b uint64
+		for _, c := range s {
+			b = b<<1 | uint64(c-'0')
+		}
+		return New(n, b), nil
+	}
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return TT{}, fmt.Errorf("tt: cannot parse %q as a %d-variable truth table: %v", orig, n, err)
+	}
+	if v&^Mask(n) != 0 {
+		return TT{}, fmt.Errorf("tt: value %q exceeds the 2^%d bits of a %d-variable truth table", orig, n, n)
+	}
+	return New(n, v), nil
+}

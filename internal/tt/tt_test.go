@@ -1,0 +1,315 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{0, 0x1}, {1, 0x3}, {2, 0xF}, {3, 0xFF}, {4, 0xFFFF},
+		{5, 0xFFFFFFFF}, {6, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.n); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestConstAndVar(t *testing.T) {
+	for n := 0; n <= MaxVars; n++ {
+		if !Const0(n).IsConst0() {
+			t.Errorf("Const0(%d) not constant false", n)
+		}
+		if !Const1(n).IsConst1() {
+			t.Errorf("Const1(%d) not constant true", n)
+		}
+		if Const1(n).CountOnes() != 1<<uint(n) {
+			t.Errorf("Const1(%d) has %d ones", n, Const1(n).CountOnes())
+		}
+		for i := 0; i < n; i++ {
+			v := Var(n, i)
+			for j := uint(0); j < uint(1)<<uint(n); j++ {
+				want := (j>>uint(i))&1 == 1
+				if v.Eval(j) != want {
+					t.Fatalf("Var(%d,%d).Eval(%d) = %v, want %v", n, i, j, v.Eval(j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewMasksHighBits(t *testing.T) {
+	got := New(2, ^uint64(0))
+	if got.Bits != 0xF {
+		t.Errorf("New(2, all-ones).Bits = %#x, want 0xF", got.Bits)
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, b := Var(3, 0), Var(3, 1)
+	if got := a.And(b).Bits; got != (0xAA & 0xCC) {
+		t.Errorf("And = %#x", got)
+	}
+	if got := a.Or(b).Bits; got != (0xAA | 0xCC) {
+		t.Errorf("Or = %#x", got)
+	}
+	if got := a.Xor(b).Bits; got != (0xAA ^ 0xCC) {
+		t.Errorf("Xor = %#x", got)
+	}
+	if got := a.Not().Bits; got != 0x55 {
+		t.Errorf("Not = %#x", got)
+	}
+	if a.NotIf(false) != a || a.NotIf(true) != a.Not() {
+		t.Error("NotIf misbehaves")
+	}
+}
+
+func TestMajTruthTable(t *testing.T) {
+	// 〈x1 x2 x3〉 over three variables is the classic 0xE8 pattern.
+	m := Maj(Var(3, 0), Var(3, 1), Var(3, 2))
+	if m.Bits != 0xE8 {
+		t.Fatalf("Maj(x0,x1,x2) = %#x, want 0xE8", m.Bits)
+	}
+	// Setting one input to constant 0 yields AND, to constant 1 yields OR
+	// (Eq. (1) discussion in the paper).
+	and := Maj(Const0(3), Var(3, 0), Var(3, 1))
+	if and.Bits != (0xAA & 0xCC) {
+		t.Errorf("〈0ab〉 = %#x, want AND", and.Bits)
+	}
+	or := Maj(Const1(3), Var(3, 0), Var(3, 1))
+	if or.Bits != (0xAA | 0xCC) {
+		t.Errorf("〈1ab〉 = %#x, want OR", or.Bits)
+	}
+}
+
+func TestMajSelfDual(t *testing.T) {
+	// 〈a b c〉 = ¬〈¬a ¬b ¬c〉 for arbitrary operands.
+	f := func(ab, bb, cb uint16) bool {
+		a, b, c := New(4, uint64(ab)), New(4, uint64(bb)), New(4, uint64(cb))
+		return Maj(a, b, c) == Maj(a.Not(), b.Not(), c.Not()).Not()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMux(t *testing.T) {
+	s, a, b := Var(3, 2), Var(3, 0), Var(3, 1)
+	got := Mux(s, a, b)
+	for j := uint(0); j < 8; j++ {
+		want := b.Eval(j)
+		if s.Eval(j) {
+			want = a.Eval(j)
+		}
+		if got.Eval(j) != want {
+			t.Fatalf("Mux wrong at assignment %d", j)
+		}
+	}
+}
+
+func TestCofactorsShannon(t *testing.T) {
+	// f = x_i ? cof1 : cof0 must reconstruct f for every variable.
+	f := func(bits uint16, iv uint8) bool {
+		i := int(iv) % 4
+		fn := New(4, uint64(bits))
+		c0, c1 := fn.Cofactor0(i), fn.Cofactor1(i)
+		if c0.DependsOn(i) || c1.DependsOn(i) {
+			return false
+		}
+		return Mux(Var(4, i), c1, c0) == fn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDependsOnAndSupport(t *testing.T) {
+	f := Var(4, 1).Xor(Var(4, 3))
+	if f.DependsOn(0) || !f.DependsOn(1) || f.DependsOn(2) || !f.DependsOn(3) {
+		t.Errorf("DependsOn wrong for %v", f)
+	}
+	if got := f.SupportSize(); got != 2 {
+		t.Errorf("SupportSize = %d, want 2", got)
+	}
+	if s := f.Support(); len(s) != 2 || s[0] != 1 || s[1] != 3 {
+		t.Errorf("Support = %v", s)
+	}
+	if Const0(4).SupportSize() != 0 {
+		t.Error("constant should have empty support")
+	}
+}
+
+func TestFlipVarInvolution(t *testing.T) {
+	f := func(bits uint16, iv uint8) bool {
+		i := int(iv) % 4
+		fn := New(4, uint64(bits))
+		return fn.FlipVar(i).FlipVar(i) == fn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipVarSemantics(t *testing.T) {
+	fn := New(4, 0x8000) // AND of all four variables
+	g := fn.FlipVar(2)
+	for j := uint(0); j < 16; j++ {
+		if g.Eval(j) != fn.Eval(j^4) {
+			t.Fatalf("FlipVar wrong at %d", j)
+		}
+	}
+}
+
+func TestSwapVarsInvolutionAndSemantics(t *testing.T) {
+	f := func(bits uint16, iv, jv uint8) bool {
+		i, j := int(iv)%4, int(jv)%4
+		fn := New(4, uint64(bits))
+		g := fn.SwapVars(i, j)
+		if g.SwapVars(i, j) != fn {
+			return false
+		}
+		for a := uint(0); a < 16; a++ {
+			bi, bj := (a>>uint(i))&1, (a>>uint(j))&1
+			sw := a&^(1<<uint(i))&^(1<<uint(j)) | bi<<uint(j) | bj<<uint(i)
+			if g.Eval(a) != fn.Eval(sw) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteIdentityAndSwap(t *testing.T) {
+	fn := New(4, 0x1234)
+	if fn.Permute([]int{0, 1, 2, 3}) != fn {
+		t.Error("identity permutation changed the function")
+	}
+	if fn.Permute([]int{1, 0, 2, 3}) != fn.SwapVars(0, 1) {
+		t.Error("transposition disagrees with SwapVars")
+	}
+}
+
+func TestPermuteComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		fn := New(4, uint64(rng.Intn(1<<16)))
+		p := rng.Perm(4)
+		q := rng.Perm(4)
+		// Applying p then q equals applying the composed permutation
+		// r[i] = p[q[i]].
+		r := make([]int, 4)
+		for i := range r {
+			r[i] = p[q[i]]
+		}
+		if fn.Permute(p).Permute(q) != fn.Permute(r) {
+			t.Fatalf("composition mismatch for p=%v q=%v", p, q)
+		}
+	}
+}
+
+func TestExpandShrinkRoundTrip(t *testing.T) {
+	fn := New(3, 0xE8)
+	e := fn.Expand(5)
+	if e.N != 5 || e.DependsOn(3) || e.DependsOn(4) {
+		t.Fatalf("Expand produced %v", e)
+	}
+	for j := uint(0); j < 32; j++ {
+		if e.Eval(j) != fn.Eval(j&7) {
+			t.Fatalf("Expand wrong at %d", j)
+		}
+	}
+	if got := e.Shrink(3); got != fn {
+		t.Errorf("Shrink(Expand(f)) = %v, want %v", got, fn)
+	}
+}
+
+func TestShrinkPanicsOnDependency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Shrink should panic when dropping a support variable")
+		}
+	}()
+	Var(4, 3).Shrink(3)
+}
+
+func TestStringAndParse(t *testing.T) {
+	fn := New(4, 0xE8E8)
+	if fn.String() != "0xe8e8" {
+		t.Errorf("String = %q", fn.String())
+	}
+	for _, s := range []string{"0xe8e8", "e8e8", "E8E8", "1110100011101000"} {
+		got, err := Parse(4, s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got != fn {
+			t.Errorf("Parse(%q) = %v, want %v", s, got, fn)
+		}
+	}
+	if _, err := Parse(2, "123456"); err == nil {
+		t.Error("Parse should reject out-of-range values")
+	}
+	if _, err := Parse(4, "zz"); err == nil {
+		t.Error("Parse should reject non-hex garbage")
+	}
+}
+
+func TestBinaryString(t *testing.T) {
+	fn := New(2, 0x6) // XOR of two variables: bits 01 10 → "0110"
+	if got := fn.BinaryString(); got != "0110" {
+		t.Errorf("BinaryString = %q, want 0110", got)
+	}
+}
+
+func TestEvalAgainstBits(t *testing.T) {
+	fn := New(4, 0xBEEF)
+	for j := uint(0); j < 16; j++ {
+		if fn.Eval(j) != ((0xBEEF>>j)&1 == 1) {
+			t.Fatalf("Eval(%d) inconsistent", j)
+		}
+	}
+}
+
+func TestPanicsOnBadArity(t *testing.T) {
+	for name, f := range map[string]func(){
+		"New":      func() { New(7, 0) },
+		"Var":      func() { Var(3, 3) },
+		"And":      func() { Var(3, 0).And(Var(4, 0)) },
+		"Cofactor": func() { Var(3, 0).Cofactor0(5) },
+		"Permute":  func() { Var(3, 0).Permute([]int{0, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkMaj(b *testing.B) {
+	x, y, z := Var(4, 0), Var(4, 1), Var(4, 2)
+	for i := 0; i < b.N; i++ {
+		x = Maj(x, y, z)
+	}
+	_ = x
+}
+
+func BenchmarkSwapVars(b *testing.B) {
+	fn := New(4, 0xBEEF)
+	for i := 0; i < b.N; i++ {
+		fn = fn.SwapVars(i&3, (i>>2)&3)
+	}
+	_ = fn
+}

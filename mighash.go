@@ -1,0 +1,173 @@
+// Package mighash is a self-contained Go implementation of
+//
+//	M. Soeken, L. G. Amarù, P.-E. Gaillardon, G. De Micheli:
+//	"Optimizing Majority-Inverter Graphs with Functional Hashing",
+//	DATE 2016,
+//
+// including every substrate the paper depends on: truth tables, NPN
+// classification, a CDCL SAT solver, SAT-based exact synthesis of minimum
+// MIGs, the precomputed optimal-MIG database for all 222 NPN classes of
+// 4-variable functions, cut enumeration, the five functional-hashing
+// variants (TF, T, TFD, TD, BF), algebraic depth optimization, k-LUT
+// technology mapping and generators for the arithmetic benchmarks of the
+// experimental section.
+//
+// This root package is the stable public surface; the examples/ directory
+// only uses what is exported here. See README.md for a tour, DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// results.
+package mighash
+
+import (
+	"io"
+
+	"mighash/internal/aig"
+	"mighash/internal/circuits"
+	"mighash/internal/db"
+	"mighash/internal/depthopt"
+	"mighash/internal/exact"
+	"mighash/internal/mapper"
+	"mighash/internal/mig"
+	"mighash/internal/npn"
+	"mighash/internal/rewrite"
+	"mighash/internal/tt"
+)
+
+// Core MIG data structure (Sec. II-B of the paper).
+type (
+	// MIG is a majority-inverter graph: a DAG of three-input majority
+	// gates with complemented edges.
+	MIG = mig.MIG
+	// Lit is an MIG signal: node ID plus complement bit.
+	Lit = mig.Lit
+	// ID is an MIG node identifier.
+	ID = mig.ID
+	// MIGStats summarizes a graph (inputs, outputs, size, depth).
+	MIGStats = mig.Stats
+	// Counterexample is a distinguishing input found by CEC.
+	Counterexample = mig.Counterexample
+)
+
+// The two constant signals.
+const (
+	Const0 = mig.Const0
+	Const1 = mig.Const1
+)
+
+// NewMIG returns an empty graph over the given primary inputs.
+func NewMIG(numPIs int) *MIG { return mig.New(numPIs) }
+
+// ReadMIG parses the textual netlist format written by MIG.WriteText.
+func ReadMIG(r io.Reader) (*MIG, error) { return mig.ReadText(r) }
+
+// Equivalent proves or refutes functional equivalence of two MIGs with
+// the built-in SAT solver (combinational equivalence checking).
+var Equivalent = mig.Equivalent
+
+// Truth tables (up to 6 variables in one machine word).
+type TT = tt.TT
+
+// NewTT builds an n-variable truth table from its bit string; bit j holds
+// f on the assignment with binary encoding j.
+func NewTT(n int, bits uint64) TT { return tt.New(n, bits) }
+
+// VarTT returns the projection x_i over n variables.
+func VarTT(n, i int) TT { return tt.Var(n, i) }
+
+// NPN classification (Sec. II-D).
+type NPNTransform = npn.Transform
+
+// CanonizeNPN returns the NPN class representative of f and a transform
+// t with Apply(t, rep) = f.
+var CanonizeNPN = npn.Canonize
+
+// NumNPNClasses4 is the number of NPN classes of 4-variable functions.
+func NumNPNClasses4() int { return npn.NumClasses4() }
+
+// Exact synthesis (Sec. III).
+type ExactOptions = exact.Options
+
+// ExactMinimum synthesizes a minimum-size MIG for f by the paper's
+// SAT-encoded decision ladder.
+var ExactMinimum = exact.Minimum
+
+// TheoremBound is the Theorem 2 upper bound 10·(2^(n−4)−1)+7 on C(n).
+var TheoremBound = db.Bound
+
+// Optimal-MIG database (Sec. IV).
+type Database = db.DB
+
+// LoadDatabase returns the embedded, simulation-verified database of
+// minimum MIGs for all 222 NPN classes.
+var LoadDatabase = db.Load
+
+// Functional hashing — the paper's primary contribution (Sec. IV).
+type (
+	RewriteOptions = rewrite.Options
+	RewriteStats   = rewrite.Stats
+)
+
+// The five paper variants: Top-down/Bottom-up, Fanout-free regions,
+// Depth-preserving.
+var (
+	VariantTF  = rewrite.TF
+	VariantT   = rewrite.T
+	VariantTFD = rewrite.TFD
+	VariantTD  = rewrite.TD
+	VariantBF  = rewrite.BF
+)
+
+// Optimize applies one functional-hashing pass, returning a fresh
+// optimized MIG and its statistics.
+var Optimize = rewrite.Run
+
+// Algebraic depth optimization (the substrate behind the paper's
+// "heavily optimized" starting points, refs [3], [4]).
+type (
+	DepthOptions = depthopt.Options
+	DepthStats   = depthopt.Stats
+)
+
+// OptimizeDepth reduces depth by majority-axiom reassociation.
+var OptimizeDepth = depthopt.Optimize
+
+// Technology mapping (Table IV substrate).
+type (
+	MapOptions = mapper.Options
+	MapResult  = mapper.Result
+)
+
+// MapLUT covers an MIG with K-input LUTs (priority-cut mapping).
+var MapLUT = mapper.Map
+
+// Benchmark circuit generators (Sec. V workloads).
+type BenchmarkSpec = circuits.Spec
+
+// Benchmarks returns the eight EPFL-signature arithmetic circuits.
+var Benchmarks = circuits.All
+
+// BenchmarkByName looks up one benchmark generator.
+var BenchmarkByName = circuits.ByName
+
+// Word-level circuit construction.
+type (
+	Word           = circuits.Word
+	CircuitBuilder = circuits.Builder
+)
+
+// NewCircuitBuilder returns a word-level builder over a fresh MIG.
+var NewCircuitBuilder = circuits.NewBuilder
+
+// And-Inverter Graph baseline (Sec. I and II-A of the paper).
+type AIG = aig.AIG
+
+// NewAIG returns an empty And-Inverter Graph.
+var NewAIG = aig.New
+
+// AIGFromMIG converts an MIG to an AIG (each majority gate becomes at
+// most four ANDs; structural hashing shares subterms).
+var AIGFromMIG = aig.FromMIG
+
+// ExactMinimumAIG synthesizes a minimum AND-chain for f, the AIG
+// counterpart of ExactMinimum used by the MIG-vs-AIG comparison.
+var ExactMinimumAIG = exact.MinimumAIG

@@ -1,0 +1,121 @@
+package mighash_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mighash"
+)
+
+// These integration tests exercise the public façade only — everything an
+// external user of the library can reach — across the full pipeline:
+// word-level construction → depth optimization → functional hashing →
+// technology mapping, with SAT-based equivalence checking throughout.
+
+func loadDB(t testing.TB) *mighash.Database {
+	t.Helper()
+	d, err := mighash.LoadDatabase()
+	if err != nil {
+		t.Fatalf("embedded database: %v", err)
+	}
+	return d
+}
+
+// TestPublicPipeline runs the whole flow on a 16-bit adder-comparator.
+func TestPublicPipeline(t *testing.T) {
+	b := mighash.NewCircuitBuilder(32)
+	x := b.Inputs(0, 16)
+	y := b.Inputs(16, 16)
+	sum, cout := b.Add(x, y, mighash.Const0)
+	b.Outputs(sum)
+	b.M.AddOutput(cout)
+	b.M.AddOutput(b.Geq(x, y))
+	m := b.M
+
+	flat, dst := mighash.OptimizeDepth(m, mighash.DepthOptions{SizeFactor: 4})
+	if dst.DepthAfter >= dst.DepthBefore {
+		t.Errorf("no depth improvement: %v", dst)
+	}
+
+	d := loadDB(t)
+	for _, v := range []struct {
+		name string
+		opt  mighash.RewriteOptions
+	}{
+		{"TF", mighash.VariantTF}, {"T", mighash.VariantT},
+		{"TFD", mighash.VariantTFD}, {"TD", mighash.VariantTD},
+		{"BF", mighash.VariantBF},
+	} {
+		opt, st := mighash.Optimize(flat, d, v.opt)
+		if st.SizeAfter > st.SizeBefore {
+			t.Errorf("%s: size grew %v", v.name, st)
+		}
+		eq, ce, err := mighash.Equivalent(m, opt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("%s: pipeline broke the circuit: %v", v.name, ce)
+		}
+		cover := mighash.MapLUT(opt, mighash.MapOptions{})
+		if cover.Area == 0 || cover.Depth == 0 {
+			t.Errorf("%s: degenerate cover %v", v.name, cover)
+		}
+	}
+}
+
+// TestPublicExactSynthesis drives the exact engine through the façade.
+func TestPublicExactSynthesis(t *testing.T) {
+	maj := mighash.NewTT(3, 0xE8)
+	m, err := mighash.ExactMinimum(maj, mighash.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 {
+		t.Errorf("majority needs %d gates, want 1", m.Size())
+	}
+	if got, want := mighash.TheoremBound(6), 37; got != want {
+		t.Errorf("TheoremBound(6) = %d, want %d", got, want)
+	}
+}
+
+// TestPublicDatabase checks classification and database access.
+func TestPublicDatabase(t *testing.T) {
+	if got := mighash.NumNPNClasses4(); got != 222 {
+		t.Fatalf("NumNPNClasses4 = %d", got)
+	}
+	d := loadDB(t)
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 50; i++ {
+		f := mighash.NewTT(4, rng.Uint64()&0xFFFF)
+		rep, tr := mighash.CanonizeNPN(f)
+		if tr.Apply(rep) != f {
+			t.Fatalf("transform does not reconstruct %v", f)
+		}
+		if d.Size(f) < 0 {
+			t.Fatalf("class of %v missing from database", f)
+		}
+	}
+}
+
+// TestPublicBenchmarks spot-checks the generator registry.
+func TestPublicBenchmarks(t *testing.T) {
+	if got := len(mighash.Benchmarks()); got != 8 {
+		t.Fatalf("%d benchmarks, want 8", got)
+	}
+	spec, ok := mighash.BenchmarkByName("Sine")
+	if !ok {
+		t.Fatal("Sine missing")
+	}
+	m := spec.Build()
+	if m.NumPIs() != 24 || m.NumPOs() != 25 {
+		t.Fatalf("Sine signature %d/%d", m.NumPIs(), m.NumPOs())
+	}
+	in := make([]bool, 24)
+	got, want := m.EvalBits(in), spec.Model(in)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sine(0) output %d mismatch", i)
+		}
+	}
+}
