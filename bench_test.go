@@ -8,11 +8,14 @@
 package mighash
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"mighash/internal/circuits"
 	"mighash/internal/db"
 	"mighash/internal/depthopt"
+	"mighash/internal/engine"
 	"mighash/internal/exact"
 	"mighash/internal/exp"
 	"mighash/internal/mapper"
@@ -157,15 +160,28 @@ func startingPoint(b *testing.B, name string) *mig.MIG {
 	return m
 }
 
-// benchVariant runs one functional-hashing variant on one benchmark.
+// benchVariant runs one functional-hashing variant on one benchmark,
+// driven through the engine as the production flow does. One single-pass
+// pipeline iteration is a bare rewrite.Run plus the engine's fixed
+// per-run overhead (a fresh NPN cut-cache and pipeline bookkeeping), so
+// these numbers are not directly comparable with pre-engine baselines.
 func benchVariant(b *testing.B, name string, opt rewrite.Options) {
-	d := db.MustLoad()
 	start := startingPoint(b, name)
+	p := engine.New(engine.RewritePass(opt))
+	p.MaxIterations = 1
+	p.DB = db.MustLoad()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, st := rewrite.Run(start, d, opt)
-		if st.SizeAfter > st.SizeBefore {
-			b.Fatalf("size grew: %v", st)
+		_, st, err := p.Run(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Guard the pass itself: PipelineStats.SizeAfter reports the kept
+		// best and can never regress, but the raw pass output can.
+		for _, ps := range st.Passes {
+			if ps.SizeAfter > ps.SizeBefore {
+				b.Fatalf("pass grew the graph: %v", ps)
+			}
 		}
 	}
 }
@@ -201,6 +217,84 @@ func BenchmarkTableIV_Mapping(b *testing.B) {
 		r := mapper.Map(opt, mapper.Options{})
 		if r.Area == 0 {
 			b.Fatal("empty cover")
+		}
+	}
+}
+
+// -------------------------------------------------------------- Engine
+
+// BenchmarkEngine_ResynSine runs the composite resyn script to
+// convergence on the Sine benchmark: the engine's iterated-pipeline
+// overhead and the NPN cut-cache in one number.
+func BenchmarkEngine_ResynSine(b *testing.B) {
+	start := startingPoint(b, "Sine")
+	p, err := engine.Preset("resyn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.DB = db.MustLoad()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := p.Run(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.CacheHits == 0 {
+			b.Fatalf("resyn recorded no cache hits: %v", st)
+		}
+	}
+}
+
+// BenchmarkEngine_Batch1 vs BatchNumCPU measure the worker-pool speedup
+// of optimizing the two small arithmetic benchmarks concurrently.
+func benchBatch(b *testing.B, workers int) {
+	jobs := []engine.Job{
+		{Name: "Sine", M: startingPoint(b, "Sine")},
+		{Name: "Max", M: startingPoint(b, "Max")},
+	}
+	p, err := engine.Preset("size")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.DB = db.MustLoad()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := engine.RunBatch(context.Background(), p, jobs, engine.BatchOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngine_Batch1(b *testing.B)      { benchBatch(b, 1) }
+func BenchmarkEngine_BatchNumCPU(b *testing.B) { benchBatch(b, runtime.NumCPU()) }
+
+// BenchmarkEngine_NPNCacheHit vs NPNLookupUncached isolate what one
+// cut-cache hit saves over a fresh canonicalization + database lookup.
+func BenchmarkEngine_NPNCacheHit(b *testing.B) {
+	d := db.MustLoad()
+	c := db.NewCache()
+	for v := 0; v < 1<<16; v++ {
+		d.LookupCached(tt.New(4, uint64(v)), c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok, hit := d.LookupCached(tt.New(4, uint64(i&0xFFFF)), c); !ok || !hit {
+			b.Fatal("warm cache missed")
+		}
+	}
+}
+
+func BenchmarkEngine_NPNLookupUncached(b *testing.B) {
+	d := db.MustLoad()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := d.Lookup(tt.New(4, uint64(i&0xFFFF))); !ok {
+			b.Fatal("class missing")
 		}
 	}
 }

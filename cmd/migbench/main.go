@@ -1,5 +1,7 @@
 // Command migbench regenerates the paper's experimental tables and
-// figures (Sec. V) and prints them in the paper's layout.
+// figures (Sec. V) and prints them in the paper's layout, or — with
+// -json — as one machine-readable JSON document per run, suitable for
+// capturing benchmark trajectories from CI.
 //
 // Usage:
 //
@@ -11,11 +13,13 @@
 //	migbench -figures            # Figures 1 and 2 (stats + DOT)
 //	migbench -thm2               # Theorem 2 constructive check
 //	migbench -all                # everything
+//	migbench -all -json          # everything, as JSON on stdout
 //
 // -benchmarks restricts Tables III/IV to a comma-separated subset.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +47,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel workers for -live (0 = NumCPU)")
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset for Tables III/IV")
 		nomap      = flag.Bool("nomap", false, "skip LUT mapping (Table III only)")
+		jsonOut    = flag.Bool("json", false, "emit one machine-readable JSON document instead of tables")
 	)
 	flag.Parse()
 	if !*figures && !*thm2 && !*aigcmp && *converge == "" && !*all && *table == 0 {
@@ -58,72 +63,110 @@ func main() {
 		names = strings.Split(*benchmarks, ",")
 	}
 
+	// With -json, every requested section is collected here and emitted
+	// as one document at the end instead of the paper-layout tables.
+	report := map[string]any{}
+	// format is deferred so -json runs never pay for table rendering.
+	section := func(key string, v any, heading string, format func() string) {
+		if *jsonOut {
+			report[key] = v
+			return
+		}
+		fmt.Println(heading)
+		fmt.Println(format())
+	}
+
 	if *all || *table == 1 {
-		fmt.Println("== Table I: optimal MIGs for all 4-variable NPN classes ==")
 		rows := exp.TableI(d)
 		if *live {
-			fmt.Println("(re-measuring exact synthesis on this machine; this takes a while)")
+			if !*jsonOut {
+				fmt.Println("(re-measuring exact synthesis on this machine; this takes a while)")
+			}
 			var err error
 			rows, err = exp.TableILive(exact.Options{}, *workers)
 			if err != nil {
 				log.Fatal(err)
 			}
 		}
-		fmt.Println(exp.FormatTableI(rows))
+		section("table1", rows,
+			"== Table I: optimal MIGs for all 4-variable NPN classes ==",
+			func() string { return exp.FormatTableI(rows) })
 	}
 	if *all || *table == 2 {
-		fmt.Println("== Table II: complexity of 4-variable MIGs (C, L, D) ==")
-		fmt.Println(exp.FormatTableII(exp.TableII(d)))
+		rows := exp.TableII(d)
+		section("table2", rows,
+			"== Table II: complexity of 4-variable MIGs (C, L, D) ==",
+			func() string { return exp.FormatTableII(rows) })
 	}
 	if *all || *thm2 {
-		fmt.Println("== Theorem 2: C(n) ≤ 10·(2^(n−4)−1)+7, constructive ==")
 		rows, err := exp.Theorem2(d, 200)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(exp.FormatTheorem2(rows))
+		section("theorem2", rows,
+			"== Theorem 2: C(n) ≤ 10·(2^(n−4)−1)+7, constructive ==",
+			func() string { return exp.FormatTheorem2(rows) })
 	}
 	if *all || *table == 3 || *table == 4 {
 		withMap := !*nomap || *table == 4 || *all
-		fmt.Println("== Tables III/IV workloads: generated EPFL-signature circuits ==")
 		rows, err := exp.Arithmetic(d, names, withMap)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *all || *table == 3 {
-			fmt.Println("== Table III: functional hashing (MIG size and depth) ==")
-			fmt.Println(exp.FormatTableIII(rows))
-		}
-		if withMap && (*all || *table == 4) {
-			fmt.Println("== Table IV: area and depth after technology mapping (6-LUT) ==")
-			fmt.Println(exp.FormatTableIV(rows))
+		if *jsonOut {
+			// One BenchRow slice backs both tables (Table IV's area/depth
+			// columns are fields of the same rows), so it is stored once.
+			report["arithmetic"] = rows
+		} else {
+			fmt.Println("== Tables III/IV workloads: generated EPFL-signature circuits ==")
+			if *all || *table == 3 {
+				fmt.Println("== Table III: functional hashing (MIG size and depth) ==")
+				fmt.Println(exp.FormatTableIII(rows))
+			}
+			if withMap && (*all || *table == 4) {
+				fmt.Println("== Table IV: area and depth after technology mapping (6-LUT) ==")
+				fmt.Println(exp.FormatTableIV(rows))
+			}
 		}
 	}
 	if *converge != "" {
-		fmt.Println("== Repeated functional hashing (Sec. V closing remark) ==")
 		rows, err := exp.Converge(d, *converge, exp.Variants[4].Opt, 10)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(exp.FormatConverge(*converge, exp.Variants[4].Name, rows))
+		section("converge", map[string]any{"benchmark": *converge, "variant": exp.Variants[4].Name, "rows": rows},
+			"== Repeated functional hashing (Sec. V closing remark) ==",
+			func() string { return exp.FormatConverge(*converge, exp.Variants[4].Name, rows) })
 	}
 	if *aigcmp {
-		fmt.Println("== MIG vs AIG: optimal sizes per NPN class (C_MIG ≤ C_AIG everywhere) ==")
 		rows, err := exp.AIGComparison(d, exact.Options{Timeout: *aigTimeout}, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(exp.FormatAIGComparison(rows))
+		section("aig", rows,
+			"== MIG vs AIG: optimal sizes per NPN class (C_MIG ≤ C_AIG everywhere) ==",
+			func() string { return exp.FormatAIGComparison(rows) })
 	}
 	if *all || *figures {
 		m1, st1 := exp.Figure1()
-		fmt.Printf("== Figure 1: full adder MIG (%v) ==\n", st1)
-		m1.WriteDOT(os.Stdout, "fig1_full_adder")
 		m2, st2, err := exp.Figure2(d)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("== Figure 2: optimal MIG for S0,2 (%v) ==\n", st2)
-		m2.WriteDOT(os.Stdout, "fig2_s02")
+		if *jsonOut {
+			report["figures"] = map[string]any{"fig1": st1, "fig2": st2}
+		} else {
+			fmt.Printf("== Figure 1: full adder MIG (%v) ==\n", st1)
+			m1.WriteDOT(os.Stdout, "fig1_full_adder")
+			fmt.Printf("== Figure 2: optimal MIG for S0,2 (%v) ==\n", st2)
+			m2.WriteDOT(os.Stdout, "fig2_s02")
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

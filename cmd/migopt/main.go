@@ -6,11 +6,16 @@
 // Files ending in .bench are read and written in BENCH format (with the
 // MAJ extension); anything else uses the internal text format.
 //
+// Optimization runs on the engine's pass pipelines: -variant selects a
+// single-pass script, -script a composite one ("resyn", "size", "depth",
+// "quick"), and -iters repeats the script up to a fixpoint.
+//
 // Usage:
 //
 //	migopt -bench Multiplier -variant BF
 //	migopt -in circuit.bench -variant TFD -out optimized.bench
 //	migopt -bench Sine -prepare -variant TF    # depth-optimize first
+//	migopt -bench Sine -script resyn -iters 10 # interleaved, to convergence
 package main
 
 import (
@@ -23,13 +28,9 @@ import (
 	"mighash/internal/circuits"
 	"mighash/internal/db"
 	"mighash/internal/depthopt"
+	"mighash/internal/engine"
 	"mighash/internal/mig"
-	"mighash/internal/rewrite"
 )
-
-var variants = map[string]rewrite.Options{
-	"TF": rewrite.TF, "T": rewrite.T, "TFD": rewrite.TFD, "TD": rewrite.TD, "BF": rewrite.BF,
-}
 
 func main() {
 	log.SetFlags(0)
@@ -38,6 +39,8 @@ func main() {
 		bench   = flag.String("bench", "", "generated benchmark name (Adder, Divisor, Log2, Max, Multiplier, Sine, Square-root, Square)")
 		in      = flag.String("in", "", "input MIG text file")
 		variant = flag.String("variant", "BF", "functional-hashing variant: TF, T, TFD, TD or BF")
+		script  = flag.String("script", "", "engine pass script (overrides -variant; see migpipe -scripts)")
+		iters   = flag.Int("iters", 1, "max script iterations (runs to convergence when >1)")
 		prepare = flag.Bool("prepare", false, "run the algebraic depth optimizer before hashing")
 		out     = flag.String("out", "", "write the optimized MIG as text")
 		dot     = flag.String("dot", "", "write the optimized MIG as DOT")
@@ -45,10 +48,15 @@ func main() {
 	)
 	flag.Parse()
 
-	opt, ok := variants[*variant]
-	if !ok {
-		log.Fatalf("unknown variant %q", *variant)
+	name := *script
+	if name == "" {
+		name = *variant
 	}
+	pipe, err := engine.Preset(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe.MaxIterations = *iters
 	var m *mig.MIG
 	switch {
 	case *bench != "" && *in != "":
@@ -85,11 +93,16 @@ func main() {
 		fmt.Printf("prepared: %v\n", st)
 	}
 
-	d, err := db.Load()
-	if err != nil {
+	if pipe.DB, err = db.Load(); err != nil {
 		log.Fatalf("embedded database unavailable (run cmd/migdb): %v", err)
 	}
-	res, st := rewrite.Run(m, d, opt)
+	res, st, err := pipe.Run(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ps := range st.Passes {
+		fmt.Printf("  %v\n", ps)
+	}
 	fmt.Printf("optimized: %v\n", st)
 
 	if *verify {

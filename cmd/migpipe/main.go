@@ -1,0 +1,232 @@
+// Command migpipe drives the batch-optimization engine: it runs a named
+// pass script over the benchmark suite (or one MIG file) on a bounded
+// worker pool and reports per-circuit statistics, optionally as JSON.
+//
+// Usage:
+//
+//	migpipe -script resyn                     # all eight benchmarks, NumCPU workers
+//	migpipe -script size -workers 1 -json     # serial, machine-readable stats
+//	migpipe -script resyn -benchmarks Sine,Max -verify
+//	migpipe -script BF -in circuit.bench -split   # one job per output cone
+//	migpipe -scripts                          # list available scripts
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mighash/internal/circuits"
+	"mighash/internal/db"
+	"mighash/internal/engine"
+	"mighash/internal/exp"
+	"mighash/internal/mig"
+)
+
+// jsonResult is engine.Result with the error stringified for encoding.
+type jsonResult struct {
+	Name  string               `json:"name"`
+	Stats engine.PipelineStats `json:"stats"`
+	Err   string               `json:"error,omitempty"`
+}
+
+type jsonReport struct {
+	Script  string        `json:"script"`
+	Workers int           `json:"workers"`
+	Jobs    int           `json:"jobs"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Results []jsonResult  `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migpipe: ")
+	var (
+		script     = flag.String("script", "resyn", "pass script to run (see -scripts)")
+		listOnly   = flag.Bool("scripts", false, "list available scripts and exit")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+		in         = flag.String("in", "", "optimize one MIG file instead of the benchmark suite")
+		split      = flag.Bool("split", false, "with -in: one batch job per output cone")
+		prepare    = flag.Bool("prepare", true, "depth-optimize benchmark starting points first (Sec. V-C)")
+		shared     = flag.Bool("sharedcache", false, "share one NPN cut-cache across all workers")
+		verify     = flag.Bool("verify", false, "SAT-verify every optimized graph against its input")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
+		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		fmt.Println(strings.Join(engine.PresetNames(), "\n"))
+		return
+	}
+	p, err := engine.Preset(*script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := buildJobs(*in, *split, *benchmarks, *prepare)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := engine.BatchOptions{Workers: *workers}
+	if *shared {
+		opt.SharedCache = db.NewCache()
+	}
+	start := time.Now()
+	results, err := engine.RunBatch(ctx, p, jobs, opt)
+	elapsed := time.Since(start)
+	failed := false
+	if err != nil {
+		log.Printf("batch aborted: %v", err)
+		failed = true
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			failed = true
+		}
+	}
+	if *verify {
+		for i, r := range results {
+			if r.Err != nil || r.M == nil {
+				continue
+			}
+			eq, ce, err := mig.Equivalent(jobs[i].M, r.M, 0)
+			if err != nil {
+				log.Fatalf("%s: equivalence check failed to run: %v", r.Name, err)
+			}
+			if !eq {
+				log.Printf("%s: MISCOMPARE, counterexample %v", r.Name, ce)
+				failed = true
+			}
+		}
+	}
+
+	if *jsonOut {
+		rep := jsonReport{
+			Script:  p.Name,
+			Workers: effectiveWorkers(*workers, len(jobs)),
+			Jobs:    len(jobs),
+			Elapsed: elapsed,
+		}
+		for _, r := range results {
+			jr := jsonResult{Name: r.Name, Stats: r.Stats}
+			if r.Err != nil {
+				jr.Err = r.Err.Error()
+			}
+			rep.Results = append(rep.Results, jr)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("script %s, %d jobs, %d workers, wall %v\n",
+			p.Name, len(jobs), effectiveWorkers(*workers, len(jobs)), elapsed.Round(time.Millisecond))
+		fmt.Printf("%-16s %8s %8s %6s %6s %5s %9s %10s\n",
+			"circuit", "size", "size'", "depth", "depth'", "iters", "cache-hit", "time")
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Printf("%-16s error: %v\n", r.Name, r.Err)
+				continue
+			}
+			s := r.Stats
+			fmt.Printf("%-16s %8d %8d %6d %6d %5d %8.1f%% %10v\n",
+				r.Name, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter,
+				s.Iterations, 100*s.CacheHitRate(), s.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// buildJobs assembles the batch: the arithmetic benchmark suite, or one
+// input file (optionally split into output cones).
+func buildJobs(in string, split bool, benchmarks string, prepare bool) ([]engine.Job, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var m *mig.MIG
+		if strings.HasSuffix(in, ".bench") {
+			m, err = mig.ReadBENCH(f)
+		} else {
+			m, err = mig.ReadText(f)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if split {
+			return engine.SplitOutputs(m, strings.TrimSuffix(in, ".bench")), nil
+		}
+		return []engine.Job{{Name: in, M: m}}, nil
+	}
+	specs := circuits.All()
+	if benchmarks != "" {
+		names := strings.Split(benchmarks, ",")
+		specs = specs[:0]
+		for _, n := range names {
+			s, ok := circuits.ByName(strings.TrimSpace(n))
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", n)
+			}
+			specs = append(specs, s)
+		}
+	}
+	// Building and depth-preparing the large circuits is itself costly,
+	// so it runs on its own worker pool rather than serializing in front
+	// of the batch.
+	jobs := make([]engine.Job, len(specs))
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < runtime.NumCPU(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(specs) {
+					return
+				}
+				spec := specs[i]
+				var m *mig.MIG
+				if prepare {
+					m = exp.PrepareStart(spec)
+				} else {
+					m = spec.Build()
+				}
+				jobs[i] = engine.Job{Name: spec.Name, M: m}
+			}
+		}()
+	}
+	wg.Wait()
+	return jobs, nil
+}
+
+func effectiveWorkers(requested, jobs int) int {
+	if requested <= 0 {
+		requested = runtime.NumCPU()
+	}
+	if requested > jobs {
+		return jobs
+	}
+	return requested
+}

@@ -1,0 +1,3 @@
+module mighash
+
+go 1.24

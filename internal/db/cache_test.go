@@ -1,0 +1,93 @@
+package db
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mighash/internal/tt"
+)
+
+// TestCacheMatchesLookup checks LookupCached against Lookup for every
+// 4-variable function: identical entry, transform and ok, a miss on first
+// sight and a hit on the second.
+func TestCacheMatchesLookup(t *testing.T) {
+	d := mustLoad(t)
+	c := NewCache()
+	for v := 0; v < 1<<16; v++ {
+		f := tt.New(4, uint64(v))
+		we, wt, wok := d.Lookup(f)
+		e, tr, ok, hit := d.LookupCached(f, c)
+		if e != we || tr != wt || ok != wok || hit {
+			t.Fatalf("%04x: first lookup (%p,%v,%v,hit=%v) != plain (%p,%v,%v)", v, e, tr, ok, hit, we, wt, wok)
+		}
+		e, tr, ok, hit = d.LookupCached(f, c)
+		if e != we || tr != wt || ok != wok || !hit {
+			t.Fatalf("%04x: second lookup (%p,%v,%v,hit=%v) != cached (%p,%v,%v)", v, e, tr, ok, hit, we, wt, wok)
+		}
+	}
+	if c.Len() != 1<<16 {
+		t.Errorf("cache holds %d entries, want %d", c.Len(), 1<<16)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1<<16 || m != 1<<16 {
+		t.Errorf("counters %d/%d, want %d/%d", h, m, 1<<16, 1<<16)
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Hits() != 0 || c.Misses() != 0 {
+		t.Errorf("Reset left entries or counters: %v", c)
+	}
+}
+
+// TestCacheNilFallsThrough: a nil cache degrades to a plain Lookup.
+func TestCacheNilFallsThrough(t *testing.T) {
+	d := mustLoad(t)
+	f := tt.New(4, 0x6996)
+	we, wt, wok := d.Lookup(f)
+	e, tr, ok, hit := d.LookupCached(f, nil)
+	if e != we || tr != wt || ok != wok || hit {
+		t.Fatalf("nil-cache lookup differs from Lookup")
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines (the batch
+// runner's access pattern); run under -race this doubles as the data-race
+// check for the sharded map.
+func TestCacheConcurrent(t *testing.T) {
+	d := mustLoad(t)
+	c := NewCache()
+	const workers = 16
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				f := tt.New(4, rng.Uint64()&0xFFFF)
+				e, tr, ok, _ := d.LookupCached(f, c)
+				we, wt, wok := d.Lookup(f)
+				if e != we || tr != wt || ok != wok {
+					t.Errorf("concurrent lookup of %04x diverged", f.Bits)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := c.Hits() + c.Misses(); got != workers*perWorker {
+		t.Errorf("hits+misses = %d, want %d", got, workers*perWorker)
+	}
+	if c.Len() > 1<<16 {
+		t.Errorf("cache holds %d entries, more than the function space", c.Len())
+	}
+}
+
+func mustLoad(t testing.TB) *DB {
+	t.Helper()
+	d, err := Load()
+	if err != nil {
+		t.Fatalf("embedded database unavailable (run cmd/migdb): %v", err)
+	}
+	return d
+}

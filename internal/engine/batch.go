@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mighash/internal/db"
+	"mighash/internal/mig"
+)
+
+// Job is one unit of batch work: a named MIG to optimize. Jobs must not
+// share a *MIG unless every job only reads it (pipelines never modify
+// their input graph, so sharing a read-only input is safe).
+type Job struct {
+	Name string
+	M    *mig.MIG
+}
+
+// Result is the outcome of one Job. Results are returned in job order
+// regardless of worker scheduling.
+type Result struct {
+	Name  string        `json:"name"`
+	M     *mig.MIG      `json:"-"`
+	Stats PipelineStats `json:"stats"`
+	Err   error         `json:"-"`
+}
+
+// BatchOptions tunes RunBatch.
+type BatchOptions struct {
+	// Workers bounds the worker pool; 0 or less means runtime.NumCPU().
+	Workers int
+	// SharedCache, when non-nil, is used by every job so workers reuse
+	// each other's NPN canonicalizations. The optimized graphs are
+	// identical either way; only the per-job hit/miss attribution becomes
+	// scheduling-dependent, which is why the default is a private cache
+	// per job (deterministic stats at any worker count).
+	SharedCache *db.Cache
+}
+
+// RunBatch optimizes every job with the pipeline on a bounded worker
+// pool. Results are deterministic: results[i] belongs to jobs[i], and
+// because each pipeline run is sequential and (with the default private
+// caches) self-contained, the per-job stats and graphs do not depend on
+// the worker count.
+//
+// Cancellation is cooperative at job and pass granularity: when ctx is
+// cancelled, unstarted jobs and unfinished pipelines report ctx.Err() in
+// their Result, and RunBatch returns ctx.Err().
+func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([]Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("engine: RunBatch requires a pipeline")
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	// Each worker runs a shallow copy of the pipeline so the cache policy
+	// (shared vs per-job) is applied without mutating the caller's p. A
+	// cache installed on the pipeline itself is honored; SharedCache
+	// overrides it. With neither, every job gets a private cache.
+	run := *p
+	if opt.SharedCache != nil {
+		run.Cache = opt.SharedCache
+	}
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				results[i].Name = jobs[i].Name
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+					continue
+				}
+				m, st, err := run.RunContext(ctx, jobs[i].M)
+				results[i].M, results[i].Stats, results[i].Err = m, st, err
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// SplitOutputs decomposes m into one job per primary output: each job's
+// graph is the transitive fanin cone of that output over the same primary
+// inputs. Together with RunBatch this parallelizes the optimization of
+// one large MIG across its output cones.
+func SplitOutputs(m *mig.MIG, baseName string) []Job {
+	jobs := make([]Job, m.NumPOs())
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("%s.out%d", baseName, i),
+			M:    ExtractCone(m, i),
+		}
+	}
+	return jobs
+}
+
+// ExtractCone returns a fresh single-output MIG computing output out of
+// m: the cone's gates are copied (with structural hashing) over the full
+// primary-input set, so cones of one graph stay input-compatible.
+func ExtractCone(m *mig.MIG, out int) *mig.MIG {
+	o := m.Output(out)
+	// Fanins always have smaller IDs than their gate, so one descending
+	// mark sweep finds the cone and one ascending copy rebuilds it.
+	reach := make([]bool, m.NumNodes())
+	reach[o.ID()] = true
+	for id := m.NumNodes() - 1; id > m.NumPIs(); id-- {
+		if !reach[id] || !m.IsGate(mig.ID(id)) {
+			continue
+		}
+		for _, ch := range m.Fanin(mig.ID(id)) {
+			reach[ch.ID()] = true
+		}
+	}
+	res := mig.New(m.NumPIs())
+	sig := make([]mig.Lit, m.NumNodes())
+	sig[0] = mig.Const0
+	for i := 0; i < m.NumPIs(); i++ {
+		sig[m.Input(i).ID()] = res.Input(i)
+	}
+	at := func(l mig.Lit) mig.Lit { return sig[l.ID()].NotIf(l.Comp()) }
+	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+		if reach[id] && m.IsGate(mig.ID(id)) {
+			f := m.Fanin(mig.ID(id))
+			sig[id] = res.Maj(at(f[0]), at(f[1]), at(f[2]))
+		}
+	}
+	res.AddOutput(at(o))
+	return res
+}

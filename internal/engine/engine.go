@@ -1,0 +1,134 @@
+// Package engine turns the single-shot optimization passes of this
+// repository into a production-style optimization engine:
+//
+//   - Pass wraps one transformation (the five functional-hashing variants
+//     TF, T, TFD, TD and BF of internal/rewrite, plus the algebraic depth
+//     optimizer of internal/depthopt) behind a uniform interface.
+//   - Pipeline composes named passes into a script and runs the script to
+//     convergence, keeping the best graph seen and reporting per-pass
+//     statistics. Preset scripts ("resyn", "size", "depth", …) cover the
+//     common flows; custom scripts are built with New.
+//   - RunBatch optimizes many MIGs concurrently on a bounded worker pool
+//     with deterministic result ordering and context cancellation.
+//
+// All pipelines share the sharded NPN cut-cache of internal/db: the
+// canonicalization + database lookup of every 4-feasible cut — the hot
+// path of functional hashing — is memoized across passes, iterations and
+// (optionally) across batch workers.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"mighash/internal/db"
+	"mighash/internal/depthopt"
+	"mighash/internal/mig"
+	"mighash/internal/rewrite"
+)
+
+// PassStats reports one executed pass of a pipeline run.
+type PassStats struct {
+	Name        string `json:"name"`
+	Iteration   int    `json:"iteration"` // 1-based script round
+	SizeBefore  int    `json:"size_before"`
+	SizeAfter   int    `json:"size_after"`
+	DepthBefore int    `json:"depth_before"`
+	DepthAfter  int    `json:"depth_after"`
+	// Replacements counts database substitutions (rewrite passes) or
+	// accepted reassociations (depth passes).
+	Replacements int `json:"replacements"`
+	// NPN cut-cache traffic of this pass; zero for non-rewrite passes.
+	CacheHits   int           `json:"cache_hits"`
+	CacheMisses int           `json:"cache_misses"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+}
+
+func (s PassStats) String() string {
+	out := fmt.Sprintf("%s[%d]: size %d→%d, depth %d→%d",
+		s.Name, s.Iteration, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter)
+	if s.CacheHits+s.CacheMisses > 0 {
+		out += fmt.Sprintf(", cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
+	return out
+}
+
+// passEnv is the shared context a pass executes in.
+type passEnv struct {
+	d     *db.DB
+	cache *db.Cache
+}
+
+// Pass is one named transformation step of a pipeline. The zero value is
+// invalid; construct passes with RewritePass, DepthPass or PassByName.
+type Pass struct {
+	name string
+	run  func(m *mig.MIG, env passEnv) (*mig.MIG, PassStats)
+}
+
+// Name returns the script name of the pass ("BF", "depthopt", …).
+func (p Pass) Name() string { return p.name }
+
+// RewritePass wraps one functional-hashing configuration. The pass name
+// is the paper acronym of opt (rewrite.VariantName); opt.Cache is
+// overridden by the pipeline's cache.
+func RewritePass(opt rewrite.Options) Pass {
+	name := rewrite.VariantName(opt)
+	return Pass{
+		name: name,
+		run: func(m *mig.MIG, env passEnv) (*mig.MIG, PassStats) {
+			// Copy the captured options: concurrent batch workers share
+			// this Pass, so the closure state must stay read-only.
+			o := opt
+			o.Cache = env.cache
+			res, st := rewrite.Run(m, env.d, o)
+			return res, PassStats{
+				Name:       name,
+				SizeBefore: st.SizeBefore, SizeAfter: st.SizeAfter,
+				DepthBefore: st.DepthBefore, DepthAfter: st.DepthAfter,
+				Replacements: st.Replacements,
+				CacheHits:    st.CacheHits,
+				CacheMisses:  st.CacheMisses,
+				Elapsed:      st.Elapsed,
+			}
+		},
+	}
+}
+
+// DepthPass wraps the algebraic depth optimizer.
+func DepthPass(opt depthopt.Options) Pass {
+	return Pass{
+		name: "depthopt",
+		run: func(m *mig.MIG, env passEnv) (*mig.MIG, PassStats) {
+			res, st := depthopt.Optimize(m, opt)
+			return res, PassStats{
+				Name:       "depthopt",
+				SizeBefore: st.SizeBefore, SizeAfter: st.SizeAfter,
+				DepthBefore: st.DepthBefore, DepthAfter: st.DepthAfter,
+				Replacements: st.Passes,
+				Elapsed:      st.Elapsed,
+			}
+		},
+	}
+}
+
+// PassByName resolves the script name of a pass: one of the five paper
+// variants "TF", "T", "TFD", "TD", "BF", or "depthopt" (the depth
+// optimizer with its default production tuning).
+func PassByName(name string) (Pass, bool) {
+	switch name {
+	case "TF":
+		return RewritePass(rewrite.TF), true
+	case "T":
+		return RewritePass(rewrite.T), true
+	case "TFD":
+		return RewritePass(rewrite.TFD), true
+	case "TD":
+		return RewritePass(rewrite.TD), true
+	case "BF":
+		return RewritePass(rewrite.BF), true
+	case "depthopt":
+		return DepthPass(depthopt.Options{SizeFactor: 1.2, MaxPasses: 10}), true
+	}
+	return Pass{}, false
+}

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"mighash/internal/db"
+	"mighash/internal/depthopt"
+	"mighash/internal/mig"
+	"mighash/internal/rewrite"
+)
+
+// Objective selects the convergence metric of a pipeline.
+type Objective int
+
+const (
+	// ObjectiveSize minimizes (size, depth) lexicographically — the
+	// paper's setting: functional hashing for size, depth as tiebreak.
+	ObjectiveSize Objective = iota
+	// ObjectiveDepth minimizes (depth, size) lexicographically.
+	ObjectiveDepth
+)
+
+func (o Objective) String() string {
+	if o == ObjectiveDepth {
+		return "depth"
+	}
+	return "size"
+}
+
+// better reports whether cost a = (size, depth) beats cost b under o.
+func (o Objective) better(aSize, aDepth, bSize, bDepth int) bool {
+	if o == ObjectiveDepth {
+		return aDepth < bDepth || (aDepth == bDepth && aSize < bSize)
+	}
+	return aSize < bSize || (aSize == bSize && aDepth < bDepth)
+}
+
+// Pipeline is a composable optimization script: an ordered list of passes
+// run repeatedly until the script stops improving the graph. A Pipeline
+// is immutable during Run and may be used by many goroutines at once
+// (RunBatch does exactly that).
+type Pipeline struct {
+	// Name labels the script in stats and CLIs ("resyn", "custom", …).
+	Name string
+	// Passes is the script body, executed in order each iteration.
+	Passes []Pass
+	// Objective selects the convergence metric (default ObjectiveSize).
+	Objective Objective
+	// MaxIterations caps the number of script rounds (default 10). The
+	// pipeline stops earlier as soon as a full round fails to improve the
+	// best cost seen, which is the common exit.
+	MaxIterations int
+	// DB supplies the minimum-MIG database; nil loads the embedded one.
+	DB *db.DB
+	// Cache is the NPN cut-cache shared by every rewrite pass of a run.
+	// When nil each Run allocates a private cache, which keeps run
+	// statistics deterministic; install a shared db.NewCache() to also
+	// reuse canonicalizations across runs and batch workers.
+	Cache *db.Cache
+}
+
+// PipelineStats reports one pipeline run.
+type PipelineStats struct {
+	Script      string        `json:"script"`
+	Iterations  int           `json:"iterations"` // completed script rounds
+	Converged   bool          `json:"converged"`  // stopped by fixpoint, not by MaxIterations
+	SizeBefore  int           `json:"size_before"`
+	SizeAfter   int           `json:"size_after"`
+	DepthBefore int           `json:"depth_before"`
+	DepthAfter  int           `json:"depth_after"`
+	CacheHits   int           `json:"cache_hits"`   // summed over rewrite passes
+	CacheMisses int           `json:"cache_misses"` // summed over rewrite passes
+	Passes      []PassStats   `json:"passes"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+}
+
+// CacheHitRate returns the fraction of NPN lookups served by the cache.
+func (s PipelineStats) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+func (s PipelineStats) String() string {
+	return fmt.Sprintf("%s: size %d→%d, depth %d→%d, %d iterations (converged=%v), cache %.0f%% of %d, %v",
+		s.Script, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter,
+		s.Iterations, s.Converged, 100*s.CacheHitRate(), s.CacheHits+s.CacheMisses, s.Elapsed)
+}
+
+// New builds a custom pipeline over the given passes with default
+// convergence settings.
+func New(passes ...Pass) *Pipeline {
+	return &Pipeline{Name: "custom", Passes: passes}
+}
+
+// NewScript builds a pipeline from pass names (see PassByName).
+func NewScript(name string, passNames ...string) (*Pipeline, error) {
+	p := &Pipeline{Name: name}
+	for _, pn := range passNames {
+		pass, ok := PassByName(pn)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown pass %q", pn)
+		}
+		p.Passes = append(p.Passes, pass)
+	}
+	return p, nil
+}
+
+// presets are the named scripts shipped with the engine.
+func presets() map[string]func() *Pipeline {
+	return map[string]func() *Pipeline{
+		// resyn interleaves cheap and aggressive size passes with a
+		// budgeted depth restructuring, in the spirit of ABC's resyn
+		// scripts and the paper's closing remark on repeated hashing.
+		"resyn": func() *Pipeline {
+			return &Pipeline{
+				Name: "resyn",
+				Passes: []Pass{
+					RewritePass(rewrite.TF),
+					DepthPass(depthopt.Options{SizeFactor: 1.2, MaxPasses: 10}),
+					RewritePass(rewrite.BF),
+					RewritePass(rewrite.TFD),
+				},
+			}
+		},
+		// size runs the strongest size variant to fixpoint.
+		"size": func() *Pipeline {
+			return &Pipeline{Name: "size", Passes: []Pass{RewritePass(rewrite.BF)}}
+		},
+		// depth alternates the depth optimizer with depth-preserving
+		// hashing to recover the size it spends.
+		"depth": func() *Pipeline {
+			return &Pipeline{
+				Name:      "depth",
+				Objective: ObjectiveDepth,
+				Passes: []Pass{
+					DepthPass(depthopt.Options{SizeFactor: 8, MaxPasses: 40}),
+					RewritePass(rewrite.TD),
+				},
+			}
+		},
+		// quick is one TF pass: the cheapest useful cleanup.
+		"quick": func() *Pipeline {
+			return &Pipeline{Name: "quick", Passes: []Pass{RewritePass(rewrite.TF)}, MaxIterations: 1}
+		},
+	}
+}
+
+// Preset returns a named script. Besides the composite scripts ("resyn",
+// "size", "depth", "quick"), every pass name accepted by PassByName is a
+// single-pass run-to-convergence script.
+func Preset(name string) (*Pipeline, error) {
+	if f, ok := presets()[name]; ok {
+		return f(), nil
+	}
+	if pass, ok := PassByName(name); ok {
+		return &Pipeline{Name: name, Passes: []Pass{pass}}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown script %q (have %v)", name, PresetNames())
+}
+
+// PresetNames lists every name Preset accepts, sorted.
+func PresetNames() []string {
+	names := []string{"TF", "T", "TFD", "TD", "BF", "depthopt"}
+	for n := range presets() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run optimizes m with the script and returns the best graph seen
+// together with the run statistics. m itself is never modified.
+func (p *Pipeline) Run(m *mig.MIG) (*mig.MIG, PipelineStats, error) {
+	return p.RunContext(context.Background(), m)
+}
+
+// RunContext is Run with cancellation between passes.
+func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, PipelineStats, error) {
+	if len(p.Passes) == 0 {
+		return nil, PipelineStats{}, fmt.Errorf("engine: pipeline %q has no passes", p.Name)
+	}
+	d := p.DB
+	if d == nil {
+		var err error
+		if d, err = db.Load(); err != nil {
+			return nil, PipelineStats{}, err
+		}
+	}
+	cache := p.Cache
+	if cache == nil {
+		cache = db.NewCache()
+	}
+	env := passEnv{d: d, cache: cache}
+
+	start := time.Now()
+	st := PipelineStats{
+		Script:     p.Name,
+		SizeBefore: m.Size(), DepthBefore: m.Depth(),
+	}
+	maxIter := p.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	cur := m
+	best, bestSize, bestDepth := m, st.SizeBefore, st.DepthBefore
+	for st.Iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, PipelineStats{}, err
+		}
+		st.Iterations++
+		for _, pass := range p.Passes {
+			if err := ctx.Err(); err != nil {
+				return nil, PipelineStats{}, err
+			}
+			next, ps := pass.run(cur, env)
+			ps.Iteration = st.Iterations
+			st.Passes = append(st.Passes, ps)
+			st.CacheHits += ps.CacheHits
+			st.CacheMisses += ps.CacheMisses
+			cur = next
+		}
+		if size, depth := cur.Size(), cur.Depth(); p.Objective.better(size, depth, bestSize, bestDepth) {
+			best, bestSize, bestDepth = cur, size, depth
+			continue
+		}
+		// Fixpoint: a whole round without improvement. Later rounds would
+		// start from the same graph and repeat the same result.
+		st.Converged = true
+		break
+	}
+	st.SizeAfter, st.DepthAfter = bestSize, bestDepth
+	st.Elapsed = time.Since(start)
+	return best, st, nil
+}

@@ -42,6 +42,13 @@ type Options struct {
 	// ablation benchmarks.
 	AllowZeroGain bool
 
+	// Cache, when non-nil, memoizes the NPN canonicalization + database
+	// lookup of every cut function through a concurrency-safe sharded map.
+	// One cache can be shared across passes and across goroutines (the
+	// engine's pipelines and batch runner do both); hits and misses of
+	// this pass are reported in Stats.
+	Cache *db.Cache
+
 	// MaxCuts caps the per-node cut sets (default 24).
 	MaxCuts int
 	// MaxCandidates caps the bottom-up candidate lists (default 8),
@@ -99,12 +106,27 @@ type Stats struct {
 	SizeBefore, SizeAfter   int
 	DepthBefore, DepthAfter int
 	Replacements            int // cuts replaced by database MIGs
-	Elapsed                 time.Duration
+	// NPN cut-cache traffic of this pass (zero when Options.Cache is nil).
+	CacheHits, CacheMisses int
+	Elapsed                time.Duration
+}
+
+// CacheHitRate returns the fraction of this pass's database lookups
+// served by the NPN cut-cache, or 0 when no cache was attached.
+func (s Stats) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%s: size %d→%d, depth %d→%d, %d replacements, %v",
+	out := fmt.Sprintf("%s: size %d→%d, depth %d→%d, %d replacements, %v",
 		s.Variant, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter, s.Replacements, s.Elapsed)
+	if s.CacheHits+s.CacheMisses > 0 {
+		out += fmt.Sprintf(", cache %.0f%% of %d", 100*s.CacheHitRate(), s.CacheHits+s.CacheMisses)
+	}
+	return out
 }
 
 // Run applies one functional-hashing pass over m and returns the optimized
@@ -141,6 +163,8 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 		DepthBefore:  m.Depth(),
 		DepthAfter:   res.Depth(),
 		Replacements: r.replacements,
+		CacheHits:    r.cacheHits,
+		CacheMisses:  r.cacheMisses,
 		Elapsed:      time.Since(start),
 	}
 	return res, st
@@ -160,6 +184,8 @@ type rewriter struct {
 
 	levels       []int // level of every node in out (maintained on creation)
 	replacements int
+
+	cacheHits, cacheMisses int // this pass's NPN cut-cache traffic
 }
 
 // addMaj creates a majority gate in the output graph, keeping the level
@@ -208,9 +234,17 @@ type transformRef struct {
 
 // lookup canonicalizes the cone function of (v, leaves) and returns the
 // database entry plus instantiation data, or nil when the class is absent.
+// With Options.Cache the canonicalization and class lookup are memoized.
 func (r *rewriter) lookup(v mig.ID, leaves []mig.ID) (*db.Entry, transformRef) {
 	f := r.m.ConeTT(mig.MakeLit(v, false), leaves).Expand(4)
-	e, t, ok := r.d.Lookup(f)
+	e, t, ok, hit := r.d.LookupCached(f, r.opt.Cache)
+	if r.opt.Cache != nil {
+		if hit {
+			r.cacheHits++
+		} else {
+			r.cacheMisses++
+		}
+	}
 	if !ok {
 		return nil, transformRef{}
 	}

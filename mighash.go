@@ -12,19 +12,25 @@
 // technology mapping and generators for the arithmetic benchmarks of the
 // experimental section.
 //
+// Beyond the paper, the internal/engine subsystem scales the single-shot
+// passes into a batch-optimization engine: composable pass pipelines with
+// run-to-convergence semantics, a concurrency-safe sharded NPN cut-cache,
+// and a bounded worker pool for optimizing many graphs at once.
+//
 // This root package is the stable public surface; the examples/ directory
-// only uses what is exported here. See README.md for a tour, DESIGN.md
-// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
-// results.
+// only uses what is exported here. See README.md for a quickstart and the
+// package tour.
 package mighash
 
 import (
+	"context"
 	"io"
 
 	"mighash/internal/aig"
 	"mighash/internal/circuits"
 	"mighash/internal/db"
 	"mighash/internal/depthopt"
+	"mighash/internal/engine"
 	"mighash/internal/exact"
 	"mighash/internal/mapper"
 	"mighash/internal/mig"
@@ -120,6 +126,55 @@ var (
 // Optimize applies one functional-hashing pass, returning a fresh
 // optimized MIG and its statistics.
 var Optimize = rewrite.Run
+
+// NPNCache is the concurrency-safe, sharded memo of NPN canonicalization
+// + database lookups shared by pipelines and batch workers.
+type NPNCache = db.Cache
+
+// NewNPNCache returns an empty cut-cache ready for concurrent use.
+var NewNPNCache = db.NewCache
+
+// Optimization engine: composable pass pipelines and concurrent batch
+// optimization (internal/engine; beyond the paper).
+type (
+	// Pipeline is a named optimization script run to convergence.
+	Pipeline = engine.Pipeline
+	// Pass is one step of a pipeline.
+	Pass = engine.Pass
+	// PipelineStats reports one pipeline run.
+	PipelineStats = engine.PipelineStats
+	// PassStats reports one executed pass.
+	PassStats = engine.PassStats
+	// BatchJob is one named MIG in a batch run.
+	BatchJob = engine.Job
+	// BatchResult is the outcome of one BatchJob.
+	BatchResult = engine.Result
+	// BatchOptions tunes RunBatch (workers, shared cache).
+	BatchOptions = engine.BatchOptions
+)
+
+// NewPipeline builds a custom pipeline over the given passes.
+var NewPipeline = engine.New
+
+// PipelineScript returns a preset script by name ("resyn", "size",
+// "depth", "quick", or any pass name).
+var PipelineScript = engine.Preset
+
+// PipelineScripts lists every preset script name.
+var PipelineScripts = engine.PresetNames
+
+// PipelinePass resolves a pass by script name (TF, T, TFD, TD, BF,
+// depthopt).
+var PipelinePass = engine.PassByName
+
+// RunBatch optimizes many MIGs concurrently on a bounded worker pool with
+// deterministic result ordering and context cancellation.
+func RunBatch(ctx context.Context, p *Pipeline, jobs []BatchJob, opt BatchOptions) ([]BatchResult, error) {
+	return engine.RunBatch(ctx, p, jobs, opt)
+}
+
+// SplitOutputs decomposes an MIG into one batch job per output cone.
+var SplitOutputs = engine.SplitOutputs
 
 // Algebraic depth optimization (the substrate behind the paper's
 // "heavily optimized" starting points, refs [3], [4]).

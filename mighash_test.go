@@ -1,6 +1,7 @@
 package mighash_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -61,6 +62,56 @@ func TestPublicPipeline(t *testing.T) {
 		if cover.Area == 0 || cover.Depth == 0 {
 			t.Errorf("%s: degenerate cover %v", v.name, cover)
 		}
+	}
+}
+
+// TestPublicEngine drives the batch-optimization engine through the
+// façade: a preset script over batch jobs, with cache stats surfaced.
+func TestPublicEngine(t *testing.T) {
+	build := func() *mighash.MIG {
+		b := mighash.NewCircuitBuilder(16)
+		sum, cout := b.Add(b.Inputs(0, 8), b.Inputs(8, 8), mighash.Const0)
+		b.Outputs(sum)
+		b.M.AddOutput(cout)
+		return b.M
+	}
+	p, err := mighash.PipelineScript("resyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DB = loadDB(t)
+	jobs := []mighash.BatchJob{
+		{Name: "adder8a", M: build()},
+		{Name: "adder8b", M: build()},
+	}
+	results, err := mighash.RunBatch(context.Background(), p, jobs, mighash.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Name != jobs[i].Name {
+			t.Fatalf("result %d out of order: %q", i, r.Name)
+		}
+		eq, ce, err := mighash.Equivalent(jobs[i].M, r.M, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("%s: engine broke the circuit: %v", r.Name, ce)
+		}
+		if r.Stats.CacheHits+r.Stats.CacheMisses == 0 {
+			t.Errorf("%s: no NPN-cache traffic recorded", r.Name)
+		}
+	}
+	if names := mighash.PipelineScripts(); len(names) < 6 {
+		t.Errorf("script registry too small: %v", names)
+	}
+	cone := mighash.SplitOutputs(jobs[0].M, "adder8a")
+	if len(cone) != jobs[0].M.NumPOs() {
+		t.Errorf("SplitOutputs: %d cones for %d outputs", len(cone), jobs[0].M.NumPOs())
 	}
 }
 
