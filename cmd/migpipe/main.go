@@ -8,7 +8,12 @@
 //	migpipe -script size -workers 1 -json     # serial, machine-readable stats
 //	migpipe -script resyn -benchmarks Sine,Max -verify
 //	migpipe -script BF -in circuit.bench -split   # one job per output cone
+//	migpipe -script resyn -in big.bench -workers 8  # one graph: FFR-parallel rewriting
 //	migpipe -scripts                          # list available scripts
+//
+// With a single job the -workers budget moves from the batch pool to the
+// pipeline's intra-graph rewriter (best-cut evaluation over independent
+// fanout-free regions); results are bit-identical at any worker count.
 package main
 
 import (
@@ -75,6 +80,16 @@ func main() {
 	jobs, err := buildJobs(*in, *split, *benchmarks, *prepare)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(jobs) == 1 {
+		// A single job cannot use the batch pool, so hand the workers to
+		// the pipeline's intra-graph parallel rewriter instead: best cuts
+		// of independent fanout-free regions are evaluated concurrently
+		// and committed deterministically, so the result is bit-identical
+		// to a serial run.
+		if p.Workers = *workers; p.Workers <= 0 {
+			p.Workers = runtime.NumCPU()
+		}
 	}
 
 	ctx := context.Background()

@@ -19,6 +19,7 @@ package cut
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mighash/internal/mig"
 )
@@ -29,8 +30,16 @@ const MaxK = 6
 
 // Cut is a set of at most MaxK leaves, sorted ascending. Sig is a 64-bit
 // Bloom-style signature for fast subset tests.
+//
+// TT is the function of the cut root over the leaves — leaf i is variable
+// i — stored expanded to 4 variables (unused upper variables are
+// don't-cares), so it equals mig.ConeTT(root, leaves).Expand(4).Bits. It
+// is computed incrementally during enumeration from the child cuts' truth
+// tables and is only populated when enumerating with K <= 4; wider
+// enumerations (LUT mapping) leave it zero.
 type Cut struct {
 	Sig uint64
+	TT  uint16
 	N   uint8
 	L   [MaxK]mig.ID
 }
@@ -53,6 +62,63 @@ func (c *Cut) String() string {
 
 func sigOf(id mig.ID) uint64 { return 1 << (uint(id) & 63) }
 
+// proj4[i] is the truth table of variable i over 4 variables, the 16-bit
+// analogue of tt.Var(4, i).
+var proj4 = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+
+// ttVar0 is the truth table of a single-leaf cut: variable 0 expanded to
+// 4 variables.
+const ttVar0 = 0xAAAA
+
+// swapTT exchanges variables i < j of a 4-variable truth table; the
+// 16-bit counterpart of tt.SwapVars.
+func swapTT(bits uint16, i, j int) uint16 {
+	pi, pj := proj4[i], proj4[j]
+	sh := uint(1)<<uint(j) - uint(1)<<uint(i)
+	keep := bits & (pi&pj | ^pi&^pj)
+	up := (bits & pi &^ pj) << sh
+	down := (bits & pj &^ pi) >> sh
+	return keep | up | down
+}
+
+// stretchTT re-expresses the truth table of child cut c over the leaf
+// positions of the merged cut d (c.L ⊆ d.L, both sorted). Because both
+// leaf lists are ascending, variable i of c moves to a position p_i >= i
+// with p_0 < p_1 < ..., so — walking from the highest variable down —
+// each move is a swap with a position currently holding a don't-care
+// variable, which in the expanded-to-4 representation is exact.
+func stretchTT(c, d *Cut) uint16 {
+	bits := c.TT
+	j := int(d.N)
+	for i := int(c.N) - 1; i >= 0; i-- {
+		for j--; d.L[j] != c.L[i]; j-- {
+		}
+		if j != i {
+			bits = swapTT(bits, i, j)
+		}
+	}
+	return bits
+}
+
+// mergedTT computes the truth table of a gate over the leaves of the
+// merged cut out: each child cut's function is stretched onto out's leaf
+// positions, complemented per the fanin edge, and combined by majority.
+func mergedTT(f [3]mig.Lit, a, b, c, out *Cut) uint16 {
+	ta := stretchTT(a, out)
+	if f[0].Comp() {
+		ta = ^ta
+	}
+	tb := stretchTT(b, out)
+	if f[1].Comp() {
+		tb = ^tb
+	}
+	tc := stretchTT(c, out)
+	if f[2].Comp() {
+		tc = ^tc
+	}
+	return ta&tb | ta&tc | tb&tc
+}
+
 // subsetOf reports whether c ⊆ d.
 func (c *Cut) subsetOf(d *Cut) bool {
 	if c.N > d.N || c.Sig&^d.Sig != 0 {
@@ -74,6 +140,14 @@ func (c *Cut) subsetOf(d *Cut) bool {
 
 // merge3 computes the union of three sorted cuts, failing when it exceeds k.
 func merge3(a, b, c *Cut, k int) (Cut, bool) {
+	// Signature prefilter: every leaf contributes one bit, so more set
+	// bits than k means more than k distinct leaves. Collisions only
+	// under-count, so this never rejects a feasible merge, but it throws
+	// out the bulk of the |sa|·|sb|·|sc| infeasible combinations for the
+	// cost of one popcount instead of a three-way merge walk.
+	if bits.OnesCount64(a.Sig|b.Sig|c.Sig) > k {
+		return Cut{}, false
+	}
 	var out Cut
 	i, j, l := uint8(0), uint8(0), uint8(0)
 	for i < a.N || j < b.N || l < c.N {
@@ -127,27 +201,67 @@ func (o Options) withDefaults() Options {
 
 // Enumerate computes the cut sets of every node of m. The result is
 // indexed by node ID; terminals get their defining cuts and every gate's
-// set ends with the trivial cut {g}.
+// set ends with the trivial cut {g}. With K <= 4 every cut also carries
+// its truth table (see Cut.TT).
+//
+// Enumerate allocates fresh cut sets the caller may retain; the rewrite
+// hot path reuses one arena across passes through Workspace.Enumerate.
 func Enumerate(m *mig.MIG, opts Options) [][]Cut {
+	return new(Workspace).Enumerate(m, opts)
+}
+
+// Workspace owns the cut-set arena of repeated enumerations: all cut
+// slices of one Enumerate call are carved out of a single backing array
+// that is reused by the next call, so steady-state enumeration allocates
+// nothing. The sets returned by Workspace.Enumerate alias the arena and
+// are invalidated by the next Enumerate on the same Workspace; a
+// Workspace must not be used by two goroutines at once.
+type Workspace struct {
+	sets  [][]Cut
+	arena []Cut
+}
+
+// NewWorkspace returns an empty enumeration workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Enumerate is the arena-backed version of the package-level Enumerate.
+func (w *Workspace) Enumerate(m *mig.MIG, opts Options) [][]Cut {
 	opts = opts.withDefaults()
-	sets := make([][]Cut, m.NumNodes())
-	sets[0] = []Cut{{}} // constant node: the empty cut
-	for i := 0; i < m.NumPIs(); i++ {
-		id := m.Input(i).ID()
-		sets[id] = []Cut{{Sig: sigOf(id), N: 1, L: [MaxK]mig.ID{id}}}
+	n := m.NumNodes()
+	per := opts.MaxCuts + 1 // every node's set is capped at MaxCuts plus the trivial cut
+	if need := n * per; cap(w.arena) < need {
+		w.arena = make([]Cut, need)
 	}
-	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+	if cap(w.sets) < n {
+		w.sets = make([][]Cut, n)
+	}
+	sets := w.sets[:n]
+	// slot hands out node i's fixed-capacity arena window; appends beyond
+	// per would reallocate out of the arena, which the cap in
+	// addIrredundant rules out.
+	slot := func(i int) []Cut { return w.arena[i*per : i*per : (i+1)*per] }
+	withTT := opts.K <= 4
+	sets[0] = append(slot(0), Cut{}) // constant node: the empty cut
+	for i := 0; i < m.NumPIs(); i++ {
+		id := int(m.Input(i).ID())
+		c := Cut{Sig: sigOf(mig.ID(id)), N: 1, L: [MaxK]mig.ID{mig.ID(id)}}
+		if withTT {
+			c.TT = ttVar0
+		}
+		sets[id] = append(slot(id), c)
+	}
+	for id := m.NumPIs() + 1; id < n; id++ {
 		gid := mig.ID(id)
 		f := m.Fanin(gid)
-		sets[id] = mergeSets(sets[f[0].ID()], sets[f[1].ID()], sets[f[2].ID()], gid, opts)
+		sets[id] = mergeSets(slot(id), sets[f[0].ID()], sets[f[1].ID()], sets[f[2].ID()], f, gid, opts, withTT)
 	}
 	return sets
 }
 
 // mergeSets computes the saturating union of the three child cut sets with
-// irredundancy filtering and capping, then appends the trivial cut.
-func mergeSets(sa, sb, sc []Cut, root mig.ID, opts Options) []Cut {
-	out := make([]Cut, 0, opts.MaxCuts+1)
+// irredundancy filtering and capping, then appends the trivial cut. out
+// must be empty with capacity for MaxCuts+1 cuts.
+func mergeSets(out []Cut, sa, sb, sc []Cut, f [3]mig.Lit, root mig.ID, opts Options, withTT bool) []Cut {
 	for ia := range sa {
 		for ib := range sb {
 			for ic := range sc {
@@ -155,11 +269,18 @@ func mergeSets(sa, sb, sc []Cut, root mig.ID, opts Options) []Cut {
 				if !ok {
 					continue
 				}
+				if withTT {
+					c.TT = mergedTT(f, &sa[ia], &sb[ib], &sc[ic], &c)
+				}
 				out = addIrredundant(out, c, opts.MaxCuts)
 			}
 		}
 	}
-	out = append(out, Cut{Sig: sigOf(root), N: 1, L: [MaxK]mig.ID{root}})
+	triv := Cut{Sig: sigOf(root), N: 1, L: [MaxK]mig.ID{root}}
+	if withTT {
+		triv.TT = ttVar0
+	}
+	out = append(out, triv)
 	return out
 }
 

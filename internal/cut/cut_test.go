@@ -143,6 +143,68 @@ func TestCutFunctionsComposeCorrectly(t *testing.T) {
 	}
 }
 
+// TestCutTTMatchesConeTT checks the incrementally-maintained truth table
+// of every enumerated cut against the reference cone re-simulation: the
+// carried TT must equal ConeTT(root, leaves).Expand(4) exactly, which is
+// what the rewrite hot path consumes instead of re-simulating.
+func TestCutTTMatchesConeTT(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		m := randomMIG(rng, 5, 30)
+		sets := Enumerate(m, Options{K: 4, MaxCuts: 30})
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			for i := range sets[id] {
+				c := &sets[id][i]
+				want := m.ConeTT(mig.MakeLit(mig.ID(id), false), c.Leaves()).Expand(4)
+				if uint64(c.TT) != want.Bits {
+					t.Fatalf("trial %d node %d cut %v: TT %#04x, want %#04x",
+						trial, id, c, c.TT, want.Bits)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseMatchesFresh re-enumerates different graphs through
+// one Workspace and checks the arena-backed sets equal fresh ones.
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	w := NewWorkspace()
+	for trial := 0; trial < 10; trial++ {
+		m := randomMIG(rng, 5, 10+rng.Intn(60))
+		got := w.Enumerate(m, Options{K: 4, MaxCuts: 12})
+		want := Enumerate(m, Options{K: 4, MaxCuts: 12})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d sets, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if len(got[id]) != len(want[id]) {
+				t.Fatalf("trial %d node %d: %d cuts, want %d", trial, id, len(got[id]), len(want[id]))
+			}
+			for i := range want[id] {
+				if got[id][i] != want[id][i] {
+					t.Fatalf("trial %d node %d cut %d: %+v != %+v", trial, id, i, got[id][i], want[id][i])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceEnumerateSteadyStateAllocs pins the arena property: after
+// the first enumeration, re-enumerating the same graph allocates nothing.
+func TestWorkspaceEnumerateSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	m := randomMIG(rng, 6, 300)
+	w := NewWorkspace()
+	w.Enumerate(m, Options{K: 4, MaxCuts: 24}) // warm the arena
+	allocs := testing.AllocsPerRun(10, func() {
+		w.Enumerate(m, Options{K: 4, MaxCuts: 24})
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state enumeration allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
 func TestIrredundance(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 20; trial++ {

@@ -53,10 +53,16 @@ func (s PassStats) String() string {
 	return out
 }
 
-// passEnv is the shared context a pass executes in.
+// passEnv is the shared context a pass executes in: the database and NPN
+// cache shared by the whole run, the rewrite workspace reused across all
+// passes and iterations of one pipeline run (each RunContext owns a
+// private one, so concurrent batch workers never share scratch), and the
+// intra-graph worker budget.
 type passEnv struct {
-	d     *db.DB
-	cache *db.Cache
+	d       *db.DB
+	cache   *db.Cache
+	ws      *rewrite.Workspace
+	workers int
 }
 
 // Pass is one named transformation step of a pipeline. The zero value is
@@ -81,6 +87,8 @@ func RewritePass(opt rewrite.Options) Pass {
 			// this Pass, so the closure state must stay read-only.
 			o := opt
 			o.Cache = env.cache
+			o.Workspace = env.ws
+			o.Workers = env.workers
 			res, st := rewrite.Run(m, env.d, o)
 			return res, PassStats{
 				Name:       name,

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math/rand"
@@ -374,4 +375,43 @@ func TestEmptyPipeline(t *testing.T) {
 
 func randomTT4(r *rand.Rand) tt.TT {
 	return tt.New(4, r.Uint64()&0xFFFF)
+}
+
+// TestPipelineIntraGraphWorkersDeterministic pins the contract of
+// Pipeline.Workers: the optimized graph of a full multi-pass script is
+// bit-identical for every intra-graph worker count.
+func TestPipelineIntraGraphWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := randomMIG(rng, 12, 400, 4)
+	render := func(g *mig.MIG) string {
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	var refText string
+	var refStats PipelineStats
+	for i, workers := range []int{0, 2, 8} {
+		p, err := Preset("resyn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Workers = workers
+		best, st, err := p.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refText, refStats = render(best), st
+			continue
+		}
+		if got := render(best); got != refText {
+			t.Errorf("workers=%d produced a different graph than serial", workers)
+		}
+		if st.SizeAfter != refStats.SizeAfter || st.DepthAfter != refStats.DepthAfter {
+			t.Errorf("workers=%d: size/depth %d/%d, want %d/%d",
+				workers, st.SizeAfter, st.DepthAfter, refStats.SizeAfter, refStats.DepthAfter)
+		}
+	}
 }

@@ -60,6 +60,14 @@ type Pipeline struct {
 	// statistics deterministic; install a shared db.NewCache() to also
 	// reuse canonicalizations across runs and batch workers.
 	Cache *db.Cache
+	// Workers bounds intra-graph parallelism of the rewrite passes: best
+	// cuts of independent fanout-free regions are evaluated concurrently
+	// and committed serially, so the optimized graphs are bit-identical
+	// for every value (only the cache hit/miss split can shift when
+	// workers race on the shared cache). 0 or 1 evaluates serially. This
+	// is how a single large MIG saturates the machine without the logic
+	// duplication of SplitOutputs.
+	Workers int
 }
 
 // PipelineStats reports one pipeline run.
@@ -195,7 +203,7 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 	if cache == nil {
 		cache = db.NewCache()
 	}
-	env := passEnv{d: d, cache: cache}
+	env := passEnv{d: d, cache: cache, ws: rewrite.NewWorkspace(), workers: p.Workers}
 
 	start := time.Now()
 	st := PipelineStats{
@@ -213,6 +221,10 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 			return nil, PipelineStats{}, err
 		}
 		st.Iterations++
+		// Every pass reports the size/depth of its result, so the round's
+		// final cost is read off the last PassStats instead of re-walking
+		// the graph twice per round.
+		size, depth := bestSize, bestDepth
 		for _, pass := range p.Passes {
 			if err := ctx.Err(); err != nil {
 				return nil, PipelineStats{}, err
@@ -222,9 +234,9 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 			st.Passes = append(st.Passes, ps)
 			st.CacheHits += ps.CacheHits
 			st.CacheMisses += ps.CacheMisses
-			cur = next
+			cur, size, depth = next, ps.SizeAfter, ps.DepthAfter
 		}
-		if size, depth := cur.Size(), cur.Depth(); p.Objective.better(size, depth, bestSize, bestDepth) {
+		if p.Objective.better(size, depth, bestSize, bestDepth) {
 			best, bestSize, bestDepth = cur, size, depth
 			continue
 		}

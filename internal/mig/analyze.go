@@ -1,5 +1,7 @@
 package mig
 
+import "slices"
+
 // Structural analyses used by the rewriting algorithms: fanout-free
 // regions (Sec. IV-C of the paper) and cone extraction.
 
@@ -37,22 +39,28 @@ func (m *MIG) FFRRoots() []ID {
 	}
 	root := make([]ID, len(m.fanin))
 	done := make([]bool, len(m.fanin))
-	var find func(id ID) ID
-	find = func(id ID) ID {
-		if done[id] {
-			return root[id]
-		}
-		r := id
-		// Chain upward only when the sole fanout is another gate; nodes
-		// driving a primary output are roots of their own region.
-		if m.IsGate(id) && seen[id] && fo[id] == 1 && !poRef[id] {
-			r = find(parent[id])
-		}
-		root[id], done[id] = r, true
-		return r
-	}
+	var chain []ID
 	for id := range root {
-		find(ID(id))
+		// Walk the single-fanout chain upward iteratively — deep fanout-
+		// free chains (long carry chains) would otherwise recurse once per
+		// gate. Chaining continues only while the sole fanout is another
+		// gate; nodes driving a primary output are roots of their own
+		// region.
+		v := ID(id)
+		chain = chain[:0]
+		for !done[v] && m.IsGate(v) && seen[v] && fo[v] == 1 && !poRef[v] {
+			chain = append(chain, v)
+			v = parent[v]
+		}
+		r := v
+		if done[v] {
+			r = root[v]
+		} else {
+			root[v], done[v] = v, true
+		}
+		for _, c := range chain {
+			root[c], done[c] = r, true
+		}
 	}
 	return root
 }
@@ -75,27 +83,13 @@ func (m *MIG) FFRMembers() map[ID][]ID {
 
 // ConeNodes returns the gate IDs in the cone of root bounded by leaves, in
 // ascending order and including root's gate if any. Leaves themselves are
-// not included; the constant node never blocks traversal.
+// not included; the constant node never blocks traversal. The traversal is
+// iterative, so arbitrarily deep cones cannot overflow the stack; hot
+// paths should use ConeNodesWS with a reused Workspace instead.
 func (m *MIG) ConeNodes(root ID, leaves []ID) []ID {
-	isLeaf := make(map[ID]bool, len(leaves))
-	for _, l := range leaves {
-		isLeaf[l] = true
-	}
-	seen := map[ID]bool{}
-	var order []ID
-	var visit func(id ID)
-	visit = func(id ID) {
-		if seen[id] || isLeaf[id] || !m.IsGate(id) {
-			return
-		}
-		seen[id] = true
-		for _, ch := range m.fanin[id] {
-			visit(ch.ID())
-		}
-		order = append(order, id)
-	}
-	visit(root)
-	return order
+	nodes := m.ConeNodesWS(NewWorkspace(), root, leaves)
+	slices.Sort(nodes)
+	return nodes
 }
 
 // ConeIsReplaceable reports whether the cone of root bounded by leaves can
@@ -103,26 +97,7 @@ func (m *MIG) ConeNodes(root ID, leaves []ID) []ID {
 // root) must have all of its fanout inside the cone. fo must come from
 // FanoutCounts of the same MIG.
 func (m *MIG) ConeIsReplaceable(root ID, leaves []ID, fo []int) bool {
-	nodes := m.ConeNodes(root, leaves)
-	inCone := make(map[ID]bool, len(nodes))
-	for _, id := range nodes {
-		inCone[id] = true
-	}
-	// Count internal references: each internal gate's fanout must be fully
-	// accounted for by cone-internal edges.
-	internalRefs := make(map[ID]int)
-	for _, id := range nodes {
-		for _, ch := range m.fanin[id] {
-			internalRefs[ch.ID()]++
-		}
-	}
-	for _, id := range nodes {
-		if id == root {
-			continue
-		}
-		if internalRefs[id] != fo[id] {
-			return false
-		}
-	}
-	return true
+	w := NewWorkspace()
+	nodes := m.ConeNodesWS(w, root, leaves)
+	return m.ConeSelfContainedWS(w, nodes, root, fo)
 }

@@ -74,7 +74,7 @@ type strashKey [3]Lit
 type MIG struct {
 	fanin   [][3]Lit // per-node children; unused for terminals
 	numPI   int
-	strash  map[strashKey]ID
+	strash  strashTable
 	outputs []Lit
 }
 
@@ -86,7 +86,7 @@ func New(numPIs int) *MIG {
 	m := &MIG{
 		fanin:  make([][3]Lit, 1+numPIs),
 		numPI:  numPIs,
-		strash: make(map[strashKey]ID),
+		strash: newStrashTable(),
 	}
 	return m
 }
@@ -171,12 +171,12 @@ func (m *MIG) Maj(a, b, c Lit) Lit {
 		neg = true
 	}
 	key := strashKey{a, b, c}
-	if id, ok := m.strash[key]; ok {
+	if id, ok := m.strash.lookup(key); ok {
 		return MakeLit(id, neg)
 	}
 	id := ID(len(m.fanin))
 	m.fanin = append(m.fanin, [3]Lit{a, b, c})
-	m.strash[key] = id
+	m.strash.insert(key, id)
 	return MakeLit(id, neg)
 }
 
@@ -316,31 +316,8 @@ func (m *MIG) FanoutCounts() []int {
 // outputs, with the same inputs and outputs (in order), plus the mapping
 // from old signals to new signals for reachable nodes.
 func (m *MIG) Cleanup() (*MIG, map[Lit]Lit) {
-	out := New(m.numPI)
-	lmap := make([]Lit, len(m.fanin)) // old ID -> new plain literal
-	known := make([]bool, len(m.fanin))
-	lmap[0], known[0] = Const0, true
-	for i := 0; i < m.numPI; i++ {
-		lmap[i+1], known[i+1] = out.Input(i), true
-	}
-	var build func(id ID) Lit
-	build = func(id ID) Lit {
-		if known[id] {
-			return lmap[id]
-		}
-		f := m.fanin[id]
-		a := build(f[0].ID()).NotIf(f[0].Comp())
-		b := build(f[1].ID()).NotIf(f[1].Comp())
-		c := build(f[2].ID()).NotIf(f[2].Comp())
-		l := out.Maj(a, b, c)
-		lmap[id], known[id] = l, true
-		return l
-	}
+	out, lmap, known := m.compact()
 	sigMap := make(map[Lit]Lit)
-	for _, o := range m.outputs {
-		nl := build(o.ID()).NotIf(o.Comp())
-		out.AddOutput(nl)
-	}
 	for id, ok := range known {
 		if ok {
 			sigMap[MakeLit(ID(id), false)] = lmap[id]
@@ -350,18 +327,62 @@ func (m *MIG) Cleanup() (*MIG, map[Lit]Lit) {
 	return out, sigMap
 }
 
+// Compact is Cleanup without the old-to-new signal map, for callers (the
+// rewriting passes) that only need the compacted graph.
+func (m *MIG) Compact() *MIG {
+	out, _, _ := m.compact()
+	return out
+}
+
+// compact rebuilds the reachable part of m. Reachability is marked by one
+// descending sweep and the copy by one ascending sweep — fanins always
+// have smaller IDs than their gate — so arbitrarily deep graphs compact
+// without recursion.
+func (m *MIG) compact() (*MIG, []Lit, []bool) {
+	out := New(m.numPI)
+	lmap := make([]Lit, len(m.fanin)) // old ID -> new plain literal
+	known := make([]bool, len(m.fanin))
+	lmap[0], known[0] = Const0, true
+	for i := 0; i < m.numPI; i++ {
+		lmap[i+1], known[i+1] = out.Input(i), true
+	}
+	reach := make([]bool, len(m.fanin))
+	for _, o := range m.outputs {
+		reach[o.ID()] = true
+	}
+	for id := len(m.fanin) - 1; id > m.numPI; id-- {
+		if !reach[id] {
+			continue
+		}
+		for _, ch := range m.fanin[id] {
+			reach[ch.ID()] = true
+		}
+	}
+	for id := m.numPI + 1; id < len(m.fanin); id++ {
+		if !reach[id] {
+			continue
+		}
+		f := m.fanin[id]
+		lmap[id] = out.Maj(
+			lmap[f[0].ID()].NotIf(f[0].Comp()),
+			lmap[f[1].ID()].NotIf(f[1].Comp()),
+			lmap[f[2].ID()].NotIf(f[2].Comp()))
+		known[id] = true
+	}
+	for _, o := range m.outputs {
+		out.AddOutput(lmap[o.ID()].NotIf(o.Comp()))
+	}
+	return out, lmap, known
+}
+
 // Clone returns a deep copy of the MIG.
 func (m *MIG) Clone() *MIG {
-	c := &MIG{
+	return &MIG{
 		fanin:   append([][3]Lit(nil), m.fanin...),
 		numPI:   m.numPI,
-		strash:  make(map[strashKey]ID, len(m.strash)),
+		strash:  m.strash.clone(),
 		outputs: append([]Lit(nil), m.outputs...),
 	}
-	for k, v := range m.strash {
-		c.strash[k] = v
-	}
-	return c
 }
 
 // Stats summarizes an MIG for reporting.

@@ -2,6 +2,7 @@ package mig
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -389,3 +390,132 @@ func TestStrashNormalFormProperty(t *testing.T) {
 // Perms3 lists the six permutations of three elements (exported for reuse
 // in other tests of this package).
 var Perms3 = [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+
+// TestDeepChainIterativeTraversals builds a majority chain hundreds of
+// thousands of gates deep — the shape of a long ripple-carry path — and
+// runs every traversal that used to be recursive. With the iterative
+// implementations this completes in bounded stack space regardless of
+// depth.
+func TestDeepChainIterativeTraversals(t *testing.T) {
+	const depth = 1 << 19
+	m := New(2)
+	x, y := m.Input(0), m.Input(1)
+	g := m.Maj(Const1, x, y)
+	for i := 1; i < depth; i++ {
+		// Alternate complementation so no majority axiom fires and every
+		// step creates a fresh gate one level deeper.
+		g = m.Maj(g.NotIf(i%2 == 0), x, y.Not())
+	}
+	m.AddOutput(g)
+
+	clean, _ := m.Cleanup() // recursive build would need one frame per gate
+	if got := clean.Size(); got != depth {
+		t.Fatalf("cleanup kept %d gates, want %d", got, depth)
+	}
+	if got := m.Depth(); got != depth {
+		t.Fatalf("depth = %d, want %d", got, depth)
+	}
+	nodes := m.ConeNodes(g.ID(), []ID{x.ID(), y.ID()})
+	if len(nodes) != depth {
+		t.Fatalf("cone holds %d gates, want %d", len(nodes), depth)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatal("ConeNodes result not ascending")
+		}
+	}
+	roots := m.FFRRoots() // recursive find would walk the chain once per node
+	for _, id := range nodes {
+		if roots[id] != g.ID() {
+			t.Fatalf("gate %d has FFR root %d, want the chain head %d", id, roots[id], g.ID())
+		}
+	}
+	fo := m.FanoutCounts()
+	if !m.ConeIsReplaceable(g.ID(), []ID{x.ID(), y.ID()}, fo) {
+		t.Fatal("single-fanout chain must be replaceable")
+	}
+}
+
+// TestWorkspaceConeAnalysesMatchFresh cross-checks the epoch-stamped
+// workspace variants against the allocation-per-call reference behaviour
+// on random graphs, including immediately repeated queries that stress the
+// epoch invalidation.
+func TestWorkspaceConeAnalysesMatchFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	w := NewWorkspace()
+	for trial := 0; trial < 50; trial++ {
+		m := randomStrashedMIG(rng, 5, 40)
+		fo := m.FanoutCounts()
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			root := ID(id)
+			f := m.Fanin(root)
+			leaves := []ID{f[0].ID(), f[1].ID(), f[2].ID()}
+			for rep := 0; rep < 2; rep++ {
+				got := append([]ID(nil), m.ConeNodesWS(w, root, leaves)...)
+				slices.Sort(got)
+				want := m.ConeNodes(root, leaves)
+				if !slices.Equal(got, want) {
+					t.Fatalf("trial %d node %d: cone %v, want %v", trial, id, got, want)
+				}
+				gotRep := m.ConeSelfContainedWS(w, m.ConeNodesWS(w, root, leaves), root, fo)
+				if wantRep := m.ConeIsReplaceable(root, leaves, fo); gotRep != wantRep {
+					t.Fatalf("trial %d node %d: replaceable %v, want %v", trial, id, gotRep, wantRep)
+				}
+			}
+		}
+		if got, want := m.SizeWS(w), m.Size(); got != want {
+			t.Fatalf("trial %d: SizeWS = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// randomStrashedMIG builds a random DAG for the workspace cross-checks.
+func randomStrashedMIG(rng *rand.Rand, pis, gates int) *MIG {
+	m := New(pis)
+	sigs := []Lit{Const0}
+	for i := 0; i < pis; i++ {
+		sigs = append(sigs, m.Input(i))
+	}
+	for g := 0; g < gates; g++ {
+		pick := func() Lit { return sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(2) == 0) }
+		sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+	}
+	m.AddOutput(sigs[len(sigs)-1])
+	return m
+}
+
+// TestStrashTableGrowAndClone hammers the open-addressing strash through
+// several growth cycles and checks clones stay independent.
+func TestStrashTableGrowAndClone(t *testing.T) {
+	m := New(8)
+	var sigs []Lit
+	for i := 0; i < 8; i++ {
+		sigs = append(sigs, m.Input(i))
+	}
+	rng := rand.New(rand.NewSource(59))
+	for g := 0; g < 5000; g++ {
+		a := sigs[rng.Intn(len(sigs))]
+		b := sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(2) == 0)
+		c := sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(2) == 0)
+		sigs = append(sigs, m.Maj(a, b, c))
+	}
+	before := m.NumGates()
+	c := m.Clone()
+	// Re-creating any existing gate on either copy must hit the table.
+	for g := 0; g < 1000; g++ {
+		id := ID(m.NumPIs() + 1 + rng.Intn(before))
+		f := m.Fanin(id)
+		if got := m.Maj(f[0], f[1], f[2]); got.ID() != id {
+			t.Fatalf("strash miss on original: gate %d rebuilt as %v", id, got)
+		}
+		if got := c.Maj(f[0], f[1], f[2]); got.ID() != id {
+			t.Fatalf("strash miss on clone: gate %d rebuilt as %v", id, got)
+		}
+	}
+	// Divergent growth: new gates on the clone must not leak into m.
+	n := m.NumGates()
+	c.Maj(sigs[len(sigs)-1], sigs[0], sigs[1].Not())
+	if m.NumGates() != n {
+		t.Fatal("clone shares gate storage with the original")
+	}
+}

@@ -22,6 +22,7 @@ type candidate struct {
 // sums would double-count shared logic).
 func (r *rewriter) runBottomUp() {
 	n := r.m.NumNodes()
+	st := &r.ws.eval[0]
 	cands := make([][]candidate, n)
 	cands[0] = []candidate{{lit: mig.Const0}}
 	for i := 0; i < r.m.NumPIs(); i++ {
@@ -52,21 +53,21 @@ func (r *rewriter) runBottomUp() {
 				continue
 			}
 			leaves := c.Leaves()
-			if _, ok := r.coneAdmissible(v, leaves); !ok {
+			if _, ok := r.coneAdmissible(v, leaves, st); !ok {
 				continue
 			}
-			e, tr := r.lookup(v, leaves)
+			e, tr := r.lookup(c, st)
 			if e == nil {
 				continue
 			}
 			r.eachCombo(leaves, cands, func(sel []candidate) {
-				leafSigs := make([]mig.Lit, len(sel))
+				var leafSigs [4]mig.Lit
 				size := e.Size()
 				for j := range sel {
 					leafSigs[j] = sel[j].lit
 					size += sel[j].size
 				}
-				lit := r.instantiate(e, tr, leafSigs)
+				lit := r.instantiate(e, tr, leafSigs[:len(sel)])
 				r.replacements++
 				list = r.insert(list, candidate{lit: lit, size: size, depth: r.level(lit)})
 			})
@@ -90,10 +91,14 @@ func (r *rewriter) runBottomUp() {
 
 // eachCombo invokes fn on every combination of the nodes' candidates,
 // each node contributing at most PerLeafCandidates entries. eachCombo
-// mutates and reuses one selection slice; fn must not retain it.
+// mutates and reuses one workspace-owned selection slice; fn must not
+// retain it.
 func (r *rewriter) eachCombo(nodes []mig.ID, cands [][]candidate, fn func(sel []candidate)) {
 	k := len(nodes)
-	sel := make([]candidate, k)
+	if cap(r.ws.sel) < k {
+		r.ws.sel = make([]candidate, k)
+	}
+	sel := r.ws.sel[:k]
 	var rec func(i int)
 	rec = func(i int) {
 		if i == k {

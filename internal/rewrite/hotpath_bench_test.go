@@ -1,0 +1,307 @@
+package rewrite
+
+// Microbenchmarks of the rewriting hot path (run with -benchmem):
+//
+//   - cut enumeration with the reusable arena workspace
+//   - cone-function extraction, truth-table-carrying cuts vs the legacy
+//     per-cut cone re-simulation they replaced
+//   - the steady-state best-cut evaluation loop, which must allocate ~0 B/op
+//   - structural hashing through the open-addressing strash
+//   - whole passes, serial vs FFR-parallel
+//
+// plus the determinism test for parallel rewriting: any worker count must
+// produce a bit-identical MIG (checked under -race in CI).
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mighash/internal/circuits"
+	"mighash/internal/cut"
+	"mighash/internal/db"
+	"mighash/internal/mig"
+)
+
+// benchGraph returns the Max arithmetic benchmark (≈3.5k gates), a
+// realistic post-strash netlist for hot-path measurements.
+func benchGraph(tb testing.TB) *mig.MIG {
+	tb.Helper()
+	spec, ok := circuits.ByName("Max")
+	if !ok {
+		tb.Fatal("Max benchmark missing")
+	}
+	return spec.Build()
+}
+
+// newBenchRewriter assembles a pass state the way Run does, so the
+// evaluation loop can be driven in isolation.
+func newBenchRewriter(tb testing.TB, m *mig.MIG, opt Options) *rewriter {
+	tb.Helper()
+	opt = opt.withDefaults()
+	ws := opt.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.prepare(m.NumNodes(), 1)
+	r := &rewriter{
+		m:         m,
+		d:         loadDB(tb),
+		opt:       opt,
+		ws:        ws,
+		cuts:      ws.cuts.Enumerate(m, cut.Options{K: 4, MaxCuts: opt.MaxCuts}),
+		fo:        m.FanoutCounts(),
+		out:       mig.New(m.NumPIs()),
+		oldLevels: m.Levels(),
+	}
+	if opt.FFR {
+		r.ffr = m.FFRRoots()
+	}
+	return r
+}
+
+// BenchmarkRewriteHotPathCutEnum measures arena-backed cut enumeration;
+// after the first iteration warms the arena it allocates nothing.
+func BenchmarkRewriteHotPathCutEnum(b *testing.B) {
+	m := benchGraph(b)
+	ws := cut.NewWorkspace()
+	ws.Enumerate(m, cut.Options{K: 4, MaxCuts: 24})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Enumerate(m, cut.Options{K: 4, MaxCuts: 24})
+	}
+}
+
+// BenchmarkRewriteHotPathConeTTLegacy is the cone-function extraction the
+// seed performed once per candidate cut: a map-memoized re-simulation.
+func BenchmarkRewriteHotPathConeTTLegacy(b *testing.B) {
+	m := benchGraph(b)
+	cuts := cut.NewWorkspace().Enumerate(m, cut.Options{K: 4, MaxCuts: 24})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			for j := range cuts[id] {
+				c := &cuts[id][j]
+				sink += m.ConeTT(mig.MakeLit(mig.ID(id), false), c.Leaves()).Expand(4).Bits
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkRewriteHotPathCutTT reads the same cone functions off the
+// truth-table-carrying cuts — the replacement for the re-simulation above.
+func BenchmarkRewriteHotPathCutTT(b *testing.B) {
+	m := benchGraph(b)
+	cuts := cut.NewWorkspace().Enumerate(m, cut.Options{K: 4, MaxCuts: 24})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			for j := range cuts[id] {
+				sink += uint64(cuts[id][j].TT)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkRewriteHotPathBestCutLoop drives the steady-state cut-
+// evaluation loop — cone analysis, admissibility, NPN lookup, candidate
+// selection — over every live gate. This is the loop the pass spends its
+// time in; with the workspace warm and the cache populated it must report
+// ~0 allocs/op.
+func BenchmarkRewriteHotPathBestCutLoop(b *testing.B) {
+	m := benchGraph(b)
+	opt := TF
+	opt.Cache = db.NewCache()
+	r := newBenchRewriter(b, m, opt)
+	st := &r.ws.eval[0]
+	// Warm the NPN cache so iterations measure the steady state.
+	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+		r.bestCut(mig.ID(id), st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			r.bestCut(mig.ID(id), st)
+		}
+	}
+}
+
+// BenchmarkRewriteHotPathStrash rebuilds every gate of the graph through
+// Maj — a pure structural-hashing workout (every call hits the table).
+func BenchmarkRewriteHotPathStrash(b *testing.B) {
+	m := benchGraph(b)
+	dst := mig.New(m.NumPIs())
+	sig := make([]mig.Lit, m.NumNodes())
+	sig[0] = mig.Const0
+	for i := 0; i < m.NumPIs(); i++ {
+		sig[m.Input(i).ID()] = dst.Input(i)
+	}
+	at := func(l mig.Lit) mig.Lit { return sig[l.ID()].NotIf(l.Comp()) }
+	build := func() {
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			f := m.Fanin(mig.ID(id))
+			sig[id] = dst.Maj(at(f[0]), at(f[1]), at(f[2]))
+		}
+	}
+	build() // populate; subsequent rounds are pure lookups
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build()
+	}
+}
+
+// BenchmarkRewriteHotPathPassSerial and ...PassParallel measure one full
+// TF pass end to end with a reused workspace, serial vs FFR-parallel.
+func benchPass(b *testing.B, workers int) {
+	m := benchGraph(b)
+	d := loadDB(b)
+	opt := TF
+	opt.Cache = db.NewCache()
+	opt.Workspace = NewWorkspace()
+	opt.Workers = workers
+	Run(m, d, opt) // warm workspace and cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(m, d, opt)
+	}
+}
+
+func BenchmarkRewriteHotPathPassSerial(b *testing.B)   { benchPass(b, 1) }
+func BenchmarkRewriteHotPathPassParallel(b *testing.B) { benchPass(b, 8) }
+
+// TestBestCutLoopSteadyStateAllocs pins the acceptance criterion in a
+// test: the steady-state cut-evaluation loop allocates nothing.
+func TestBestCutLoopSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := randomMIG(rng, 10, 300, 3)
+	opt := TF
+	opt.Cache = db.NewCache()
+	r := newBenchRewriter(t, m, opt)
+	st := &r.ws.eval[0]
+	for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+		r.bestCut(mig.ID(id), st) // warm cache and scratch
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+			r.bestCut(mig.ID(id), st)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state best-cut loop allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// writeText renders a graph for bit-exact comparison.
+func writeText(tb testing.TB, m *mig.MIG) string {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelRewriteDeterministic is the contract of the parallel
+// rewriter: for every top-down variant, every worker count must produce a
+// bit-identical optimized MIG (same node IDs, same fanins, same outputs),
+// and that MIG must be equivalent to the input. CI runs this under -race,
+// which also proves the evaluation phase is race-free.
+func TestParallelRewriteDeterministic(t *testing.T) {
+	d := loadDB(t)
+	rng := rand.New(rand.NewSource(43))
+	graphs := []*mig.MIG{
+		randomMIG(rng, 10, 250, 3),
+		randomMIG(rng, 14, 500, 5),
+	}
+	if spec, ok := circuits.ByName("Sine"); ok && !testing.Short() {
+		graphs = append(graphs, spec.Build())
+	}
+	rngSim := rand.New(rand.NewSource(44))
+	for gi, m := range graphs {
+		for _, v := range []struct {
+			name string
+			opt  Options
+		}{{"TF", TF}, {"T", T}, {"TFD", TFD}, {"TD", TD}} {
+			var ref *mig.MIG
+			var refText string
+			for _, workers := range []int{1, 2, 8} {
+				opt := v.opt
+				opt.Cache = db.NewCache()
+				opt.Workspace = NewWorkspace()
+				opt.Workers = workers
+				got, st := Run(m, d, opt)
+				if workers == 1 {
+					ref, refText = got, writeText(t, got)
+					// Equivalence: exact SAT CEC on the small random
+					// graphs, 64-pattern random simulation sweeps on the
+					// large benchmark circuit (CEC at that size belongs
+					// to the long-running verification flows).
+					if m.NumNodes() < 2000 {
+						if eq, ce, err := mig.Equivalent(m, got, 0); err != nil {
+							t.Fatal(err)
+						} else if !eq {
+							t.Fatalf("graph %d %s: rewrite changed the function, counterexample %v",
+								gi, v.name, ce)
+						}
+					} else {
+						for round := 0; round < 16; round++ {
+							in := make([]uint64, m.NumPIs())
+							for i := range in {
+								in[i] = rngSim.Uint64()
+							}
+							a, b := m.SimulateWords(in), got.SimulateWords(in)
+							for i := range a {
+								if a[i] != b[i] {
+									t.Fatalf("graph %d %s: output %d miscompares under random patterns",
+										gi, v.name, i)
+								}
+							}
+						}
+					}
+					continue
+				}
+				if text := writeText(t, got); text != refText {
+					t.Errorf("graph %d %s: %d workers produced a different MIG than 1 worker",
+						gi, v.name, workers)
+				}
+				if got.Size() != ref.Size() || got.Depth() != ref.Depth() {
+					t.Errorf("graph %d %s workers=%d: size/depth %d/%d, want %d/%d",
+						gi, v.name, workers, got.Size(), got.Depth(), ref.Size(), ref.Depth())
+				}
+				_ = st
+			}
+		}
+	}
+}
+
+// TestParallelRewriteSharedWorkspaceSequence reuses one workspace and one
+// cache across a mixed sequence of serial and parallel passes, mimicking
+// a pipeline run, and checks every result against a fresh-state run.
+func TestParallelRewriteSharedWorkspaceSequence(t *testing.T) {
+	d := loadDB(t)
+	rng := rand.New(rand.NewSource(47))
+	ws := NewWorkspace()
+	cache := db.NewCache()
+	for round := 0; round < 6; round++ {
+		m := randomMIG(rng, 8+rng.Intn(6), 100+rng.Intn(200), 2)
+		opt := TF
+		opt.Workspace = ws
+		opt.Cache = cache
+		opt.Workers = 1 + rng.Intn(4)
+		got, _ := Run(m, d, opt)
+		want, _ := Run(m, d, TF)
+		if writeText(t, got) != writeText(t, want) {
+			t.Fatalf("round %d: workspace/cache reuse changed the result", round)
+		}
+	}
+}

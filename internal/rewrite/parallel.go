@@ -1,0 +1,89 @@
+package rewrite
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"mighash/internal/mig"
+)
+
+// evaluateAll computes bestCut for every live gate on a bounded worker
+// pool and memoizes the decisions in ws.best/ws.decided for the commit
+// phase. Work is partitioned by fanout-free region: the cones of the
+// nodes of one region overlap heavily, so handing a whole region to one
+// worker keeps its epoch-stamped scratch arrays and the relevant graph
+// segments cache-warm, and regions are independent — no two workers ever
+// analyze the same cone.
+//
+// During this phase the rewriter's state is strictly read-only; each
+// worker writes only its own evalState and the ws.best/ws.decided slots
+// of the nodes it claimed, so the phase is race-free and — because
+// bestCut is a pure per-node function — deterministic.
+func (r *rewriter) evaluateAll(workers int) {
+	ws := r.ws
+	roots := r.ffr
+	if roots == nil {
+		// The whole-graph variants (T, TD) have no region restriction,
+		// but the FFR structure still yields the scheduling partition.
+		roots = r.m.FFRRoots()
+	}
+	perm := ws.perm[:0]
+	for id := r.m.NumPIs() + 1; id < r.m.NumNodes(); id++ {
+		if r.fo[id] > 0 { // dead gates are never visited by the commit phase
+			perm = append(perm, mig.ID(id))
+		}
+	}
+	slices.SortFunc(perm, func(a, b mig.ID) int {
+		if c := cmp.Compare(roots[a], roots[b]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	starts := ws.starts[:0]
+	for i := range perm {
+		if i == 0 || roots[perm[i]] != roots[perm[i-1]] {
+			starts = append(starts, int32(i))
+		}
+	}
+	starts = append(starts, int32(len(perm)))
+	ws.perm, ws.starts = perm, starts
+
+	regions := len(starts) - 1
+	if workers > regions {
+		workers = regions
+	}
+	if workers <= 1 {
+		st := &ws.eval[0]
+		for _, v := range perm {
+			if best, ok := r.bestCut(v, st); ok {
+				ws.best[v] = best
+			}
+			ws.decided[v] = true
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		st := &ws.eval[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= regions {
+					return
+				}
+				for _, v := range perm[starts[k]:starts[k+1]] {
+					if best, ok := r.bestCut(v, st); ok {
+						ws.best[v] = best
+					}
+					ws.decided[v] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

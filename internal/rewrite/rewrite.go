@@ -9,6 +9,14 @@
 // rewriting to fanout-free regions (Sec. IV-C) and the depth-preserving
 // heuristic. The five variant acronyms of the experimental section (TF, T,
 // TFD, TD, BF) are predefined.
+//
+// The hot path — cut enumeration, cone analysis and NPN lookup — runs
+// allocation-free in the steady state: cuts carry their truth tables (so
+// no cone is ever re-simulated), cone traversals use epoch-stamped scratch
+// arrays, and all buffers live in a reusable Workspace. The top-down
+// variants additionally evaluate best cuts for independent fanout-free
+// regions in parallel (Options.Workers) and commit them serially in
+// topological order, so results are bit-identical for any worker count.
 package rewrite
 
 import (
@@ -18,6 +26,7 @@ import (
 	"mighash/internal/cut"
 	"mighash/internal/db"
 	"mighash/internal/mig"
+	"mighash/internal/tt"
 )
 
 // Options selects and tunes a functional-hashing variant.
@@ -48,6 +57,21 @@ type Options struct {
 	// engine's pipelines and batch runner do both); hits and misses of
 	// this pass are reported in Stats.
 	Cache *db.Cache
+
+	// Workers bounds intra-graph parallelism of the top-down variants:
+	// best-cut evaluation is fanned out over independent fanout-free
+	// regions on a worker pool, then committed serially in topological
+	// order, so the optimized graph is bit-identical for every worker
+	// count. 0 or 1 evaluates serially; bottom-up passes ignore it. With
+	// a shared Cache the per-pass hit/miss split may vary between runs
+	// (two workers can race to canonicalize the same function); the graph
+	// never does.
+	Workers int
+	// Workspace, when non-nil, supplies the reusable scratch state (cut
+	// arenas, cone-analysis stamps, decision memos) so repeated passes
+	// stop allocating. A nil Workspace makes Run allocate a private one.
+	// A Workspace must not be used by two concurrent Runs.
+	Workspace *Workspace
 
 	// MaxCuts caps the per-node cut sets (default 24).
 	MaxCuts int
@@ -129,6 +153,60 @@ func (s Stats) String() string {
 	return out
 }
 
+// Workspace owns every reusable buffer of a rewriting pass: the cut-set
+// arena, the per-worker cone-analysis scratch, the best-cut decision memo
+// and the commit-phase buffers. Reusing one Workspace across passes (the
+// engine does this per pipeline run) makes the steady-state hot path
+// allocation-free. A Workspace must not be shared by concurrent Runs;
+// inside one Run, the parallel evaluation phase hands each worker its own
+// evalState.
+type Workspace struct {
+	cuts    cut.Workspace
+	eval    []evalState    // one per worker; eval[0] serves the serial paths
+	best    []candidateCut // per-node best replacement (entry == nil: none)
+	decided []bool         // per-node: best[v] is valid
+	res     []mig.Lit      // commit phase: node implementations
+	known   []bool         // commit phase: res[v] is valid
+	stack   []mig.ID       // commit phase DFS stack
+	perm    []mig.ID       // live gates grouped by FFR for the worker pool
+	starts  []int32        // region boundaries into perm
+	sig     []mig.Lit      // instantiate scratch
+	sel     []candidate    // bottom-up combination scratch
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// evalState is the per-worker mutable state of best-cut evaluation.
+type evalState struct {
+	cone         *mig.Workspace
+	hits, misses int
+}
+
+// prepare sizes the per-node arrays for an n-node graph, resets the
+// decision memo and guarantees one evalState per worker.
+func (w *Workspace) prepare(n, workers int) {
+	if cap(w.best) < n {
+		w.best = make([]candidateCut, n)
+		w.decided = make([]bool, n)
+		w.res = make([]mig.Lit, n)
+		w.known = make([]bool, n)
+	}
+	w.best = w.best[:n]
+	w.decided = w.decided[:n]
+	w.res = w.res[:n]
+	w.known = w.known[:n]
+	clear(w.best)
+	clear(w.decided)
+	clear(w.known)
+	for len(w.eval) < workers {
+		w.eval = append(w.eval, evalState{cone: mig.NewWorkspace()})
+	}
+	for i := range w.eval {
+		w.eval[i].hits, w.eval[i].misses = 0, 0
+	}
+}
+
 // Run applies one functional-hashing pass over m and returns the optimized
 // MIG (a fresh graph; m is unchanged). The database provides the minimum
 // representations; db.MustLoad() supplies the embedded one.
@@ -138,11 +216,21 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 		panic("rewrite: bottom-up rewriting requires fanout-free-region partitioning")
 	}
 	start := time.Now()
+	ws := opt.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	workers := opt.Workers
+	if workers < 1 || opt.BottomUp {
+		workers = 1
+	}
+	ws.prepare(m.NumNodes(), workers)
 	r := &rewriter{
 		m:         m,
 		d:         d,
 		opt:       opt,
-		cuts:      cut.Enumerate(m, cut.Options{K: 4, MaxCuts: opt.MaxCuts}),
+		ws:        ws,
+		cuts:      ws.cuts.Enumerate(m, cut.Options{K: 4, MaxCuts: opt.MaxCuts}),
 		fo:        m.FanoutCounts(),
 		out:       mig.New(m.NumPIs()),
 		oldLevels: m.Levels(),
@@ -153,14 +241,28 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 	if opt.BottomUp {
 		r.runBottomUp()
 	} else {
-		r.runTopDown()
+		r.runTopDown(workers)
 	}
-	res, _ := r.out.Cleanup()
+	res := r.out.Compact()
+	for i := range ws.eval {
+		r.cacheHits += ws.eval[i].hits
+		r.cacheMisses += ws.eval[i].misses
+	}
+	// Every Stats metric is computed exactly once: the input depth falls
+	// out of the levels the depth heuristic already needed, the input size
+	// out of one workspace-backed sweep, and the result size/depth out of
+	// one pass each over the compacted graph.
+	depthBefore := 0
+	for _, o := range m.Outputs() {
+		if l := r.oldLevels[o.ID()]; l > depthBefore {
+			depthBefore = l
+		}
+	}
 	st := Stats{
 		Variant:      VariantName(opt),
-		SizeBefore:   m.Size(),
+		SizeBefore:   m.SizeWS(ws.eval[0].cone),
 		SizeAfter:    res.Size(),
-		DepthBefore:  m.Depth(),
+		DepthBefore:  depthBefore,
 		DepthAfter:   res.Depth(),
 		Replacements: r.replacements,
 		CacheHits:    r.cacheHits,
@@ -170,11 +272,14 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 	return res, st
 }
 
-// rewriter carries the shared state of one pass.
+// rewriter carries the shared state of one pass. During the parallel
+// evaluation phase everything here is read-only; only the per-worker
+// evalStates and distinct ws.best/ws.decided slots are written.
 type rewriter struct {
 	m    *mig.MIG
 	d    *db.DB
 	opt  Options
+	ws   *Workspace
 	cuts [][]cut.Cut
 	fo   []int
 	ffr  []mig.ID // FFR root per node (nil when not partitioning)
@@ -216,7 +321,8 @@ func (r *rewriter) level(l mig.Lit) int {
 	return r.levels[l.ID()]
 }
 
-// candidateCut is one admissible replacement for a node.
+// candidateCut is one admissible replacement for a node. leaves aliases
+// the cut-set arena of the pass's workspace.
 type candidateCut struct {
 	leaves []mig.ID
 	entry  *db.Entry
@@ -232,17 +338,19 @@ type transformRef struct {
 	negOut bool
 }
 
-// lookup canonicalizes the cone function of (v, leaves) and returns the
-// database entry plus instantiation data, or nil when the class is absent.
-// With Options.Cache the canonicalization and class lookup are memoized.
-func (r *rewriter) lookup(v mig.ID, leaves []mig.ID) (*db.Entry, transformRef) {
-	f := r.m.ConeTT(mig.MakeLit(v, false), leaves).Expand(4)
+// lookup resolves the database entry for the cut's function plus
+// instantiation data, or nil when the class is absent. The function comes
+// straight off the cut — maintained incrementally during enumeration — so
+// no cone is re-simulated. With Options.Cache the canonicalization and
+// class lookup are memoized.
+func (r *rewriter) lookup(c *cut.Cut, st *evalState) (*db.Entry, transformRef) {
+	f := tt.TT{Bits: uint64(c.TT), N: 4}
 	e, t, ok, hit := r.d.LookupCached(f, r.opt.Cache)
 	if r.opt.Cache != nil {
 		if hit {
-			r.cacheHits++
+			st.hits++
 		} else {
-			r.cacheMisses++
+			st.misses++
 		}
 	}
 	if !ok {
@@ -262,7 +370,11 @@ func (r *rewriter) lookup(v mig.ID, leaves []mig.ID) (*db.Entry, transformRef) {
 func (r *rewriter) instantiate(e *db.Entry, tr transformRef, leafSigs []mig.Lit) mig.Lit {
 	var padded [4]mig.Lit
 	copy(padded[:], leafSigs)
-	sig := make([]mig.Lit, 5+e.Size())
+	need := 5 + e.Size()
+	if cap(r.ws.sig) < need {
+		r.ws.sig = make([]mig.Lit, 0, need+32)
+	}
+	sig := r.ws.sig[:need]
 	sig[0] = mig.Const0
 	for j := 0; j < 4; j++ {
 		sig[1+j] = padded[tr.perm[j]].NotIf(tr.flip>>uint(j)&1 == 1)
@@ -275,9 +387,11 @@ func (r *rewriter) instantiate(e *db.Entry, tr transformRef, leafSigs []mig.Lit)
 }
 
 // coneAdmissible reports whether the cone of v bounded by leaves may be
-// replaced under the current options, and returns its internal gates.
-func (r *rewriter) coneAdmissible(v mig.ID, leaves []mig.ID) ([]mig.ID, bool) {
-	nodes := r.m.ConeNodes(v, leaves)
+// replaced under the current options, and returns its internal gates. The
+// returned slice aliases st.cone and is only valid until the next cone
+// analysis on the same evalState.
+func (r *rewriter) coneAdmissible(v mig.ID, leaves []mig.ID, st *evalState) ([]mig.ID, bool) {
+	nodes := r.m.ConeNodesWS(st.cone, v, leaves)
 	if len(nodes) == 0 {
 		return nil, false
 	}
@@ -294,7 +408,7 @@ func (r *rewriter) coneAdmissible(v mig.ID, leaves []mig.ID) ([]mig.ID, bool) {
 	}
 	// Whole-graph mode: exclude cuts whose internal gates have fanout that
 	// escapes the cone ("not to include them when enumerating cuts").
-	if !r.m.ConeIsReplaceable(v, leaves, r.fo) {
+	if !r.m.ConeSelfContainedWS(st.cone, nodes, v, r.fo) {
 		return nil, false
 	}
 	return nodes, true
@@ -318,20 +432,21 @@ func (r *rewriter) arrivalOf(e *db.Entry, tr transformRef, leaves []mig.ID) int 
 }
 
 // bestCut evaluates all admissible cuts of v and returns the most
-// profitable replacement under the current options, or nil.
-func (r *rewriter) bestCut(v mig.ID) *candidateCut {
-	var best *candidateCut
+// profitable replacement under the current options. It is a pure function
+// of v over the pass's read-only state — the property the parallel
+// evaluation phase relies on — and allocates nothing in the steady state.
+func (r *rewriter) bestCut(v mig.ID, st *evalState) (best candidateCut, found bool) {
 	for i := range r.cuts[v] {
 		c := &r.cuts[v][i]
 		if c.N == 1 && c.L[0] == v {
 			continue // trivial cut: replaces nothing
 		}
 		leaves := c.Leaves()
-		nodes, ok := r.coneAdmissible(v, leaves)
+		nodes, ok := r.coneAdmissible(v, leaves, st)
 		if !ok {
 			continue
 		}
-		e, tr := r.lookup(v, leaves)
+		e, tr := r.lookup(c, st)
 		if e == nil {
 			continue
 		}
@@ -345,11 +460,11 @@ func (r *rewriter) bestCut(v mig.ID) *candidateCut {
 		if gain == 0 && r.arrivalOf(e, tr, leaves) >= r.oldLevels[v] {
 			continue // zero-gain replacements must at least reduce arrival
 		}
-		cand := &candidateCut{leaves: leaves, entry: e, tr: tr, gain: gain, depth: e.Depth}
-		if best == nil || cand.gain > best.gain ||
+		cand := candidateCut{leaves: leaves, entry: e, tr: tr, gain: gain, depth: e.Depth}
+		if !found || cand.gain > best.gain ||
 			(cand.gain == best.gain && cand.depth < best.depth) {
-			best = cand
+			best, found = cand, true
 		}
 	}
-	return best
+	return best, found
 }

@@ -2,47 +2,102 @@ package rewrite
 
 import "mighash/internal/mig"
 
-// runTopDown implements Algorithm 1 of the paper. Starting from every
-// output, opt(v) looks for the cut of v whose replacement by its minimum
-// representation yields the largest size reduction; if one exists the
-// internal nodes of the cone are skipped and optimization recurs on the
-// cut leaves, otherwise it recurs on the fanins of v. Results are
-// memoized, which is what makes the recursion well-defined on a DAG: a
-// node shared by several outputs or cones is rebuilt exactly once.
-func (r *rewriter) runTopDown() {
-	known := make([]bool, r.m.NumNodes())
-	res := make([]mig.Lit, r.m.NumNodes())
+// runTopDown implements Algorithm 1 of the paper, split into an
+// evaluation phase and a commit phase. Starting from every output, opt(v)
+// looks for the cut of v whose replacement by its minimum representation
+// yields the largest size reduction; if one exists the internal nodes of
+// the cone are skipped and optimization recurs on the cut leaves,
+// otherwise it recurs on the fanins of v. Results are memoized, which is
+// what makes the traversal well-defined on a DAG: a node shared by several
+// outputs or cones is rebuilt exactly once.
+//
+// With workers > 1 the expensive part — bestCut over every live gate — is
+// evaluated up front on a worker pool (see evaluateAll); the commit phase
+// below then only consumes the memoized decisions. Because bestCut is a
+// pure per-node function and the commit order is fixed, the output graph
+// is bit-identical for every worker count. The commit traversal itself is
+// an explicit-stack DFS, so graphs with arbitrarily long chains cannot
+// overflow the goroutine stack.
+func (r *rewriter) runTopDown(workers int) {
+	ws := r.ws
+	res, known := ws.res, ws.known
 	res[0], known[0] = mig.Const0, true
 	for i := 0; i < r.m.NumPIs(); i++ {
 		id := r.m.Input(i).ID()
 		res[id], known[id] = r.out.Input(i), true
 	}
-	// Fanins and cut leaves always have smaller IDs than the node they
-	// feed, so the recursion strictly descends and terminates.
-	var opt func(v mig.ID) mig.Lit
-	opt = func(v mig.ID) mig.Lit {
-		if known[v] {
-			return res[v]
-		}
-		var l mig.Lit
-		if best := r.bestCut(v); best != nil {
-			leafSigs := make([]mig.Lit, len(best.leaves))
-			for i, lf := range best.leaves {
-				leafSigs[i] = opt(lf)
+	if workers > 1 {
+		r.evaluateAll(workers)
+	}
+	st := &ws.eval[0]
+	// decide memoizes bestCut per node: prefilled for every live gate by
+	// evaluateAll in parallel mode, computed on first visit otherwise.
+	decide := func(v mig.ID) *candidateCut {
+		if !ws.decided[v] {
+			if best, ok := r.bestCut(v, st); ok {
+				ws.best[v] = best
 			}
-			l = r.instantiate(best.entry, best.tr, leafSigs)
-			r.replacements++
-		} else {
-			f := r.m.Fanin(v)
-			l = r.addMaj(
-				opt(f[0].ID()).NotIf(f[0].Comp()),
-				opt(f[1].ID()).NotIf(f[1].Comp()),
-				opt(f[2].ID()).NotIf(f[2].Comp()))
+			ws.decided[v] = true
 		}
-		res[v], known[v] = l, true
-		return l
+		if ws.best[v].entry != nil {
+			return &ws.best[v]
+		}
+		return nil
 	}
+	// A node is examined once to push its unresolved dependencies — the
+	// best cut's leaves if a profitable replacement exists, the fanins
+	// otherwise — and resolved when all of them are known. Dependencies
+	// always have smaller IDs than the node, so the walk strictly
+	// descends and terminates. Dependencies are pushed in reverse so they
+	// resolve left to right, matching the recursive formulation.
+	stack := ws.stack[:0]
 	for _, o := range r.m.Outputs() {
-		r.out.AddOutput(opt(o.ID()).NotIf(o.Comp()))
+		if !known[o.ID()] {
+			stack = append(stack, o.ID())
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if known[v] {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			ready := true
+			if best := decide(v); best != nil {
+				for i := len(best.leaves) - 1; i >= 0; i-- {
+					if !known[best.leaves[i]] {
+						stack = append(stack, best.leaves[i])
+						ready = false
+					}
+				}
+				if !ready {
+					continue
+				}
+				var leafSigs [4]mig.Lit
+				for i, lf := range best.leaves {
+					leafSigs[i] = res[lf]
+				}
+				res[v] = r.instantiate(best.entry, best.tr, leafSigs[:len(best.leaves)])
+				r.replacements++
+			} else {
+				f := r.m.Fanin(v)
+				for i := 2; i >= 0; i-- {
+					if !known[f[i].ID()] {
+						stack = append(stack, f[i].ID())
+						ready = false
+					}
+				}
+				if !ready {
+					continue
+				}
+				res[v] = r.addMaj(
+					res[f[0].ID()].NotIf(f[0].Comp()),
+					res[f[1].ID()].NotIf(f[1].Comp()),
+					res[f[2].ID()].NotIf(f[2].Comp()))
+			}
+			known[v] = true
+			stack = stack[:len(stack)-1]
+		}
+		r.out.AddOutput(res[o.ID()].NotIf(o.Comp()))
 	}
+	ws.stack = stack[:0]
 }

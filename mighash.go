@@ -15,7 +15,13 @@
 // Beyond the paper, the internal/engine subsystem scales the single-shot
 // passes into a batch-optimization engine: composable pass pipelines with
 // run-to-convergence semantics, a concurrency-safe sharded NPN cut-cache,
-// and a bounded worker pool for optimizing many graphs at once.
+// and a bounded worker pool for optimizing many graphs at once. The
+// rewriting hot path is allocation-free in the steady state — cuts carry
+// their truth tables, cone analysis uses epoch-stamped workspaces — and
+// parallelizes inside a single graph: best cuts of independent fanout-
+// free regions are evaluated concurrently and committed deterministically
+// (Pipeline.Workers / RewriteOptions.Workers), producing bit-identical
+// results at any worker count.
 //
 // This root package is the stable public surface; the examples/ directory
 // only uses what is exported here. See README.md for a quickstart and the
@@ -126,6 +132,16 @@ var (
 // Optimize applies one functional-hashing pass, returning a fresh
 // optimized MIG and its statistics.
 var Optimize = rewrite.Run
+
+// RewriteWorkspace owns the reusable scratch buffers of rewriting passes
+// (cut arenas, cone-analysis stamps, decision memos); installing one in
+// RewriteOptions.Workspace makes repeated passes allocation-free. Must
+// not be shared by concurrent runs.
+type RewriteWorkspace = rewrite.Workspace
+
+// NewRewriteWorkspace returns an empty rewrite workspace; buffers are
+// sized on first use.
+var NewRewriteWorkspace = rewrite.NewWorkspace
 
 // NPNCache is the concurrency-safe, sharded memo of NPN canonicalization
 // + database lookups shared by pipelines and batch workers.
