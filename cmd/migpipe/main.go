@@ -9,19 +9,28 @@
 //	migpipe -script resyn -benchmarks Sine,Max -verify
 //	migpipe -script BF -in circuit.bench -split   # one job per output cone
 //	migpipe -script resyn -in big.bench -workers 8  # one graph: FFR-parallel rewriting
+//	migpipe -url http://localhost:8080 -script resyn  # optimize remotely over HTTP
 //	migpipe -scripts                          # list available scripts
 //
 // With a single job the -workers budget moves from the batch pool to the
 // pipeline's intra-graph rewriter (best-cut evaluation over independent
 // fanout-free regions); results are bit-identical at any worker count.
+//
+// With -url the jobs are not optimized locally: they are serialized to
+// BENCH and submitted to a running migserve at that base URL via
+// POST /v1/optimize/batch, and the reported statistics are the server's.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -34,6 +43,7 @@ import (
 	"mighash/internal/engine"
 	"mighash/internal/exp"
 	"mighash/internal/mig"
+	"mighash/internal/server"
 )
 
 // jsonResult is engine.Result with the error stringified for encoding.
@@ -66,6 +76,7 @@ func main() {
 		verify     = flag.Bool("verify", false, "SAT-verify every optimized graph against its input")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+		url        = flag.String("url", "", "optimize remotely: base URL of a running migserve")
 	)
 	flag.Parse()
 
@@ -103,7 +114,12 @@ func main() {
 		opt.SharedCache = db.NewCache()
 	}
 	start := time.Now()
-	results, err := engine.RunBatch(ctx, p, jobs, opt)
+	var results []engine.Result
+	if *url != "" {
+		results, err = runRemote(ctx, *url, *script, *workers, *verify, *timeout, jobs)
+	} else {
+		results, err = engine.RunBatch(ctx, p, jobs, opt)
+	}
 	elapsed := time.Since(start)
 	failed := false
 	if err != nil {
@@ -234,6 +250,69 @@ func buildJobs(in string, split bool, benchmarks string, prepare bool) ([]engine
 	}
 	wg.Wait()
 	return jobs, nil
+}
+
+// runRemote submits the jobs to a running migserve as one batch request
+// and maps the server's results back onto the local reporting shape. The
+// server performs the requested verification itself, so the local SAT
+// check is skipped (remote results carry no graph). ctx carries the
+// -timeout budget, bounding the HTTP exchange as well as the server-side
+// work (which additionally receives the budget as timeout_ms).
+func runRemote(ctx context.Context, baseURL, script string, workers int, verify bool, timeout time.Duration, jobs []engine.Job) ([]engine.Result, error) {
+	req := server.BatchRequest{
+		ScriptSpec: server.ScriptSpec{Script: script, Workers: workers},
+		Verify:     verify,
+	}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+	for _, j := range jobs {
+		var b strings.Builder
+		if err := j.M.WriteBENCH(&b); err != nil {
+			return nil, err
+		}
+		req.Jobs = append(req.Jobs, server.BatchJobRequest{Name: j.Name, Netlist: b.String()})
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(baseURL, "/")+"/v1/optimize/batch", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server returned HTTP %d", resp.StatusCode)
+	}
+	var br server.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		return nil, fmt.Errorf("decoding server response: %v", err)
+	}
+	results := make([]engine.Result, len(br.Results))
+	for i, r := range br.Results {
+		results[i] = engine.Result{Name: r.Name, Stats: r.Stats}
+		if r.Error != "" {
+			results[i].Err = errors.New(r.Error)
+		}
+	}
+	return results, nil
 }
 
 func effectiveWorkers(requested, jobs int) int {

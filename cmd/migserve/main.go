@@ -1,0 +1,93 @@
+// Command migserve runs the HTTP optimization service: an HTTP (JSON)
+// front end over the batch-optimization engine that accepts BENCH/MIG
+// netlists, optimizes them with a named pass script, and returns the
+// optimized netlists plus per-pass statistics.
+//
+// Usage:
+//
+//	migserve                          # listen on :8080
+//	migserve -addr :9090 -concurrency 8 -sharedcache
+//	migserve -max-body 4194304 -timeout 30s -max-timeout 2m
+//
+// Endpoints (see internal/server and the README's HTTP API section):
+//
+//	POST /v1/optimize        optimize one netlist
+//	POST /v1/optimize/batch  optimize many netlists concurrently
+//	GET  /v1/scripts         list available scripts
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus-style counters
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, new connections are refused immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mighash/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("migserve: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxBody     = flag.Int64("max-body", 0, "request body byte cap (0 = 16 MiB default)")
+		maxGates    = flag.Int("max-gates", 0, "parsed netlist gate cap (0 = default, <0 = unlimited)")
+		timeout     = flag.Duration("timeout", 0, "default per-request optimization deadline (0 = 60s)")
+		maxTimeout  = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 5m)")
+		concurrency = flag.Int("concurrency", 0, "optimization jobs in flight at once (0 = NumCPU)")
+		maxWorkers  = flag.Int("max-workers", 0, "cap on per-request intra-graph workers (0 = 4)")
+		shared      = flag.Bool("sharedcache", false, "share one NPN cut-cache across all requests")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		MaxBodyBytes:         *maxBody,
+		MaxGates:             *maxGates,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		MaxConcurrent:        *concurrency,
+		MaxWorkersPerRequest: *maxWorkers,
+		SharedCache:          *shared,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	// ListenAndServe returns the moment Shutdown begins, so main must
+	// wait for the drain to finish before exiting or in-flight requests
+	// die with the process.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("shutting down (drain %v)", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+			hs.Close()
+		}
+	}()
+	log.Printf("listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+}

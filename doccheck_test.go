@@ -1,0 +1,73 @@
+package mighash_test
+
+// The root package is the stable public surface, and its contract is
+// that every exported identifier carries a doc comment (CI runs this
+// check). The test parses the package source directly so the rule is
+// enforced without external lint tooling.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestRootDocCompleteness fails for every exported top-level identifier
+// of the root package that lacks a doc comment. Grouped declarations
+// count as documented when either the group or the individual spec has
+// one.
+func TestRootDocCompleteness(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["mighash"]
+	if !ok {
+		t.Fatalf("package mighash not found (have %v)", pkgs)
+	}
+	undocumented := func(name *ast.Ident, doc ...*ast.CommentGroup) bool {
+		if !name.IsExported() {
+			return false
+		}
+		for _, d := range doc {
+			if d != nil && strings.TrimSpace(d.Text()) != "" {
+				return false
+			}
+		}
+		return true
+	}
+	report := func(name *ast.Ident) {
+		t.Errorf("%s: exported identifier %s has no doc comment",
+			fset.Position(name.Pos()), name.Name)
+	}
+	for fname, file := range pkg.Files {
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && undocumented(d.Name, d.Doc) {
+					report(d.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if undocumented(sp.Name, sp.Doc, sp.Comment, d.Doc) {
+							report(sp.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if undocumented(n, sp.Doc, sp.Comment, d.Doc) {
+								report(n)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package mighash_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	"mighash"
+)
+
+// ExampleNewTT shows truth-table construction and the majority operator
+// the whole system is built on.
+func ExampleNewTT() {
+	a := mighash.VarTT(3, 0)
+	b := mighash.VarTT(3, 1)
+	c := mighash.VarTT(3, 2)
+	maj := a.And(b).Or(b.And(c)).Or(a.And(c))
+	fmt.Println(maj)
+	// Output: 0xe8
+}
+
+// ExampleCanonizeNPN canonicalizes a function to its NPN class
+// representative — the key of the functional-hashing database.
+func ExampleCanonizeNPN() {
+	f := mighash.NewTT(4, 0x8000) // 4-input AND
+	rep, _ := mighash.CanonizeNPN(f)
+	fmt.Println(rep)
+	// Output: 0x0001
+}
+
+// ExampleExactMinimum synthesizes a provably minimum MIG with the
+// paper's SAT-encoded ladder search.
+func ExampleExactMinimum() {
+	and2 := mighash.NewTT(2, 0b1000)
+	m, err := mighash.ExactMinimum(and2, mighash.ExactOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Stats())
+	// Output: i/o=2/1 size=1 depth=1
+}
+
+// ExampleLoadDatabase looks up the precomputed minimum MIG of a cut
+// function — one functional-hashing step by hand.
+func ExampleLoadDatabase() {
+	d, err := mighash.LoadDatabase()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Len(), "NPN classes")
+	// Output: 222 NPN classes
+}
+
+// ExampleOptimize runs one functional-hashing pass (the bottom-up BF
+// variant): a majority function spelled out with five AND/OR gates
+// collapses to the single gate its NPN class stores in the database.
+func ExampleOptimize() {
+	m := mighash.NewMIG(3)
+	a, b, c := m.Input(0), m.Input(1), m.Input(2)
+	m.AddOutput(m.Or(m.Or(m.And(a, b), m.And(b, c)), m.And(a, c)))
+
+	d, _ := mighash.LoadDatabase()
+	_, st := mighash.Optimize(m, d, mighash.VariantBF)
+	fmt.Printf("size %d -> %d\n", st.SizeBefore, st.SizeAfter)
+	// Output: size 5 -> 1
+}
+
+// ExamplePipelineScript runs a preset script to convergence.
+func ExamplePipelineScript() {
+	m := mighash.NewMIG(3)
+	a, b, c := m.Input(0), m.Input(1), m.Input(2)
+	m.AddOutput(m.Or(m.Or(m.And(a, b), m.And(b, c)), m.And(a, c)))
+
+	p, _ := mighash.PipelineScript("size")
+	_, st, err := p.Run(m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: size %d -> %d, converged %v\n",
+		st.Script, st.SizeBefore, st.SizeAfter, st.Converged)
+	// Output: size: size 5 -> 1, converged true
+}
+
+// ExampleRunBatch optimizes several jobs concurrently; results come back
+// in job order regardless of scheduling.
+func ExampleRunBatch() {
+	b := mighash.NewCircuitBuilder(8)
+	sum, cout := b.Add(b.Inputs(0, 4), b.Inputs(4, 4), mighash.Const0)
+	b.Outputs(sum)
+	b.M.AddOutput(cout)
+
+	p, _ := mighash.PipelineScript("quick")
+	jobs := mighash.SplitOutputs(b.M, "adder")
+	results, err := mighash.RunBatch(context.Background(), p, jobs,
+		mighash.BatchOptions{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results[:2] {
+		fmt.Println(r.Name)
+	}
+	// Output:
+	// adder.out0
+	// adder.out1
+}
+
+// ExampleReadBENCH parses a BENCH netlist — the interchange format of
+// the HTTP optimization service — into an MIG.
+func ExampleReadBENCH() {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(s)
+OUTPUT(c)
+c = MAJ(a, b, cin)
+s = XOR(a, b, cin)
+`
+	m, err := mighash.ReadBENCH(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Stats())
+	// Output: i/o=3/2 size=7 depth=4
+}
+
+// ExampleNewOptimizeServer embeds the HTTP optimization service and
+// optimizes a netlist over the wire.
+func ExampleNewOptimizeServer() {
+	srv, err := mighash.NewOptimizeServer(mighash.ServerConfig{})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/optimize", "application/json",
+		strings.NewReader(`{
+			"name": "fa",
+			"netlist": "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(s)\nOUTPUT(c)\nc = MAJ(a,b,cin)\ns = XOR(a,b,cin)\n",
+			"script": "quick",
+			"verify": true
+		}`))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println(resp.Status)
+	// Output: 200 OK
+}

@@ -1,9 +1,3 @@
-// Package aig implements And-Inverter Graphs, the homogeneous logic
-// representation the paper positions MIGs against (Sec. I and II-A,
-// refs [2], [6]). It provides the structure itself, conversions to and
-// from MIGs, and simulation — enough to serve as the comparison baseline
-// for the MIG-vs-AIG compactness experiments and as a second consumer of
-// the exact-synthesis engine (minimum AND-chains, internal/exact).
 package aig
 
 import (

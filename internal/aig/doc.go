@@ -1,0 +1,16 @@
+// Package aig implements And-Inverter Graphs, the homogeneous logic
+// representation the paper positions MIGs against (Sec. I and II-A,
+// refs [2], [6]). It provides the structure itself, conversions to and
+// from MIGs, and simulation — enough to serve as the comparison baseline
+// for the MIG-vs-AIG compactness experiments and as a second consumer of
+// the exact-synthesis engine (minimum AND-chains, internal/exact).
+//
+// Role in the functional-hashing flow: none at optimization time — AIGs
+// exist for the experimental comparisons (internal/exp) and as an
+// interchange target (FromMIG materializes each majority gate as at most
+// four ANDs with structural sharing).
+//
+// Concurrency contract: like *mig.MIG, an *AIG is not safe for concurrent
+// mutation; pure readers on a frozen graph are. Conversions build fresh
+// graphs and never modify their source.
+package aig

@@ -1,0 +1,25 @@
+// Package circuits generates the arithmetic benchmark suite of the
+// paper's experimental section (Sec. V): eight EPFL-signature circuits —
+// Adder, Divisor, Log2, Max, Multiplier, Sine, Square-root, Square —
+// built gate-by-gate as MIGs, each paired with a bit-exact software model
+// the construction is tested against.
+//
+// The Builder provides word-level construction (ripple and Kogge-Stone
+// addition, shifters, comparators, multiplexed datapaths) over a fresh
+// MIG; the transcendental circuits follow the classic fixed-point
+// recurrences (CORDIC for Sine, iterative log2) with truncation behaviour
+// mirrored exactly by the models, so any simulation mismatch is a
+// construction bug, never a rounding discrepancy.
+//
+// Role in the functional-hashing flow: these are the standard workloads.
+// The CLIs (cmd/migpipe, cmd/migbench), the experiment driver
+// (internal/exp) and the HTTP service's smoke tests all optimize this
+// suite; BENCH renderings of these circuits are the canonical test
+// payloads of the optimization service.
+//
+// Concurrency contract: Spec values are immutable; every Build call
+// constructs a fresh private MIG, so specs may be built from any number
+// of goroutines at once (cmd/migpipe builds the suite on a worker pool).
+// A Builder wraps one MIG and inherits its single-goroutine mutation
+// rule.
+package circuits

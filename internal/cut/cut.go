@@ -1,20 +1,3 @@
-// Package cut implements k-feasible cut enumeration on MIGs (Sec. II-C of
-// the paper).
-//
-// A cut (v, L) of a node v is a set of leaf nodes L such that every path
-// from v to a non-terminal passes through a leaf, and every leaf lies on at
-// least one such path; paths to the constant node are exempt. Cuts are
-// enumerated bottom-up with the saturating union ⊗k over the child cut
-// sets, exactly as in the paper:
-//
-//	cuts_k(0) = {{}}
-//	cuts_k(x) = {{x}}
-//	cuts_k(g) = cuts_k(g1) ⊗k cuts_k(g2) ⊗k cuts_k(g3)
-//
-// The number of cuts kept per node is capped priority-cut style (the paper
-// uses the same device for the candidate lists of its bottom-up rewriting,
-// citing Mishchenko et al.'s priority cuts). The trivial cut {v} is always
-// retained.
 package cut
 
 import (

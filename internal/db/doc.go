@@ -1,0 +1,24 @@
+// Package db provides the functional-hashing database (Sec. IV of the
+// paper): one precomputed minimum MIG for each of the 222 NPN classes of
+// 4-variable functions, plus the concurrency-safe cut-cache the
+// optimization engine threads through every rewriting pass.
+//
+// The embedded artifact data/npn4.txt is generated offline by cmd/migdb
+// through exact synthesis (internal/exact) and verified by simulation on
+// load; Load memoizes it process-wide. Lookup canonicalizes a 4-variable
+// function to its class representative (internal/npn) and returns the
+// class entry together with the transform that rewires the stored optimum
+// onto the caller's leaves — Entry.Instantiate performs that rewiring into
+// a target graph. Bound is the Theorem 2 size bound 10·(2^(n−4)−1)+7.
+//
+// Cache memoizes the (canonicalize, lookup) pair behind 64 cache-line-
+// padded shards, turning the hot path of functional hashing into a single
+// read-locked map hit for repeated cut functions; hit/miss counters feed
+// the engine's RewriteStats and the HTTP service's metrics.
+//
+// Concurrency contract: a *DB is immutable after Load/Read and safe to
+// share everywhere. A *Cache is safe for unlimited concurrent use and may
+// be shared across passes, pipeline runs, batch workers and HTTP requests
+// — but it stores *Entry pointers of the DB it was populated through, so
+// never reuse a Cache across different DB instances.
+package db

@@ -1,22 +1,3 @@
-// Package depthopt reduces MIG depth by algebraic rewriting with the
-// majority axioms, following the depth-optimization line of work the paper
-// builds on ([3], [4]): associativity, complementary associativity and
-// right-to-left distributivity applied along critical paths. It is used to
-// turn the freshly generated arithmetic circuits into "heavily optimized"
-// starting points comparable to the best-result netlists the paper
-// rewrites (Sec. V-C), and it doubles as an independent consumer of the
-// MIG substrate.
-//
-// The axioms (Ω from [3]), written over arbitrary — possibly complemented —
-// signals:
-//
-//	Associativity:          〈x u 〈y u z〉〉 = 〈z u 〈y u x〉〉
-//	Compl. associativity:   〈x u 〈y ū z〉〉 = 〈x u 〈y x z〉〉
-//	Distributivity (R→L):   〈x y 〈u v z〉〉 = 〈〈x y u〉 〈x y v〉 z〉
-//
-// Each pass rebuilds the graph bottom-up; at every gate the reassociation
-// that minimizes the arrival time of the new node is chosen. Distributivity
-// may duplicate logic, so it is only applied while the size budget allows.
 package depthopt
 
 import (

@@ -1,0 +1,29 @@
+// Package depthopt reduces MIG depth by algebraic rewriting with the
+// majority axioms, following the depth-optimization line of work the paper
+// builds on ([3], [4]): associativity, complementary associativity and
+// right-to-left distributivity applied along critical paths. It is used to
+// turn the freshly generated arithmetic circuits into "heavily optimized"
+// starting points comparable to the best-result netlists the paper
+// rewrites (Sec. V-C), and it doubles as an independent consumer of the
+// MIG substrate.
+//
+// The axioms (Ω from [3]), written over arbitrary — possibly complemented —
+// signals:
+//
+//	Associativity:          〈x u 〈y u z〉〉 = 〈z u 〈y u x〉〉
+//	Compl. associativity:   〈x u 〈y ū z〉〉 = 〈x u 〈y x z〉〉
+//	Distributivity (R→L):   〈x y 〈u v z〉〉 = 〈〈x y u〉 〈x y v〉 z〉
+//
+// Each pass rebuilds the graph bottom-up; at every gate the reassociation
+// that minimizes the arrival time of the new node is chosen. Distributivity
+// may duplicate logic, so it is only applied while the size budget allows.
+//
+// Role in the functional-hashing flow: the engine's "resyn" and "depth"
+// scripts interleave this pass with the hashing passes — hashing recovers
+// the size that depth restructuring spends, and restructuring exposes new
+// cuts for hashing.
+//
+// Concurrency contract: Optimize never modifies its input; it builds a
+// fresh graph with private scratch state, so independent calls are safe
+// on any number of goroutines. One call is strictly sequential.
+package depthopt

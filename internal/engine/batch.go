@@ -37,6 +37,13 @@ type BatchOptions struct {
 	// scheduling-dependent, which is why the default is a private cache
 	// per job (deterministic stats at any worker count).
 	SharedCache *db.Cache
+	// Progress, when non-nil, is invoked synchronously after every pass of
+	// every job with the job index (into the jobs slice) and that pass's
+	// statistics. Calls for different jobs come from different worker
+	// goroutines, so the callback must be safe for concurrent use; calls
+	// for one job are ordered. This powers streaming per-pass stats for
+	// long batch requests.
+	Progress func(job int, ps PassStats)
 }
 
 // RunBatch optimizes every job with the pipeline on a bounded worker
@@ -90,7 +97,13 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 					results[i].Err = err
 					continue
 				}
-				m, st, err := run.RunContext(ctx, jobs[i].M)
+				// Per-job progress needs the job index, so each job runs a
+				// private pipeline copy wrapping the batch-level callback.
+				pj := run
+				if opt.Progress != nil {
+					pj.Progress = func(ps PassStats) { opt.Progress(i, ps) }
+				}
+				m, st, err := pj.RunContext(ctx, jobs[i].M)
 				results[i].M, results[i].Stats, results[i].Err = m, st, err
 			}
 		}()

@@ -1,0 +1,33 @@
+// Package engine turns the single-shot optimization passes of this
+// repository into a production-style optimization engine:
+//
+//   - Pass wraps one transformation (the five functional-hashing variants
+//     TF, T, TFD, TD and BF of internal/rewrite, plus the algebraic depth
+//     optimizer of internal/depthopt) behind a uniform interface.
+//   - Pipeline composes named passes into a script and runs the script to
+//     convergence, keeping the best graph seen and reporting per-pass
+//     statistics. Preset scripts ("resyn", "size", "depth", …) cover the
+//     common flows; custom scripts are built with New.
+//   - RunBatch optimizes many MIGs concurrently on a bounded worker pool
+//     with deterministic result ordering and context cancellation.
+//
+// All pipelines share the sharded NPN cut-cache of internal/db: the
+// canonicalization + database lookup of every 4-feasible cut — the hot
+// path of functional hashing — is memoized across passes, iterations and
+// (optionally) across batch workers.
+//
+// Long-running consumers observe progress through callbacks:
+// Pipeline.Progress fires after every executed pass, and
+// BatchOptions.Progress adds the job index — this is what the HTTP
+// service (internal/server) streams to clients as JSON lines.
+//
+// Concurrency contract: a Pipeline is immutable during Run/RunContext and
+// may drive any number of concurrent runs; each run allocates its own
+// rewrite workspace, so runs share only the immutable database and the
+// (concurrency-safe) cut-cache. Within RunBatch, per-job stats and graphs
+// are deterministic — independent of the worker count — as long as the
+// default per-job private caches are used; installing a SharedCache keeps
+// the graphs identical but makes the per-job hit/miss split
+// scheduling-dependent. Pass values are stateless and shareable;
+// PassStats/PipelineStats are plain data.
+package engine

@@ -1,20 +1,3 @@
-// Package engine turns the single-shot optimization passes of this
-// repository into a production-style optimization engine:
-//
-//   - Pass wraps one transformation (the five functional-hashing variants
-//     TF, T, TFD, TD and BF of internal/rewrite, plus the algebraic depth
-//     optimizer of internal/depthopt) behind a uniform interface.
-//   - Pipeline composes named passes into a script and runs the script to
-//     convergence, keeping the best graph seen and reporting per-pass
-//     statistics. Preset scripts ("resyn", "size", "depth", …) cover the
-//     common flows; custom scripts are built with New.
-//   - RunBatch optimizes many MIGs concurrently on a bounded worker pool
-//     with deterministic result ordering and context cancellation.
-//
-// All pipelines share the sharded NPN cut-cache of internal/db: the
-// canonicalization + database lookup of every 4-feasible cut — the hot
-// path of functional hashing — is memoized across passes, iterations and
-// (optionally) across batch workers.
 package engine
 
 import (

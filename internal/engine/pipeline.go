@@ -68,6 +68,16 @@ type Pipeline struct {
 	// is how a single large MIG saturates the machine without the logic
 	// duplication of SplitOutputs.
 	Workers int
+	// Progress, when non-nil, is invoked synchronously after every
+	// executed pass with that pass's statistics, before the next pass
+	// starts. This is the hook behind streaming per-pass stats (the HTTP
+	// service's JSON-lines mode); the callback must be fast and must not
+	// retain the PassStats slice internals. Because a Pipeline may be
+	// shared by many RunContext calls at once, a single Progress callback
+	// can be invoked concurrently from different runs — install a per-run
+	// callback on a copy of the pipeline when attribution matters
+	// (RunBatch does exactly that for per-job progress).
+	Progress func(PassStats)
 }
 
 // PipelineStats reports one pipeline run.
@@ -231,6 +241,9 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 			}
 			next, ps := pass.run(cur, env)
 			ps.Iteration = st.Iterations
+			if p.Progress != nil {
+				p.Progress(ps)
+			}
 			st.Passes = append(st.Passes, ps)
 			st.CacheHits += ps.CacheHits
 			st.CacheMisses += ps.CacheMisses

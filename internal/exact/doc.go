@@ -1,0 +1,26 @@
+// Package exact implements exact synthesis of minimum Majority-Inverter
+// Graphs (Sec. III of the paper), plus the complexity engines behind
+// Table II: combinational complexity C(f) via SAT, expression length L(f)
+// via dynamic programming, and minimum depth D(f) via level-set
+// reachability.
+//
+// The paper encodes the decision problem "is there an MIG with k majority
+// gates computing f" in SMT and solves it with Z3. The constraints are
+// finite-domain, so this package bit-blasts the identical constraint system
+// to CNF — one-hot select variables, per-assignment evaluation variables,
+// the majority semantics of Eq. (4), the connection implications of
+// Eq. (6)–(8), the output semantics of Eq. (9) and the operand-ordering
+// symmetry break of Eq. (10) — and solves it with the internal CDCL solver.
+// Minimality follows from the ladder search k = 0, 1, 2, … .
+//
+// Role in the functional-hashing flow: exact synthesis is the offline
+// half of the paper's Algorithm 1/2 — it produces the optimal MIG per NPN
+// class that the database (internal/db) serves at rewrite time. The
+// checked-in artifact internal/db/data/npn4.txt is generated through this
+// package by cmd/migdb.
+//
+// Concurrency contract: every synthesis call (Minimum, MinimumAIG, the
+// complexity functions) builds a private SAT solver and scratch state, so
+// independent calls may run on any number of goroutines; nothing in the
+// package is shared mutable state.
+package exact

@@ -1,17 +1,3 @@
-// Package exact implements exact synthesis of minimum Majority-Inverter
-// Graphs (Sec. III of the paper), plus the complexity engines behind
-// Table II: combinational complexity C(f) via SAT, expression length L(f)
-// via dynamic programming, and minimum depth D(f) via level-set
-// reachability.
-//
-// The paper encodes the decision problem "is there an MIG with k majority
-// gates computing f" in SMT and solves it with Z3. The constraints are
-// finite-domain, so this package bit-blasts the identical constraint system
-// to CNF — one-hot select variables, per-assignment evaluation variables,
-// the majority semantics of Eq. (4), the connection implications of
-// Eq. (6)–(8), the output semantics of Eq. (9) and the operand-ordering
-// symmetry break of Eq. (10) — and solves it with the internal CDCL solver.
-// Minimality follows from the ladder search k = 0, 1, 2, … .
 package exact
 
 import (

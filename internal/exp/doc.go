@@ -1,0 +1,27 @@
+// Package exp regenerates every table and figure of the paper's
+// experimental section (Sec. V) and renders them in the paper's layout:
+//
+//   - Table I — optimal MIGs for all 4-variable NPN classes (exact
+//     synthesis: classes, functions and runtimes per optimum size)
+//   - Table II — complexity of 4-variable MIGs: C(f), L(f) and D(f)
+//   - Theorem 2 — the constructive size upper bound
+//   - Table III — functional hashing on the arithmetic benchmarks (MIG
+//     size/depth/runtime per variant)
+//   - Table IV — LUT-mapped area/depth of the same optimized MIGs
+//   - Figures 1 and 2 — the full-adder MIG and the optimal MIG of S₀,₂
+//
+// The workloads are generated (internal/circuits) rather than the
+// original EPFL netlists, and LUT mapping stands in for ABC standard
+// cells — see ARCHITECTURE.md for the substitution notes.
+//
+// Role in the functional-hashing flow: exp is the reproduction harness on
+// top of everything else — it prepares the "heavily optimized" starting
+// points (PrepareStart: generate, then depth-optimize) and drives the
+// five variants plus convergence experiments (Converge) through the
+// engine.
+//
+// Concurrency contract: the experiment drivers are plain sequential
+// functions with per-call state; distinct experiments may run
+// concurrently, and the batch-backed ones inherit engine.RunBatch's
+// worker-pool safety.
+package exp

@@ -1,17 +1,3 @@
-// Package exp regenerates every table and figure of the paper's
-// experimental section (Sec. V) and renders them in the paper's layout:
-//
-//   - Table I — optimal MIGs for all 4-variable NPN classes (exact
-//     synthesis: classes, functions and runtimes per optimum size)
-//   - Table II — complexity of 4-variable MIGs: C(f), L(f) and D(f)
-//   - Theorem 2 — the constructive size upper bound
-//   - Table III — functional hashing on the arithmetic benchmarks (MIG
-//     size/depth/runtime per variant)
-//   - Table IV — LUT-mapped area/depth of the same optimized MIGs
-//   - Figures 1 and 2 — the full-adder MIG and the optimal MIG of S₀,₂
-//
-// See EXPERIMENTS.md for paper-vs-measured numbers and the substitution
-// notes (generated workloads, LUT mapping instead of ABC standard cells).
 package exp
 
 import (

@@ -1,0 +1,20 @@
+// Package mapper implements k-LUT technology mapping with priority cuts
+// (Mishchenko et al., ICCAD'07 — reference [11] of the paper). It stands
+// in for the ABC standard-cell mapping used in Table IV: a delay-oriented
+// first pass chooses the arrival-minimal cut per node, then area-recovery
+// passes re-select cuts by area flow among those meeting the required
+// times. Area is the number of LUTs in the cover and depth its level
+// count; both move with optimization quality exactly like the paper's
+// mapped area/depth columns (see ARCHITECTURE.md for the substitution
+// note).
+//
+// Role in the functional-hashing flow: mapping is a downstream consumer —
+// it measures how the hashing passes' size/depth gains translate into
+// technology terms. It shares the cut enumerator (internal/cut) with the
+// rewriter, enumerating up to 6-input cuts (truth tables are not needed,
+// so the cut TT fast path is bypassed).
+//
+// Concurrency contract: Map only reads its input graph and keeps all
+// mapping state (arrival times, cut choices, cover) in private per-call
+// buffers, so independent calls are safe on any number of goroutines.
+package mapper

@@ -1,11 +1,3 @@
-// Package mapper implements k-LUT technology mapping with priority cuts
-// (Mishchenko et al., ICCAD'07 — reference [11] of the paper). It stands
-// in for the ABC standard-cell mapping used in Table IV: a delay-oriented
-// first pass chooses the arrival-minimal cut per node, then area-recovery
-// passes re-select cuts by area flow among those meeting the required
-// times. Area is the number of LUTs in the cover and depth its level
-// count; both move with optimization quality exactly like the paper's
-// mapped area/depth columns (see DESIGN.md for the substitution note).
 package mapper
 
 import (

@@ -1,0 +1,104 @@
+package mig_test
+
+// The BENCH writer and parser must form a closed loop: parsing a written
+// netlist and writing it again reproduces the file byte-for-byte. This is
+// what lets the HTTP service hand optimized netlists back to clients that
+// re-submit them (internal/server), and what makes netlists stable cache
+// keys. Writing is canonicalizing — the first write drops dead gates and
+// renumbers — so the property under test is idempotence from the first
+// written form onward.
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mighash/internal/circuits"
+	"mighash/internal/mig"
+)
+
+// roundTrip asserts that m's BENCH rendering is a fixpoint of
+// parse∘write and that parsing preserves the functions.
+func roundTrip(t *testing.T, name string, m *mig.MIG) {
+	t.Helper()
+	var w1 bytes.Buffer
+	if err := m.WriteBENCH(&w1); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	m2, err := mig.ReadBENCH(bytes.NewReader(w1.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: first written form does not parse: %v", name, err)
+	}
+	var w2 bytes.Buffer
+	if err := m2.WriteBENCH(&w2); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	m3, err := mig.ReadBENCH(bytes.NewReader(w2.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: canonical form does not parse: %v", name, err)
+	}
+	var w3 bytes.Buffer
+	if err := m3.WriteBENCH(&w3); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !bytes.Equal(w2.Bytes(), w3.Bytes()) {
+		t.Errorf("%s: parse→write is not idempotent;\nfirst:\n%s\nsecond:\n%s",
+			name, w2.String(), w3.String())
+	}
+	if m2.NumPIs() != m.NumPIs() || m2.NumPOs() != m.NumPOs() {
+		t.Errorf("%s: interface changed to %d/%d", name, m2.NumPIs(), m2.NumPOs())
+	}
+}
+
+// TestBENCHWriteParseWriteIdentity drives the round-trip over random
+// graphs (including dead gates, which the first write canonicalizes away)
+// and checks functional preservation by exhaustive simulation.
+func TestBENCHWriteParseWriteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		pis := 3 + rng.Intn(4)
+		m := mig.New(pis)
+		sigs := []mig.Lit{mig.Const0}
+		for i := 0; i < pis; i++ {
+			sigs = append(sigs, m.Input(i))
+		}
+		for g := 0; g < 10+rng.Intn(40); g++ {
+			pick := func() mig.Lit { return sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(3) == 0) }
+			sigs = append(sigs, m.Maj(pick(), pick(), pick()))
+		}
+		for o := 0; o < 1+rng.Intn(3); o++ {
+			m.AddOutput(sigs[len(sigs)-1-rng.Intn(5)].NotIf(rng.Intn(2) == 0))
+		}
+		roundTrip(t, "random", m)
+
+		var w bytes.Buffer
+		if err := m.WriteBENCH(&w); err != nil {
+			t.Fatal(err)
+		}
+		back, err := mig.ReadBENCH(strings.NewReader(w.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := m.Simulate(), back.Simulate()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d output %d: %v, want %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBENCHRoundTripSuiteCircuit runs the identity check on a real
+// arithmetic benchmark — the same class of netlist the HTTP service
+// round-trips for clients.
+func TestBENCHRoundTripSuiteCircuit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building the benchmark circuit is not short")
+	}
+	spec, ok := circuits.ByName("Sine")
+	if !ok {
+		t.Fatal("Sine benchmark missing")
+	}
+	roundTrip(t, "Sine", spec.Build())
+}

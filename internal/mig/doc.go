@@ -1,0 +1,40 @@
+// Package mig implements Majority-Inverter Graphs.
+//
+// An MIG (Sec. II-B of the paper) is a directed acyclic graph whose
+// non-terminal nodes all compute the ternary majority function 〈abc〉 and
+// whose edges may be complemented. Terminals are the primary inputs and the
+// constant-0 node; primary outputs are (possibly complemented) pointers to
+// arbitrary nodes. MIGs subsume AND-inverter graphs because 〈0ab〉 = a∧b
+// and 〈1ab〉 = a∨b, and they are universal.
+//
+// Nodes are identified by dense integer IDs: ID 0 is the constant-0 node,
+// IDs 1..NumPIs() are the primary inputs, and higher IDs are majority
+// gates. Gates are created strictly after their children, so ascending ID
+// order is always a topological order. A signal is addressed by a Lit,
+// which packs a node ID and a complement bit.
+//
+// Gate creation performs structural hashing with the majority-axiom
+// normalizations 〈aab〉 = a and 〈aāb〉 = b, operand sorting
+// (commutativity), and inverter canonicalization through the self-duality
+// 〈abc〉 = ¬〈āb̄c̄〉, so structurally equivalent subgraphs are
+// automatically shared. The strash is an open-addressing table owned by
+// the graph and rebuilt on growth — no per-gate map allocations.
+//
+// Besides the structure itself the package provides analysis (levels,
+// fanout counts, fanout-free regions, cone extraction), bit-parallel
+// simulation, SAT-based combinational equivalence checking (Equivalent),
+// the textual netlist format (ReadText/WriteText), BENCH interchange
+// (ReadBENCH/WriteBENCH — the wire format of the HTTP optimization
+// service, round-tripping byte-identically after one canonicalizing
+// write), and DOT rendering.
+//
+// Concurrency contract: an *MIG is NOT safe for concurrent mutation —
+// Maj, AddOutput, SetOutput and the readers that lazily touch shared
+// state must stay on one goroutine. Pure readers (Fanin, Size, Depth,
+// Levels, FanoutCounts, ConeNodes, WriteBENCH, …) are safe to call
+// concurrently on a graph no goroutine is mutating; this is what lets
+// rewriting evaluate cuts of a frozen graph in parallel. Workspace is
+// per-goroutine scratch for the epoch-stamped cone traversals
+// (ConeNodesWS and friends): one Workspace per concurrent analysis,
+// never shared.
+package mig

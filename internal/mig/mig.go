@@ -1,23 +1,3 @@
-// Package mig implements Majority-Inverter Graphs.
-//
-// An MIG (Sec. II-B of the paper) is a directed acyclic graph whose
-// non-terminal nodes all compute the ternary majority function 〈abc〉 and
-// whose edges may be complemented. Terminals are the primary inputs and the
-// constant-0 node; primary outputs are (possibly complemented) pointers to
-// arbitrary nodes. MIGs subsume AND-inverter graphs because 〈0ab〉 = a∧b
-// and 〈1ab〉 = a∨b, and they are universal.
-//
-// Nodes are identified by dense integer IDs: ID 0 is the constant-0 node,
-// IDs 1..NumPIs() are the primary inputs, and higher IDs are majority
-// gates. Gates are created strictly after their children, so ascending ID
-// order is always a topological order. A signal is addressed by a Lit,
-// which packs a node ID and a complement bit.
-//
-// Gate creation performs structural hashing with the majority-axiom
-// normalizations 〈aab〉 = a and 〈aāb〉 = b, operand sorting
-// (commutativity), and inverter canonicalization through the self-duality
-// 〈abc〉 = ¬〈āb̄c̄〉, so structurally equivalent subgraphs are
-// automatically shared.
 package mig
 
 import "fmt"

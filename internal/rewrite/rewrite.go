@@ -1,22 +1,3 @@
-// Package rewrite implements the paper's primary contribution: MIG size
-// optimization by functional hashing (Sec. IV). Every 4-feasible cut of
-// the graph is NPN-canonicalized and, when profitable, replaced by the
-// precomputed minimum MIG of its class.
-//
-// Both traversal orders of the paper are provided — the top-down greedy
-// Algorithm 1 and the bottom-up dynamic-programming Algorithm 2 — together
-// with the two orthogonal options discussed in Sec. IV: restricting the
-// rewriting to fanout-free regions (Sec. IV-C) and the depth-preserving
-// heuristic. The five variant acronyms of the experimental section (TF, T,
-// TFD, TD, BF) are predefined.
-//
-// The hot path — cut enumeration, cone analysis and NPN lookup — runs
-// allocation-free in the steady state: cuts carry their truth tables (so
-// no cone is ever re-simulated), cone traversals use epoch-stamped scratch
-// arrays, and all buffers live in a reusable Workspace. The top-down
-// variants additionally evaluate best cuts for independent fanout-free
-// regions in parallel (Options.Workers) and commit them serially in
-// topological order, so results are bit-identical for any worker count.
 package rewrite
 
 import (

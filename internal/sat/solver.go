@@ -1,13 +1,3 @@
-// Package sat implements a conflict-driven clause-learning (CDCL) SAT
-// solver in pure Go.
-//
-// The paper solves its exact-synthesis decision problems with the Z3 SMT
-// solver. The constraints of Sec. III are finite-domain Boolean constraints,
-// so they bit-blast directly to CNF; this package provides the solver for
-// the resulting formulas. The design follows the classic MiniSat recipe:
-// two-watched-literal propagation, first-UIP conflict analysis with
-// recursive clause minimization, VSIDS variable activities with phase
-// saving, Luby restarts, and activity/LBD-based learnt-clause deletion.
 package sat
 
 import (

@@ -1,0 +1,41 @@
+// Package server exposes the batch-optimization engine as an HTTP (JSON)
+// service — the production front door of the repository: clients submit
+// BENCH or MIG netlists and receive optimized netlists plus the full
+// per-pass statistics of the functional-hashing pipeline that produced
+// them.
+//
+// # Endpoints
+//
+//	POST /v1/optimize        optimize one netlist (OptimizeRequest)
+//	POST /v1/optimize/batch  optimize many netlists concurrently (BatchRequest)
+//	GET  /v1/scripts         list preset scripts and their pass composition
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus-style counters
+//
+// Requests name a preset script ("resyn", "size", "depth", "quick", any
+// single pass) or spell out a custom pass list; the service runs it to
+// convergence with engine.RunBatch and returns results in job order.
+// Setting "stream": true switches the response to application/x-ndjson:
+// one "pass" event per executed pass as it completes (via the engine's
+// progress callbacks), then a "result" event per job — so long-running
+// jobs report their size/depth trajectory live.
+//
+// # Bounded work
+//
+// Every request runs under a deadline (client-requested, clamped to
+// Config.MaxTimeout) that flows into the engine's context cancellation,
+// so no request occupies the service longer than configured. Request
+// bodies are capped by Config.MaxBodyBytes before parsing and parsed
+// netlists by Config.MaxGates after, and a service-level slot pool
+// (Config.MaxConcurrent) bounds the number of optimization jobs in
+// flight — queued requests wait for a slot only until their deadline.
+//
+// # Concurrency contract
+//
+// One Server handles any number of concurrent requests. The minimum-MIG
+// database is immutable and shared; per-request state (parsed graphs,
+// pipelines, rewrite workspaces) is private to the request's goroutines;
+// the only shared mutable state is the atomic metrics counters, the slot
+// semaphore, and — only with Config.SharedCache — the sharded NPN
+// cut-cache, each of which is concurrency-safe on its own.
+package server

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mighash/internal/engine"
+)
+
+// metrics is the server's counter set, exposed in Prometheus text
+// exposition format at GET /metrics. Counters are plain atomics — the
+// service's hot path must not pay for a metrics registry — and every
+// value is monotonic except the inflight gauge.
+type metrics struct {
+	start    time.Time
+	requests atomic.Int64 // every HTTP request, any endpoint
+	optimize atomic.Int64 // POST /v1/optimize
+	batch    atomic.Int64 // POST /v1/optimize/batch
+	errors   atomic.Int64 // non-2xx responses written
+	inflight atomic.Int64 // jobs currently holding a pool slot
+
+	jobsOK     atomic.Int64 // jobs that returned an optimized netlist
+	jobsFailed atomic.Int64 // jobs that ended in a per-job error
+	gatesIn    atomic.Int64 // summed input sizes of completed jobs
+	gatesOut   atomic.Int64 // summed optimized sizes of completed jobs
+	passes     atomic.Int64 // executed pipeline passes
+	cacheHits  atomic.Int64 // NPN cut-cache hits, summed over jobs
+	cacheMiss  atomic.Int64 // NPN cut-cache misses, summed over jobs
+}
+
+// observe folds one finished batch into the counters.
+func (m *metrics) observe(results []engine.Result) {
+	for _, r := range results {
+		if r.Err != nil {
+			m.jobsFailed.Add(1)
+			continue
+		}
+		m.jobsOK.Add(1)
+		m.gatesIn.Add(int64(r.Stats.SizeBefore))
+		m.gatesOut.Add(int64(r.Stats.SizeAfter))
+		m.passes.Add(int64(len(r.Stats.Passes)))
+		m.cacheHits.Add(int64(r.Stats.CacheHits))
+		m.cacheMiss.Add(int64(r.Stats.CacheMisses))
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := &s.metrics
+	vals := map[string]int64{
+		"migserve_requests_total":          m.requests.Load(),
+		"migserve_optimize_requests_total": m.optimize.Load(),
+		"migserve_batch_requests_total":    m.batch.Load(),
+		"migserve_error_responses_total":   m.errors.Load(),
+		"migserve_inflight_jobs":           m.inflight.Load(),
+		"migserve_jobs_completed_total":    m.jobsOK.Load(),
+		"migserve_jobs_failed_total":       m.jobsFailed.Load(),
+		"migserve_input_gates_total":       m.gatesIn.Load(),
+		"migserve_output_gates_total":      m.gatesOut.Load(),
+		"migserve_passes_total":            m.passes.Load(),
+		"migserve_npn_cache_hits_total":    m.cacheHits.Load(),
+		"migserve_npn_cache_misses_total":  m.cacheMiss.Load(),
+		"migserve_uptime_seconds":          int64(time.Since(m.start).Seconds()),
+		"migserve_max_concurrent_jobs":     int64(s.cfg.MaxConcurrent),
+		"migserve_max_body_bytes":          s.cfg.MaxBodyBytes,
+	}
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %d\n", n, vals[n])
+	}
+}

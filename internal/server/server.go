@@ -1,0 +1,597 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"mighash/internal/db"
+	"mighash/internal/engine"
+	"mighash/internal/mig"
+)
+
+// Config tunes a Server. The zero value is usable: every limit falls back
+// to the default documented on its field.
+type Config struct {
+	// MaxBodyBytes caps the request body; larger bodies are rejected with
+	// 413 before parsing. Default 16 MiB.
+	MaxBodyBytes int64
+	// MaxGates rejects parsed netlists above this gate count with 413
+	// (the cheap byte cap cannot see how a netlist expands — XOR-heavy
+	// BENCH files grow 3× when lowered to majority gadgets). Default
+	// 2,000,000; negative disables the check.
+	MaxGates int
+	// DefaultTimeout bounds a request that does not ask for a deadline of
+	// its own. Default 60s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; requests asking for
+	// more are clamped, not rejected. Default 5m.
+	MaxTimeout time.Duration
+	// MaxConcurrent bounds the number of optimization jobs running at
+	// once across all requests (the service-level worker pool; parsing
+	// and encoding are not limited). Requests queue for a slot until
+	// their deadline. Default runtime.NumCPU().
+	MaxConcurrent int
+	// MaxWorkersPerRequest caps the intra-graph rewrite parallelism a
+	// request may ask for. Default 4; negative disables the cap.
+	MaxWorkersPerRequest int
+	// SharedCache, when true, shares one NPN cut-cache across every
+	// request of the server's lifetime, so repeated cut functions from
+	// different clients reuse each other's canonicalizations. Per-request
+	// hit/miss statistics then depend on the server's history.
+	SharedCache bool
+	// DB supplies the minimum-MIG database; nil loads the embedded one.
+	DB *db.DB
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxGates == 0 {
+		c.MaxGates = 2_000_000
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.NumCPU()
+	}
+	if c.MaxWorkersPerRequest == 0 {
+		c.MaxWorkersPerRequest = 4
+	}
+	return c
+}
+
+// Server is the HTTP optimization service. Create one with New and mount
+// it with Handler (it is itself an http.Handler). A Server is safe for
+// concurrent use; all mutable state is the metrics counters, the
+// concurrency semaphore, and (optionally) the shared NPN cache — each
+// concurrency-safe on its own.
+type Server struct {
+	cfg     Config
+	db      *db.DB
+	cache   *db.Cache // non-nil only with Config.SharedCache
+	slots   chan struct{}
+	mux     *http.ServeMux
+	metrics metrics
+}
+
+// New builds a Server, loading the embedded minimum-MIG database unless
+// cfg.DB overrides it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.DB
+	if d == nil {
+		var err error
+		if d, err = db.Load(); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		db:    d,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if cfg.SharedCache {
+		s.cache = db.NewCache()
+	}
+	s.metrics.start = time.Now()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/optimize/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/scripts", s.handleScripts)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP dispatches to the /v1 API, /healthz and /metrics.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// OptimizeRequest is the body of POST /v1/optimize and, embedded per job,
+// of the batch endpoint. Netlist is required; everything else defaults.
+type OptimizeRequest struct {
+	// Name labels the job in responses and stream events.
+	Name string `json:"name,omitempty"`
+	// Netlist is the circuit, in the format named by Format.
+	Netlist string `json:"netlist"`
+	// Format is "bench" (default; the ISCAS BENCH dialect of
+	// mig.ReadBENCH, extended with MAJ) or "mig" (mig.WriteText's native
+	// netlist format). The response netlist uses the same format.
+	Format string `json:"format,omitempty"`
+	ScriptSpec
+	// TimeoutMS bounds this request's optimization work in wall-clock
+	// milliseconds; it is clamped to the server's MaxTimeout. Zero asks
+	// for the server's DefaultTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Verify re-proves input/output equivalence with the built-in SAT
+	// checker before responding. Costly on large circuits; the check runs
+	// under the request's remaining deadline and fails the job when the
+	// budget runs out.
+	Verify bool `json:"verify,omitempty"`
+	// Stream switches the response to application/x-ndjson: one "pass"
+	// event per executed pass as it happens, then one "result" event.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// ScriptSpec selects the optimization pipeline of a request.
+type ScriptSpec struct {
+	// Script names a preset ("resyn", "size", "depth", "quick", or any
+	// single pass name). Default "resyn". Ignored when Passes is set.
+	Script string `json:"script,omitempty"`
+	// Passes builds a custom script from pass names ("TF", "T", "TFD",
+	// "TD", "BF", "depthopt"), run in order to convergence.
+	Passes []string `json:"passes,omitempty"`
+	// MaxIterations caps the script rounds (default: the engine's 10).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Workers asks for intra-graph rewrite parallelism; clamped to the
+	// server's MaxWorkersPerRequest. Results are bit-identical at any
+	// value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/optimize/batch: many netlists
+// optimized concurrently under one script and one shared deadline.
+type BatchRequest struct {
+	Jobs []BatchJobRequest `json:"jobs"`
+	ScriptSpec
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Verify    bool  `json:"verify,omitempty"`
+	Stream    bool  `json:"stream,omitempty"`
+}
+
+// BatchJobRequest is one netlist of a batch request.
+type BatchJobRequest struct {
+	Name    string `json:"name,omitempty"`
+	Netlist string `json:"netlist"`
+	Format  string `json:"format,omitempty"`
+}
+
+// OptimizeResponse is the result of one optimization job: the optimized
+// netlist (same format as the input) and the full per-pass statistics.
+type OptimizeResponse struct {
+	Name    string               `json:"name,omitempty"`
+	Netlist string               `json:"netlist,omitempty"`
+	Stats   engine.PipelineStats `json:"stats"`
+	// Verified reports the SAT equivalence check; only present when the
+	// request asked for verification.
+	Verified *bool `json:"verified,omitempty"`
+	// Error is the per-job failure. Jobs fail independently once
+	// optimization starts (an engine error on one job leaves the others'
+	// results intact); request validation is fail-fast instead — any
+	// unparsable or oversized netlist rejects the whole batch with a
+	// 4xx before optimization begins.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a non-streaming batch response. Results
+// are in job order regardless of scheduling.
+type BatchResponse struct {
+	Script    string             `json:"script"`
+	Results   []OptimizeResponse `json:"results"`
+	ElapsedNS time.Duration      `json:"elapsed_ns"`
+}
+
+// StreamEvent is one line of an application/x-ndjson streaming response.
+// Event is "pass" (Job + Pass set), "result" (Job + Result set), or
+// "error" (Error set; the stream ends after it).
+type StreamEvent struct {
+	Event  string            `json:"event"`
+	Job    string            `json:"job,omitempty"`
+	Pass   *engine.PassStats `json:"pass,omitempty"`
+	Result *OptimizeResponse `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// ScriptInfo describes one preset script for GET /v1/scripts.
+type ScriptInfo struct {
+	Name   string   `json:"name"`
+	Passes []string `json:"passes"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads the JSON request body under the server's byte cap,
+// translating the cap violation to 413 and malformed JSON to 400. It
+// reports whether decoding succeeded; on failure the response is written.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooLarge.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "malformed JSON request: %v", err)
+		return false
+	}
+	return true
+}
+
+// parseNetlist parses one job's netlist and enforces the gate cap.
+func (s *Server) parseNetlist(netlist, format string) (*mig.MIG, error) {
+	if strings.TrimSpace(netlist) == "" {
+		return nil, fmt.Errorf("empty netlist")
+	}
+	var (
+		m   *mig.MIG
+		err error
+	)
+	switch format {
+	case "", "bench":
+		m, err = mig.ReadBENCH(strings.NewReader(netlist))
+	case "mig":
+		m, err = mig.ReadText(strings.NewReader(netlist))
+	default:
+		return nil, fmt.Errorf("unknown netlist format %q (want \"bench\" or \"mig\")", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.MaxGates >= 0 && m.NumGates() > s.cfg.MaxGates {
+		return nil, errTooLarge{gates: m.NumGates(), limit: s.cfg.MaxGates}
+	}
+	return m, nil
+}
+
+// errTooLarge marks a parsed-netlist size violation so the handler can
+// map it to 413 instead of 400.
+type errTooLarge struct{ gates, limit int }
+
+func (e errTooLarge) Error() string {
+	return fmt.Sprintf("netlist has %d gates, exceeding the %d-gate limit", e.gates, e.limit)
+}
+
+// writeNetlist renders m in the request's format.
+func writeNetlist(m *mig.MIG, format string) (string, error) {
+	var b strings.Builder
+	var err error
+	switch format {
+	case "", "bench":
+		err = m.WriteBENCH(&b)
+	case "mig":
+		err = m.WriteText(&b)
+	default:
+		err = fmt.Errorf("unknown netlist format %q", format)
+	}
+	return b.String(), err
+}
+
+// pipeline builds the request's pipeline with server-side clamps applied.
+func (s *Server) pipeline(spec ScriptSpec) (*engine.Pipeline, error) {
+	var (
+		p   *engine.Pipeline
+		err error
+	)
+	if len(spec.Passes) > 0 {
+		p, err = engine.NewScript("custom", spec.Passes...)
+	} else {
+		script := spec.Script
+		if script == "" {
+			script = "resyn"
+		}
+		p, err = engine.Preset(script)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.DB = s.db
+	p.Cache = s.cache // nil without SharedCache: private per-run caches
+	if spec.MaxIterations > 0 {
+		// Only override when the client asked: presets like "quick" bake
+		// in their own iteration caps, and zero must not erase them.
+		p.MaxIterations = spec.MaxIterations
+	}
+	workers := spec.Workers
+	if limit := s.cfg.MaxWorkersPerRequest; limit > 0 && workers > limit {
+		workers = limit
+	}
+	p.Workers = workers
+	return p, nil
+}
+
+// deadline derives the request context: the client's timeout_ms clamped
+// to MaxTimeout, or DefaultTimeout when unset.
+func (s *Server) deadline(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// acquire claims a slot of the service-level pool, or fails when the
+// request's deadline expires first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.metrics.optimize.Add(1)
+	var req OptimizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	br := BatchRequest{
+		Jobs:       []BatchJobRequest{{Name: req.Name, Netlist: req.Netlist, Format: req.Format}},
+		ScriptSpec: req.ScriptSpec,
+		TimeoutMS:  req.TimeoutMS,
+		Verify:     req.Verify,
+		Stream:     req.Stream,
+	}
+	s.run(w, r, br, false)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.batch.Add(1)
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch request has no jobs")
+		return
+	}
+	s.run(w, r, req, true)
+}
+
+// run executes a validated request. Both endpoints share it: a single
+// optimize is a batch of one whose response is unwrapped (batch=false).
+func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, batch bool) {
+	p, err := s.pipeline(req.ScriptSpec)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs := make([]engine.Job, len(req.Jobs))
+	for i, j := range req.Jobs {
+		m, err := s.parseNetlist(j.Netlist, j.Format)
+		if err != nil {
+			status := http.StatusBadRequest
+			var tooLarge errTooLarge
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			s.writeError(w, status, "job %d (%s): %v", i, jobName(j, i, batch), err)
+			return
+		}
+		jobs[i] = engine.Job{Name: jobName(j, i, batch), M: m}
+	}
+
+	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"no optimization slot became free before the request deadline: %v", err)
+		return
+	}
+	defer s.release()
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	var stream *streamWriter
+	opt := engine.BatchOptions{
+		// The service pool already bounds concurrency across requests;
+		// within one request, jobs may use all request slots… but keeping
+		// one request on one slot keeps the pool's accounting honest, so
+		// batch jobs of a single request run sequentially unless the
+		// request asked for intra-graph workers.
+		Workers: 1,
+	}
+	if req.Stream {
+		stream = newStreamWriter(w)
+		opt.Progress = func(job int, ps engine.PassStats) {
+			stream.send(StreamEvent{Event: "pass", Job: jobs[job].Name, Pass: &ps})
+		}
+	}
+	start := time.Now()
+	results, runErr := engine.RunBatch(ctx, p, jobs, opt)
+	elapsed := time.Since(start)
+
+	resps := make([]OptimizeResponse, len(results))
+	for i, res := range results {
+		resps[i] = s.buildResponse(ctx, req, i, jobs[i].M, res)
+	}
+	s.metrics.observe(results)
+
+	if runErr != nil && !req.Stream {
+		// The whole batch hit the deadline (or the client went away).
+		// Individual per-job errors are reported in-band; a batch-level
+		// context error means no complete result set exists.
+		status := http.StatusGatewayTimeout
+		if errors.Is(runErr, context.Canceled) {
+			status = 499 // client closed request (nginx convention)
+		}
+		s.writeError(w, status, "optimization aborted: %v", runErr)
+		return
+	}
+
+	switch {
+	case req.Stream:
+		for i := range resps {
+			resp := &resps[i]
+			if resp.Error != "" {
+				stream.send(StreamEvent{Event: "error", Job: resp.Name, Error: resp.Error})
+				continue
+			}
+			stream.send(StreamEvent{Event: "result", Job: resp.Name, Result: resp})
+		}
+		if runErr != nil {
+			stream.send(StreamEvent{Event: "error", Error: runErr.Error()})
+		}
+	case batch:
+		writeJSON(w, http.StatusOK, BatchResponse{Script: p.Name, Results: resps, ElapsedNS: elapsed})
+	default:
+		resp := resps[0]
+		if resp.Error != "" {
+			status := http.StatusInternalServerError
+			if errors.Is(results[0].Err, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+			s.writeError(w, status, "%s", resp.Error)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// buildResponse converts one engine result into its wire form, rendering
+// the optimized netlist and running the optional equivalence check. The
+// check is bounded by the request's remaining deadline — SAT equivalence
+// on large circuits can dwarf the optimization itself, and the service's
+// contract is that no request works past its deadline.
+func (s *Server) buildResponse(ctx context.Context, req BatchRequest, i int, in *mig.MIG, res engine.Result) OptimizeResponse {
+	resp := OptimizeResponse{Name: res.Name, Stats: res.Stats}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+		return resp
+	}
+	netlist, err := writeNetlist(res.M, req.Jobs[i].Format)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Netlist = netlist
+	if req.Verify {
+		budget := time.Duration(0)
+		if deadline, ok := ctx.Deadline(); ok {
+			if budget = time.Until(deadline); budget <= 0 {
+				resp.Error = "request deadline expired before the equivalence check could run"
+				return resp
+			}
+		}
+		eq, ce, err := mig.Equivalent(in, res.M, budget)
+		if err != nil {
+			resp.Error = fmt.Sprintf("equivalence check failed to run: %v", err)
+			return resp
+		}
+		if !eq {
+			resp.Error = fmt.Sprintf("optimized netlist miscompares on input %v", ce)
+			return resp
+		}
+		resp.Verified = &eq
+	}
+	return resp
+}
+
+func jobName(j BatchJobRequest, i int, batch bool) string {
+	if j.Name != "" {
+		return j.Name
+	}
+	if batch {
+		return fmt.Sprintf("job%d", i)
+	}
+	return "job"
+}
+
+func (s *Server) handleScripts(w http.ResponseWriter, r *http.Request) {
+	var infos []ScriptInfo
+	for _, name := range engine.PresetNames() {
+		p, err := engine.Preset(name)
+		if err != nil {
+			continue
+		}
+		passes := make([]string, len(p.Passes))
+		for i, pass := range p.Passes {
+			passes[i] = pass.Name()
+		}
+		infos = append(infos, ScriptInfo{Name: name, Passes: passes})
+	}
+	writeJSON(w, http.StatusOK, map[string][]ScriptInfo{"scripts": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// streamWriter serializes concurrent stream events onto one chunked
+// response body, flushing after every line so clients see pass progress
+// as it happens.
+type streamWriter struct {
+	mu    sync.Mutex
+	w     http.ResponseWriter
+	flush http.Flusher
+	enc   *json.Encoder
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	sw := &streamWriter{w: w, enc: json.NewEncoder(w)}
+	sw.flush, _ = w.(http.Flusher)
+	return sw
+}
+
+func (sw *streamWriter) send(ev StreamEvent) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.enc.Encode(ev)
+	if sw.flush != nil {
+		sw.flush.Flush()
+	}
+}

@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mighash/internal/circuits"
+	"mighash/internal/mig"
+)
+
+// fullAdderBench is a tiny hand-written BENCH netlist exercising MAJ,
+// XOR and BUF lowering.
+const fullAdderBench = `
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+c = MAJ(a, b, cin)
+s = XOR(a, b, cin)
+sum = BUF(s)
+cout = BUF(c)
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+// suiteBench renders one internal/circuits benchmark as a BENCH netlist.
+func suiteBench(t *testing.T, name string) string {
+	t.Helper()
+	spec, ok := circuits.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	var b strings.Builder
+	if err := spec.Build().WriteBENCH(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestOptimizeEndToEnd is the acceptance path: a BENCH netlist from
+// internal/circuits goes over HTTP and comes back optimized, with
+// per-pass stats, and the returned netlist round-trips bit-identically.
+func TestOptimizeEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	netlist := suiteBench(t, "Sine")
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Name:       "sine",
+		Netlist:    netlist,
+		ScriptSpec: ScriptSpec{Script: "quick"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	out := decodeBody[OptimizeResponse](t, resp)
+	if out.Name != "sine" {
+		t.Errorf("name = %q", out.Name)
+	}
+	if out.Stats.SizeAfter >= out.Stats.SizeBefore {
+		t.Errorf("no size improvement: %d -> %d", out.Stats.SizeBefore, out.Stats.SizeAfter)
+	}
+	if len(out.Stats.Passes) == 0 {
+		t.Error("no per-pass stats")
+	}
+	// Round-trip: the returned netlist must parse, and re-writing the
+	// parse must reproduce it byte-for-byte.
+	m, err := mig.ReadBENCH(strings.NewReader(out.Netlist))
+	if err != nil {
+		t.Fatalf("returned netlist does not parse: %v", err)
+	}
+	if m.Size() != out.Stats.SizeAfter {
+		t.Errorf("returned netlist has size %d, stats say %d", m.Size(), out.Stats.SizeAfter)
+	}
+	var again strings.Builder
+	if err := m.WriteBENCH(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out.Netlist {
+		t.Error("returned netlist does not round-trip byte-identically")
+	}
+}
+
+func TestOptimizeVerify(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist:    fullAdderBench,
+		ScriptSpec: ScriptSpec{Script: "size"},
+		Verify:     true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	out := decodeBody[OptimizeResponse](t, resp)
+	if out.Verified == nil || !*out.Verified {
+		t.Errorf("verified = %v, want true", out.Verified)
+	}
+}
+
+func TestBatchOrderAndMIGFormat(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	// A second job in the native MIG text format.
+	fa := mig.New(3)
+	s, c := fa.FullAdder(fa.Input(0), fa.Input(1), fa.Input(2))
+	fa.AddOutput(s)
+	fa.AddOutput(c)
+	var migText strings.Builder
+	if err := fa.WriteText(&migText); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, hs.URL+"/v1/optimize/batch", BatchRequest{
+		Jobs: []BatchJobRequest{
+			{Name: "bench-job", Netlist: fullAdderBench},
+			{Name: "mig-job", Netlist: migText.String(), Format: "mig"},
+		},
+		ScriptSpec: ScriptSpec{Script: "quick"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	out := decodeBody[BatchResponse](t, resp)
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(out.Results))
+	}
+	if out.Results[0].Name != "bench-job" || out.Results[1].Name != "mig-job" {
+		t.Errorf("results out of order: %q, %q", out.Results[0].Name, out.Results[1].Name)
+	}
+	if _, err := mig.ReadText(strings.NewReader(out.Results[1].Netlist)); err != nil {
+		t.Errorf("mig-format response does not parse: %v", err)
+	}
+}
+
+func TestScriptsEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/v1/scripts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := decodeBody[map[string][]ScriptInfo](t, resp)
+	names := map[string]bool{}
+	for _, s := range out["scripts"] {
+		names[s.Name] = true
+		if len(s.Passes) == 0 {
+			t.Errorf("script %q lists no passes", s.Name)
+		}
+	}
+	for _, want := range []string{"resyn", "size", "depth", "quick", "BF"} {
+		if !names[want] {
+			t.Errorf("script %q missing from listing", want)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist:    fullAdderBench,
+		ScriptSpec: ScriptSpec{Script: "quick"},
+	})
+	resp, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"migserve_requests_total",
+		"migserve_jobs_completed_total 1",
+		"migserve_inflight_jobs 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestOversizedBody(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxBodyBytes: 1024})
+	big := OptimizeRequest{Netlist: strings.Repeat("# padding\n", 1024)}
+	resp := postJSON(t, hs.URL+"/v1/optimize", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	out := decodeBody[errorResponse](t, resp)
+	if out.Error == "" {
+		t.Error("413 response has no JSON error body")
+	}
+}
+
+func TestOversizedNetlist(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxGates: 3})
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{Netlist: fullAdderBench})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	out := decodeBody[errorResponse](t, resp)
+	if !strings.Contains(out.Error, "gate limit") && !strings.Contains(out.Error, "gates") {
+		t.Errorf("unhelpful error: %q", out.Error)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		url  string
+		body string
+	}{
+		{"malformed json", "/v1/optimize", "{netlist:"},
+		{"empty netlist", "/v1/optimize", `{"netlist":""}`},
+		{"bad netlist", "/v1/optimize", `{"netlist":"x = FROB(y)"}`},
+		{"unknown script", "/v1/optimize", `{"netlist":"INPUT(a)\nOUTPUT(o)\no = BUF(a)\n","script":"nope"}`},
+		{"unknown pass", "/v1/optimize", `{"netlist":"INPUT(a)\nOUTPUT(o)\no = BUF(a)\n","passes":["XX"]}`},
+		{"unknown format", "/v1/optimize", `{"netlist":"INPUT(a)","format":"blif"}`},
+		{"empty batch", "/v1/optimize/batch", `{"jobs":[]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+tc.url, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			if out := decodeBody[errorResponse](t, resp); out.Error == "" {
+				t.Error("400 response has no JSON error body")
+			}
+		})
+	}
+}
+
+// TestDeadline proves that a request-level deadline cancels the
+// optimization cleanly: a 1 ms budget cannot complete any pass, so the
+// service must answer with a timeout status and a JSON error, not hang.
+func TestDeadline(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist:    suiteBench(t, "Sine"),
+		ScriptSpec: ScriptSpec{Script: "resyn"},
+		TimeoutMS:  1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	out := decodeBody[errorResponse](t, resp)
+	if !strings.Contains(out.Error, "deadline") {
+		t.Errorf("error does not mention the deadline: %q", out.Error)
+	}
+}
+
+// TestSlotQueueTimeout proves a request that never gets an optimization
+// slot fails with 503 at its deadline instead of queueing forever.
+func TestSlotQueueTimeout(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxConcurrent: 1})
+	s.slots <- struct{}{} // occupy the only slot
+	defer func() { <-s.slots }()
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist:   fullAdderBench,
+		TimeoutMS: 50,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStreaming(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	raw, _ := json.Marshal(OptimizeRequest{
+		Name:       "fa",
+		Netlist:    fullAdderBench,
+		ScriptSpec: ScriptSpec{Script: "quick"},
+		Stream:     true,
+	})
+	resp, err := http.Post(hs.URL+"/v1/optimize", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type = %q, want application/x-ndjson", ct)
+	}
+	var passes, results int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "pass":
+			passes++
+			if ev.Pass == nil || ev.Job != "fa" {
+				t.Errorf("malformed pass event: %+v", ev)
+			}
+		case "result":
+			results++
+			if ev.Result == nil || ev.Result.Netlist == "" {
+				t.Errorf("malformed result event: %+v", ev)
+			}
+		case "error":
+			t.Errorf("unexpected error event: %+v", ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if passes == 0 || results != 1 {
+		t.Errorf("got %d pass events and %d result events, want >=1 and 1", passes, results)
+	}
+}
+
+// TestNoGoroutineLeak runs successful, failing and timed-out requests and
+// checks the server returns to its idle goroutine count: cancelled work
+// must not strand engine workers or slot waiters.
+func TestNoGoroutineLeak(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	// Drain and close every body immediately so the HTTP connection pool
+	// stays at one reused connection and does not confound the count.
+	post := func(req OptimizeRequest) {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(hs.URL+"/v1/optimize", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink bytes.Buffer
+		sink.ReadFrom(resp.Body)
+		resp.Body.Close()
+	}
+	warm := func() {
+		post(OptimizeRequest{Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}})
+	}
+	warm() // let the HTTP client/server pools reach steady state
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		warm()
+		post(OptimizeRequest{Netlist: suiteBench(t, "Sine"), TimeoutMS: 1})
+		post(OptimizeRequest{Netlist: "garbage"})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+3 { // idle HTTP keep-alive conns wobble a little
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after cancelled requests", base, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestDeterministicAcrossWorkers: the same request with different worker
+// budgets must return byte-identical netlists (the FFR-parallel rewriter's
+// contract, surfaced through the API).
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxWorkersPerRequest: 8})
+	get := func(workers int) string {
+		resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+			Netlist:    suiteBench(t, "Sine"),
+			ScriptSpec: ScriptSpec{Script: "quick", Workers: workers},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		return decodeBody[OptimizeResponse](t, resp).Netlist
+	}
+	serial := get(1)
+	parallel := get(8)
+	if serial != parallel {
+		t.Error("netlists differ between 1 and 8 intra-graph workers")
+	}
+}

@@ -1,0 +1,26 @@
+// Package tt implements bit-parallel truth tables for Boolean functions of
+// up to six variables.
+//
+// A truth table over n variables is stored in the low 2^n bits of a single
+// uint64 word: bit j holds the function value under the assignment whose
+// binary encoding is j (bit i of j is the value of variable i). All bits
+// above 2^n are kept zero, which makes comparison, hashing, and canonical
+// representative selection (the "smallest truth table" rule used for NPN
+// classification in the paper) plain integer operations.
+//
+// The package provides the Boolean operations needed by the rest of the
+// system — in particular the ternary majority operator that Majority-
+// Inverter Graphs are built from — together with the structural operations
+// used by NPN canonicalization (input flips, variable swaps, permutations)
+// and by exact synthesis (cofactors, support analysis).
+//
+// Role in the functional-hashing flow: TT is the value domain everything
+// hashes through. Cut enumeration (internal/cut) computes the TT of every
+// 4-feasible cut, NPN classification (internal/npn) canonicalizes it, and
+// the database (internal/db) maps the class to a minimum MIG.
+//
+// Concurrency contract: a TT is a small immutable value (one word plus the
+// variable count); every function returns a fresh value and touches no
+// package state, so everything here is safe to use from any number of
+// goroutines without coordination.
+package tt

@@ -1,18 +1,3 @@
-// Package tt implements bit-parallel truth tables for Boolean functions of
-// up to six variables.
-//
-// A truth table over n variables is stored in the low 2^n bits of a single
-// uint64 word: bit j holds the function value under the assignment whose
-// binary encoding is j (bit i of j is the value of variable i). All bits
-// above 2^n are kept zero, which makes comparison, hashing, and canonical
-// representative selection (the "smallest truth table" rule used for NPN
-// classification in the paper) plain integer operations.
-//
-// The package provides the Boolean operations needed by the rest of the
-// system — in particular the ternary majority operator that Majority-
-// Inverter Graphs are built from — together with the structural operations
-// used by NPN canonicalization (input flips, variable swaps, permutations)
-// and by exact synthesis (cofactors, support analysis).
 package tt
 
 import (

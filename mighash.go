@@ -21,7 +21,10 @@
 // parallelizes inside a single graph: best cuts of independent fanout-
 // free regions are evaluated concurrently and committed deterministically
 // (Pipeline.Workers / RewriteOptions.Workers), producing bit-identical
-// results at any worker count.
+// results at any worker count. The internal/server subsystem serves the
+// engine over HTTP (cmd/migserve): JSON requests carrying BENCH/MIG
+// netlists, streamed per-pass statistics, and per-request deadlines and
+// size limits — embed it with NewOptimizeServer.
 //
 // This root package is the stable public surface; the examples/ directory
 // only uses what is exported here. See README.md for a quickstart and the
@@ -42,6 +45,7 @@ import (
 	"mighash/internal/mig"
 	"mighash/internal/npn"
 	"mighash/internal/rewrite"
+	"mighash/internal/server"
 	"mighash/internal/tt"
 )
 
@@ -71,6 +75,14 @@ func NewMIG(numPIs int) *MIG { return mig.New(numPIs) }
 
 // ReadMIG parses the textual netlist format written by MIG.WriteText.
 func ReadMIG(r io.Reader) (*MIG, error) { return mig.ReadText(r) }
+
+// ReadBENCH parses a BENCH netlist (the ISCAS/LGSynth dialect used by ABC
+// and academic tools, extended with a ternary MAJ gate) into an MIG;
+// AND/OR/NAND/NOR/NOT/BUF/XOR/XNOR gates are lowered onto majority
+// gadgets. The inverse is the MIG.WriteBENCH method; writing is
+// canonicalizing, and parse→write is idempotent from the first written
+// form, so netlists round-trip byte-identically.
+func ReadBENCH(r io.Reader) (*MIG, error) { return mig.ReadBENCH(r) }
 
 // Equivalent proves or refutes functional equivalence of two MIGs with
 // the built-in SAT solver (combinational equivalence checking).
@@ -191,6 +203,41 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []BatchJob, opt BatchOption
 
 // SplitOutputs decomposes an MIG into one batch job per output cone.
 var SplitOutputs = engine.SplitOutputs
+
+// HTTP optimization service (internal/server; beyond the paper): the
+// engine served over HTTP with JSON netlists in and out, streaming
+// per-pass stats, and bounded per-request work. cmd/migserve is the
+// stand-alone binary; these exports let programs embed the service in
+// their own http.Server. See the README's "The HTTP API" section.
+type (
+	// ServerConfig tunes an optimization server (limits, deadlines,
+	// concurrency, cache sharing). The zero value uses sane defaults.
+	ServerConfig = server.Config
+	// OptimizeServer is the HTTP optimization service; it implements
+	// http.Handler.
+	OptimizeServer = server.Server
+	// OptimizeRequest is the body of POST /v1/optimize.
+	OptimizeRequest = server.OptimizeRequest
+	// OptimizeResponse is one optimization result on the wire.
+	OptimizeResponse = server.OptimizeResponse
+	// OptimizeBatchRequest is the body of POST /v1/optimize/batch.
+	OptimizeBatchRequest = server.BatchRequest
+	// OptimizeBatchJob is one netlist of a batch request.
+	OptimizeBatchJob = server.BatchJobRequest
+	// OptimizeBatchResponse is the body of a batch response.
+	OptimizeBatchResponse = server.BatchResponse
+	// OptimizeStreamEvent is one JSON line of a streaming response.
+	OptimizeStreamEvent = server.StreamEvent
+	// OptimizeScriptSpec selects the pipeline of a request (preset name
+	// or custom pass list, iteration cap, intra-graph workers).
+	OptimizeScriptSpec = server.ScriptSpec
+	// OptimizeScriptInfo describes one preset script in GET /v1/scripts.
+	OptimizeScriptInfo = server.ScriptInfo
+)
+
+// NewOptimizeServer builds the HTTP optimization service; mount its
+// Handler on any mux or listen with http.ListenAndServe directly.
+var NewOptimizeServer = server.New
 
 // Algebraic depth optimization (the substrate behind the paper's
 // "heavily optimized" starting points, refs [3], [4]).
