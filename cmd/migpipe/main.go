@@ -7,6 +7,7 @@
 //	migpipe -script resyn                     # all eight benchmarks, NumCPU workers
 //	migpipe -script size -workers 1 -json     # serial, machine-readable stats
 //	migpipe -script resyn -benchmarks Sine,Max -verify
+//	migpipe -script resyn -cachefile npn.cache   # warm-start reruns from disk
 //	migpipe -script BF -in circuit.bench -split   # one job per output cone
 //	migpipe -script resyn -in big.bench -workers 8  # one graph: FFR-parallel rewriting
 //	migpipe -url http://localhost:8080 -script resyn  # optimize remotely over HTTP
@@ -16,9 +17,17 @@
 // pipeline's intra-graph rewriter (best-cut evaluation over independent
 // fanout-free regions); results are bit-identical at any worker count.
 //
+// With -cachefile the jobs share one NPN cut-cache that is warm-started
+// from the snapshot at that path (when it exists) and saved back after
+// the run, so reruns skip the canonicalizations of previous processes;
+// the optimized graphs are bit-identical warm or cold.
+//
 // With -url the jobs are not optimized locally: they are serialized to
 // BENCH and submitted to a running migserve at that base URL via
 // POST /v1/optimize/batch, and the reported statistics are the server's.
+// The engine-local -sharedcache/-cachefile flags are ignored remotely
+// (with a warning), and the reported worker count is the requested value
+// — the server clamps the parallelism it actually grants.
 package main
 
 import (
@@ -54,11 +63,21 @@ type jsonResult struct {
 }
 
 type jsonReport struct {
-	Script  string        `json:"script"`
+	Script string `json:"script"`
+	// Workers is the batch pool size that actually ran locally; for
+	// remote runs it is the requested value verbatim (the server clamps
+	// per-request workers to its own limit, so the local pool size would
+	// be a lie — 0 means "server default").
 	Workers int           `json:"workers"`
 	Jobs    int           `json:"jobs"`
 	Elapsed time.Duration `json:"elapsed_ns"`
-	Results []jsonResult  `json:"results"`
+	// CacheHits/CacheMisses aggregate the NPN cut-cache counters over
+	// every job; CacheHitRate is their ratio. The CI warm-start smoke
+	// compares these across runs of the same -cachefile.
+	CacheHits    int          `json:"cache_hits"`
+	CacheMisses  int          `json:"cache_misses"`
+	CacheHitRate float64      `json:"cache_hit_rate"`
+	Results      []jsonResult `json:"results"`
 }
 
 func main() {
@@ -73,6 +92,7 @@ func main() {
 		split      = flag.Bool("split", false, "with -in: one batch job per output cone")
 		prepare    = flag.Bool("prepare", true, "depth-optimize benchmark starting points first (Sec. V-C)")
 		shared     = flag.Bool("sharedcache", false, "share one NPN cut-cache across all workers")
+		cacheFile  = flag.String("cachefile", "", "warm-start the shared NPN cache from this snapshot and save it back after the run")
 		verify     = flag.Bool("verify", false, "SAT-verify every optimized graph against its input")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
@@ -109,9 +129,19 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := engine.BatchOptions{Workers: *workers}
+	opt := engine.BatchOptions{Workers: *workers, CacheFile: *cacheFile}
 	if *shared {
 		opt.SharedCache = db.NewCache()
+	}
+	if *url != "" {
+		// The engine-local cache flags never reach the server; warn
+		// instead of silently dropping them so scripted runs notice.
+		if *shared {
+			log.Printf("warning: -sharedcache is ignored with -url (the server owns its cache policy)")
+		}
+		if *cacheFile != "" {
+			log.Printf("warning: -cachefile is ignored with -url (persist the cache server-side with migserve -cache-file)")
+		}
 	}
 	start := time.Now()
 	var results []engine.Result
@@ -147,12 +177,30 @@ func main() {
 		}
 	}
 
+	// Remote runs report the requested worker count verbatim: the server
+	// clamps per-request workers to its own limit, so the local pool size
+	// never ran anywhere and reporting it would be misleading.
+	reportedWorkers := effectiveWorkers(*workers, len(jobs))
+	if *url != "" {
+		reportedWorkers = *workers
+	}
+	var cacheHits, cacheMisses int
+	for _, r := range results {
+		cacheHits += r.Stats.CacheHits
+		cacheMisses += r.Stats.CacheMisses
+	}
+
 	if *jsonOut {
 		rep := jsonReport{
-			Script:  p.Name,
-			Workers: effectiveWorkers(*workers, len(jobs)),
-			Jobs:    len(jobs),
-			Elapsed: elapsed,
+			Script:      p.Name,
+			Workers:     reportedWorkers,
+			Jobs:        len(jobs),
+			Elapsed:     elapsed,
+			CacheHits:   cacheHits,
+			CacheMisses: cacheMisses,
+		}
+		if total := cacheHits + cacheMisses; total > 0 {
+			rep.CacheHitRate = float64(cacheHits) / float64(total)
 		}
 		for _, r := range results {
 			jr := jsonResult{Name: r.Name, Stats: r.Stats}
@@ -168,7 +216,7 @@ func main() {
 		}
 	} else {
 		fmt.Printf("script %s, %d jobs, %d workers, wall %v\n",
-			p.Name, len(jobs), effectiveWorkers(*workers, len(jobs)), elapsed.Round(time.Millisecond))
+			p.Name, len(jobs), reportedWorkers, elapsed.Round(time.Millisecond))
 		fmt.Printf("%-16s %8s %8s %6s %6s %5s %9s %10s\n",
 			"circuit", "size", "size'", "depth", "depth'", "iters", "cache-hit", "time")
 		for _, r := range results {
@@ -180,6 +228,10 @@ func main() {
 			fmt.Printf("%-16s %8d %8d %6d %6d %5d %8.1f%% %10v\n",
 				r.Name, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter,
 				s.Iterations, 100*s.CacheHitRate(), s.Elapsed.Round(time.Millisecond))
+		}
+		if total := cacheHits + cacheMisses; total > 0 {
+			fmt.Printf("npn cache: %d hits / %d misses (%.1f%%)\n",
+				cacheHits, cacheMisses, 100*float64(cacheHits)/float64(total))
 		}
 	}
 	if failed {

@@ -8,6 +8,13 @@
 //	migserve                          # listen on :8080
 //	migserve -addr :9090 -concurrency 8 -sharedcache
 //	migserve -max-body 4194304 -timeout 30s -max-timeout 2m
+//	migserve -cache-file /var/lib/migserve/npn.cache -cache-snapshot 2m
+//
+// With -cache-file the shared NPN cut-cache survives restarts: the
+// snapshot is restored on startup (a corrupt file degrades to a cold
+// cache with a logged error), re-written every -cache-snapshot interval,
+// and drained to disk one final time during SIGTERM shutdown. -cache-limit
+// bounds the cache with second-chance eviction.
 //
 // Endpoints (see internal/server and the README's HTTP API section):
 //
@@ -46,18 +53,24 @@ func main() {
 		concurrency = flag.Int("concurrency", 0, "optimization jobs in flight at once (0 = NumCPU)")
 		maxWorkers  = flag.Int("max-workers", 0, "cap on per-request intra-graph workers (0 = 4)")
 		shared      = flag.Bool("sharedcache", false, "share one NPN cut-cache across all requests")
+		cacheFile   = flag.String("cache-file", "", "persist the shared cache to this snapshot file (implies -sharedcache)")
+		cacheSnap   = flag.Duration("cache-snapshot", 0, "periodic cache snapshot interval (0 = 5m, <0 = shutdown-only)")
+		cacheLimit  = flag.Int("cache-limit", 0, "bound on shared-cache entries, second-chance evicted (0 = unbounded)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		MaxBodyBytes:         *maxBody,
-		MaxGates:             *maxGates,
-		DefaultTimeout:       *timeout,
-		MaxTimeout:           *maxTimeout,
-		MaxConcurrent:        *concurrency,
-		MaxWorkersPerRequest: *maxWorkers,
-		SharedCache:          *shared,
+		MaxBodyBytes:          *maxBody,
+		MaxGates:              *maxGates,
+		DefaultTimeout:        *timeout,
+		MaxTimeout:            *maxTimeout,
+		MaxConcurrent:         *concurrency,
+		MaxWorkersPerRequest:  *maxWorkers,
+		SharedCache:           *shared,
+		CacheFile:             *cacheFile,
+		CacheSnapshotInterval: *cacheSnap,
+		CacheLimit:            *cacheLimit,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,4 +103,9 @@ func main() {
 		log.Fatal(err)
 	}
 	<-drained
+	// After the HTTP drain the cache is quiescent: write the final
+	// snapshot so the next process warm-starts from the full working set.
+	if err := srv.Close(); err != nil {
+		log.Printf("closing server: %v", err)
+	}
 }

@@ -23,7 +23,9 @@ const cacheShardCount = 64
 // canonicalization and hash lookup.
 //
 // A Cache stores *Entry pointers of the DB it was populated through, so
-// it must not be reused across different DB instances.
+// it must not be reused across different DB instances. Snapshot/Restore
+// (persist.go) serialize a cache across processes by rebinding entries
+// through the loading DB, and SetLimit (evict.go) bounds its footprint.
 type Cache struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -33,6 +35,14 @@ type Cache struct {
 type cacheShard struct {
 	mu sync.RWMutex
 	m  map[uint16]cacheVal
+	// Second-chance eviction state (evict.go): the per-shard entry bound
+	// (0 = unbounded), the clock ring of keys in insertion order with its
+	// hand, and the reference bitmap indexed by key>>6 (1024 possible keys
+	// per shard under the low-6-bit shard split).
+	limit int
+	ring  []uint16
+	hand  int
+	ref   [(1 << 16) / cacheShardCount / 64]uint64
 	// Pad shards to their own cache lines so concurrent workers on
 	// different shards do not false-share the mutexes.
 	_ [64]byte
@@ -79,12 +89,16 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Reset drops all entries and zeroes the counters.
+// Reset drops all entries and zeroes the counters. The entry bound set
+// by SetLimit survives a Reset.
 func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		s.m = make(map[uint16]cacheVal)
+		s.ring = s.ring[:0]
+		s.hand = 0
+		s.ref = [len(s.ref)]uint64{}
 		s.mu.Unlock()
 	}
 	c.hits.Store(0)
@@ -118,6 +132,12 @@ func (d *DB) LookupCached(f tt.TT, c *Cache) (e *Entry, t npn.Transform, ok, hit
 	s := c.shard(key)
 	s.mu.RLock()
 	v, found := s.m[key]
+	if found && s.limit > 0 {
+		// Grant the entry a second chance against the eviction sweep.
+		// limit is only written under the exclusive lock, so reading it
+		// here is race-free, and refTouch is atomic against other readers.
+		s.refTouch(key)
+	}
 	s.mu.RUnlock()
 	if found {
 		c.hits.Add(1)
@@ -126,7 +146,7 @@ func (d *DB) LookupCached(f tt.TT, c *Cache) (e *Entry, t npn.Transform, ok, hit
 	e, t, ok = d.Lookup(f)
 	c.misses.Add(1)
 	s.mu.Lock()
-	s.m[key] = cacheVal{entry: e, t: t, ok: ok}
+	s.insert(key, cacheVal{entry: e, t: t, ok: ok})
 	s.mu.Unlock()
 	return e, t, ok, false
 }

@@ -16,9 +16,24 @@
 // read-locked map hit for repeated cut functions; hit/miss counters feed
 // the engine's RewriteStats and the HTTP service's metrics.
 //
+// The cache outlives the process: Snapshot/Restore (persist.go) serialize
+// it as a versioned, checksummed binary stream of varint-encoded records,
+// and SaveFile/LoadFile wrap that in an atomic write-temp-then-rename
+// file protocol. Snapshots hold no pointers — each record names its NPN
+// class by representative truth table, and Restore rebinds it through the
+// loading process's DB, verifying the stored transform against the cut
+// function — so a snapshot is portable across processes and database
+// rebuilds, and corrupt or version-skewed input fails with ErrSnapshot
+// (degrading consumers to a cold cache) rather than installing anything.
+// SetLimit (evict.go) bounds the footprint with a per-shard second-chance
+// clock sweep whose reference bits are set by atomic ORs on the read-
+// locked hit path.
+//
 // Concurrency contract: a *DB is immutable after Load/Read and safe to
 // share everywhere. A *Cache is safe for unlimited concurrent use and may
 // be shared across passes, pipeline runs, batch workers and HTTP requests
 // — but it stores *Entry pointers of the DB it was populated through, so
-// never reuse a Cache across different DB instances.
+// never reuse a Cache across different DB instances (snapshots cross that
+// boundary safely precisely because they rebind on load). Snapshot may run
+// concurrently with lookups; it captures a point-in-time view.
 package db

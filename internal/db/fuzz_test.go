@@ -1,0 +1,107 @@
+package db
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mighash/internal/tt"
+)
+
+// FuzzRead throws arbitrary bytes at the text-artifact parser. Any
+// input — corrupt, truncated, or adversarial — must come back as an
+// error, never a panic; inputs that do parse must re-serialize.
+func FuzzRead(f *testing.F) {
+	d, err := Load()
+	if err != nil {
+		f.Fatalf("embedded database unavailable: %v", err)
+	}
+	var art strings.Builder
+	if err := d.Write(&art); err != nil {
+		f.Fatal(err)
+	}
+	lines := strings.Split(art.String(), "\n")
+	f.Add(art.String())
+	f.Add(strings.Join(lines[:10], "\n"))
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("6996 k=0 out=3\n")
+	f.Add("6996 k=3 out=9 gates=2.4.6;3.5.7;8.10.11\n")
+	f.Add("zzzz k=1 out=1 gates=1.1.1\n")
+	f.Add("6996 k=1 out=99999999999999999999\n")
+	f.Add("6996 k=1 gates=1.2\n")
+	f.Add("0000 unknown=field\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must round-trip through Write|Read.
+		var out strings.Builder
+		if err := d.Write(&out); err != nil {
+			t.Fatalf("Write of parsed database failed: %v", err)
+		}
+		if _, err := Read(strings.NewReader(out.String())); err != nil {
+			t.Fatalf("re-parse of written database failed: %v", err)
+		}
+	})
+}
+
+// FuzzRestore throws arbitrary bytes at the snapshot decoder. Corrupt,
+// truncated, or version-skewed input must return an error and leave the
+// cache cold — never panic, never install entries from a bad stream.
+func FuzzRestore(f *testing.F) {
+	d, err := Load()
+	if err != nil {
+		f.Fatalf("embedded database unavailable: %v", err)
+	}
+	c := NewCache()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		d.LookupCached(tt.New(4, rng.Uint64()&0xFFFF), c)
+	}
+	var snap bytes.Buffer
+	if _, err := c.Snapshot(&snap); err != nil {
+		f.Fatal(err)
+	}
+	good := snap.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:4])
+	f.Add([]byte{})
+	f.Add([]byte("MHC\x01"))
+	f.Add([]byte("MHC\x02garbage"))
+	f.Add([]byte("XYZ\x01"))
+	corrupt := bytes.Clone(good)
+	corrupt[len(corrupt)/3] ^= 0xFF
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		warm := NewCache()
+		n, err := warm.Restore(bytes.NewReader(input), d)
+		if err != nil {
+			if warm.Len() != 0 {
+				t.Fatalf("failed restore installed %d entries", warm.Len())
+			}
+			return
+		}
+		if n != warm.Len() {
+			t.Fatalf("restore reported %d entries but cache holds %d", n, warm.Len())
+		}
+		// Every survivor must behave exactly like a cold lookup.
+		// A valid-checksum stream may carry any transform satisfying
+		// Apply(t, rep) = key (Restore verifies exactly that), so only the
+		// entry identity and ok flag are pinned against a cold lookup.
+		for v := 0; v < 1<<16; v += 257 {
+			ft := tt.New(4, uint64(v))
+			e, _, ok, hit := d.LookupCached(ft, warm)
+			if !hit {
+				continue
+			}
+			we, _, wok := d.Lookup(ft)
+			if ok != wok || e != we {
+				t.Fatalf("%04x: restored entry diverges from cold lookup", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mighash/internal/npn"
+)
+
+// The snapshot format is a versioned, checksummed binary stream:
+//
+//	magic   4 bytes  "MHC\x01" (the trailing byte is the format version)
+//	count   uvarint  number of records
+//	records count ×:
+//	  key   uvarint  the 16-bit truth table of the cached cut function
+//	  flags 1 byte   bit 0: ok, bit 1: NegOut, bits 2–5: input Flip mask
+//	  perm  1 byte   (ok only) bits 2j..2j+1: Perm[j], the transform's
+//	                 input permutation
+//	  rep   uvarint  (ok only) the 16-bit NPN class representative
+//	crc     4 bytes  little-endian IEEE CRC-32 of everything above
+//
+// The format stores no *Entry pointers and no process-local state: a
+// record names its class by the representative truth table, and Restore
+// rebinds it to the loading process's database (d.byRep), so a snapshot
+// is valid across processes — and across database rebuilds, because a
+// representative whose class the loading DB lacks is simply skipped.
+// Negative entries (ok=false, only possible with partial databases) are
+// not written: their transform was never computed, so there is nothing
+// to rebind; they are re-discovered as ordinary misses.
+const (
+	snapshotMagic   = "MHC"
+	snapshotVersion = 1
+)
+
+// ErrSnapshot wraps every snapshot decoding failure, so callers can
+// distinguish a corrupt or version-skewed snapshot (degrade to a cold
+// cache) from I/O errors on a healthy file.
+var ErrSnapshot = errors.New("db: invalid cache snapshot")
+
+// snapRecord is one decoded snapshot record before rebinding.
+type snapRecord struct {
+	key uint16
+	rep uint16
+	t   npn.Transform
+}
+
+// Snapshot writes a point-in-time copy of the cache to w in the binary
+// snapshot format and returns the number of records written. The output
+// is deterministic (records are sorted by key) and safe to take while
+// other goroutines keep using the cache; concurrent insertions may or
+// may not be included. Negative entries are skipped — see the format
+// comment — so the count can trail Len on partial databases.
+func (c *Cache) Snapshot(w io.Writer) (int, error) {
+	type rec struct {
+		key uint16
+		v   cacheVal
+	}
+	var recs []rec
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if v.ok {
+				recs = append(recs, rec{key: k, v: v})
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	bw.WriteString(snapshotMagic)
+	bw.WriteByte(snapshotVersion)
+	writeUvarint(uint64(len(recs)))
+	for _, r := range recs {
+		writeUvarint(uint64(r.key))
+		bw.WriteByte(packFlags(r.v.t, true))
+		bw.WriteByte(packPerm(r.v.t))
+		writeUvarint(uint64(r.v.entry.Rep.Bits))
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return len(recs), err
+}
+
+func packFlags(t npn.Transform, ok bool) byte {
+	var f byte
+	if ok {
+		f |= 1
+	}
+	if t.NegOut {
+		f |= 1 << 1
+	}
+	f |= (t.Flip & 0x0F) << 2
+	return f
+}
+
+func packPerm(t npn.Transform) byte {
+	var p byte
+	for j := 0; j < 4; j++ {
+		p |= byte(t.Perm[j]&3) << (2 * uint(j))
+	}
+	return p
+}
+
+func unpackTransform(flags, perm byte) npn.Transform {
+	t := npn.Transform{N: 4}
+	t.NegOut = flags&(1<<1) != 0
+	t.Flip = (flags >> 2) & 0x0F
+	for j := 0; j < 4; j++ {
+		t.Perm[j] = int(perm>>(2*uint(j))) & 3
+	}
+	return t
+}
+
+// crcByteReader counts every byte it hands out into a CRC-32, so the
+// decoder can verify the trailer without buffering the whole snapshot.
+type crcByteReader struct {
+	r   *bufio.Reader
+	crc uint32
+	one [1]byte
+}
+
+func (cr *crcByteReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.one[0] = b
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, cr.one[:])
+	}
+	return b, err
+}
+
+func (cr *crcByteReader) read(p []byte) error {
+	if _, err := io.ReadFull(cr.r, p); err != nil {
+		return err
+	}
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p)
+	return nil
+}
+
+// Restore reads a snapshot from r and installs its records into c,
+// rebinding every record to the loading process's database d: the class
+// named by the stored representative is looked up in d, records whose
+// class d lacks are skipped, and each surviving transform is verified
+// against its key (Apply(t, rep) must reproduce the cut function), so a
+// snapshot can never install an entry the equivalent cold Lookup would
+// not have produced. It returns the number of entries installed.
+//
+// Decoding is all-or-nothing: on any error (truncation, corruption,
+// checksum or version mismatch — all wrapping ErrSnapshot, distinguishable
+// from I/O errors) the cache is left unchanged, so callers degrade to a
+// cold cache. Existing cache contents are kept; restored records do not
+// overwrite keys already present.
+func (c *Cache) Restore(r io.Reader, d *DB) (int, error) {
+	if d == nil {
+		return 0, fmt.Errorf("%w: restore requires a database to rebind entries", ErrSnapshot)
+	}
+	cr := &crcByteReader{r: bufio.NewReader(r)}
+	var head [4]byte
+	if err := cr.read(head[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated header: %v", ErrSnapshot, err)
+	}
+	if string(head[:3]) != snapshotMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrSnapshot, head[:3])
+	}
+	if head[3] != snapshotVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d (want %d)", ErrSnapshot, head[3], snapshotVersion)
+	}
+	count, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad record count: %v", ErrSnapshot, err)
+	}
+	// Keys are 16-bit truth tables, so no valid snapshot outgrows the
+	// function space; the bound also stops a corrupt count from allocating
+	// unbounded memory before the checksum check can reject it.
+	if count > 1<<16 {
+		return 0, fmt.Errorf("%w: record count %d exceeds the 4-input function space", ErrSnapshot, count)
+	}
+	recs := make([]snapRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		if key > 0xFFFF {
+			return 0, fmt.Errorf("%w: record %d key %#x exceeds 16 bits", ErrSnapshot, i, key)
+		}
+		flags, err := cr.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		if flags&1 == 0 {
+			// Negative record: tolerated for forward compatibility but
+			// never rebound (the loading DB may know the class).
+			continue
+		}
+		perm, err := cr.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		rep, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		if rep > 0xFFFF {
+			return 0, fmt.Errorf("%w: record %d representative %#x exceeds 16 bits", ErrSnapshot, i, rep)
+		}
+		recs = append(recs, snapRecord{
+			key: uint16(key),
+			rep: uint16(rep),
+			t:   unpackTransform(flags, perm),
+		})
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(cr.r, sum[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated checksum: %v", ErrSnapshot, err)
+	}
+	if got, want := cr.crc, binary.LittleEndian.Uint32(sum[:]); got != want {
+		return 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrSnapshot, got, want)
+	}
+
+	// Rebind and verify before touching the cache, so a record that fails
+	// verification leaves the cache unchanged.
+	type bound struct {
+		key uint16
+		v   cacheVal
+	}
+	installs := make([]bound, 0, len(recs))
+	for _, r := range recs {
+		i, ok := d.byRep[r.rep]
+		if !ok {
+			continue // class unknown to this database; re-discover as a miss
+		}
+		e := &d.entries[i]
+		if got := r.t.Apply(e.Rep); uint16(got.Bits) != r.key {
+			return 0, fmt.Errorf("%w: record %04x: transform does not map class %04x onto it",
+				ErrSnapshot, r.key, r.rep)
+		}
+		installs = append(installs, bound{key: r.key, v: cacheVal{entry: e, t: r.t, ok: true}})
+	}
+	n := 0
+	for _, b := range installs {
+		s := c.shard(b.key)
+		s.mu.Lock()
+		if _, exists := s.m[b.key]; !exists {
+			s.insert(b.key, b.v)
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n, nil
+}
+
+// SaveFile atomically writes a snapshot of c to path and returns the
+// number of records written: the snapshot is streamed to a temporary
+// file in the same directory, synced, and renamed over path, so readers
+// never observe a partially written snapshot and a crash mid-save leaves
+// the previous snapshot intact. An existing file keeps its permission
+// bits; a fresh one is created world-readable (0644) rather than with
+// CreateTemp's private 0600, so sidecar readers are not locked out.
+func (c *Cache) SaveFile(path string) (int, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (int, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	if err := f.Chmod(mode); err != nil {
+		return fail(err)
+	}
+	n, err := c.Snapshot(f)
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// LoadFile restores the snapshot at path into c, rebinding entries
+// through d (see Restore). A missing file is reported as an error
+// satisfying errors.Is(err, fs.ErrNotExist), which callers treat as a
+// cold start; any ErrSnapshot error likewise leaves c unchanged.
+func (c *Cache) LoadFile(path string, d *DB) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return c.Restore(f, d)
+}

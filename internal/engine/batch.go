@@ -2,7 +2,10 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
+	"log"
 	"runtime"
 	"sync"
 
@@ -37,6 +40,15 @@ type BatchOptions struct {
 	// scheduling-dependent, which is why the default is a private cache
 	// per job (deterministic stats at any worker count).
 	SharedCache *db.Cache
+	// CacheFile warm-starts the batch from an on-disk cache snapshot:
+	// before any job runs, the snapshot at this path is restored into the
+	// batch's shared cache (creating one when SharedCache is nil), and
+	// after the batch the cache is snapshotted back atomically. A missing
+	// file is a silent cold start; a corrupt or version-skewed snapshot
+	// degrades to a cold cache with a logged warning. The optimized
+	// graphs are bit-identical warm or cold — a snapshot only changes
+	// which lookups count as hits.
+	CacheFile string
 	// Progress, when non-nil, is invoked synchronously after every pass of
 	// every job with the job index (into the jobs slice) and that pass's
 	// statistics. Calls for different jobs come from different worker
@@ -54,7 +66,9 @@ type BatchOptions struct {
 //
 // Cancellation is cooperative at job and pass granularity: when ctx is
 // cancelled, unstarted jobs and unfinished pipelines report ctx.Err() in
-// their Result, and RunBatch returns ctx.Err().
+// their Result, and RunBatch returns ctx.Err(). A cancellation that
+// lands after every job already completed cleanly costs nothing — the
+// result set is complete, so RunBatch returns nil.
 func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([]Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("engine: RunBatch requires a pipeline")
@@ -74,6 +88,12 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 	run := *p
 	if opt.SharedCache != nil {
 		run.Cache = opt.SharedCache
+	}
+	if opt.CacheFile != "" {
+		if run.Cache == nil {
+			run.Cache = db.NewCache()
+		}
+		warmStart(run.Cache, run.DB, opt.CacheFile)
 	}
 	var (
 		wg   sync.WaitGroup
@@ -109,7 +129,45 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 		}()
 	}
 	wg.Wait()
-	return results, ctx.Err()
+	if opt.CacheFile != "" {
+		// Even a cancelled batch may have warmed the cache; persisting it
+		// is always safe because snapshots only change hit/miss stats.
+		if _, err := run.Cache.SaveFile(opt.CacheFile); err != nil {
+			log.Printf("engine: cache snapshot to %s failed: %v", opt.CacheFile, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancellation only fails the batch if it cost results: when every
+		// job ran to its own conclusion before the context fired — clean or
+		// failed on its own merits, both reported in-band — the result set
+		// is as complete as it would have been without the cancellation,
+		// and the batch succeeds. Only jobs lost to the context itself
+		// make the whole batch report the context error.
+		for i := range results {
+			if e := results[i].Err; e != nil &&
+				(errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded)) {
+				return results, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// warmStart restores the snapshot at path into cache, resolving the
+// database the entries rebind through (the pipeline's, or the embedded
+// one — the same resolution RunContext performs). Every failure short of
+// a missing file is logged and degrades to a cold cache.
+func warmStart(cache *db.Cache, d *db.DB, path string) {
+	if d == nil {
+		var err error
+		if d, err = db.Load(); err != nil {
+			log.Printf("engine: cache warm-start from %s skipped, no database: %v", path, err)
+			return
+		}
+	}
+	if _, err := cache.LoadFile(path, d); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		log.Printf("engine: cache warm-start from %s failed, starting cold: %v", path, err)
+	}
 }
 
 // SplitOutputs decomposes m into one job per primary output: each job's

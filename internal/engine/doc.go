@@ -14,7 +14,11 @@
 // All pipelines share the sharded NPN cut-cache of internal/db: the
 // canonicalization + database lookup of every 4-feasible cut — the hot
 // path of functional hashing — is memoized across passes, iterations and
-// (optionally) across batch workers.
+// (optionally) across batch workers. BatchOptions.CacheFile extends the
+// memoization across processes: the batch warm-starts from an on-disk
+// cache snapshot and saves it back atomically afterwards, with corrupt
+// snapshots degrading to a cold cache (logged, never fatal). Optimized
+// graphs are bit-identical warm or cold.
 //
 // Long-running consumers observe progress through callbacks:
 // Pipeline.Progress fires after every executed pass, and

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -413,5 +415,144 @@ func TestPipelineIntraGraphWorkersDeterministic(t *testing.T) {
 			t.Errorf("workers=%d: size/depth %d/%d, want %d/%d",
 				workers, st.SizeAfter, st.DepthAfter, refStats.SizeAfter, refStats.DepthAfter)
 		}
+	}
+}
+
+// TestRunBatchCompletedBeforeCancelReturnsNil is the regression test for
+// the server's spurious 504: a cancellation that lands after every job
+// already completed cleanly must not fail the batch — the result set is
+// complete, so RunBatch returns nil (and the results carry no errors).
+func TestRunBatchCompletedBeforeCancelReturnsNil(t *testing.T) {
+	d := loadDB(t)
+	rng := rand.New(rand.NewSource(67))
+	p, _ := Preset("quick") // one pass, one iteration: no ctx check after it
+	p.DB = d
+	jobs := []Job{{Name: "done", M: randomMIG(rng, 6, 60, 2)}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results, err := RunBatch(ctx, p, jobs, BatchOptions{
+		Workers: 1,
+		// Progress fires synchronously after the only pass of the only
+		// job, so the cancellation is guaranteed to be visible by the
+		// time RunBatch does its final context check.
+		Progress: func(int, PassStats) { cancel() },
+	})
+	if err != nil {
+		t.Fatalf("complete batch reported batch-level error: %v", err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("complete job reported error: %v", results[0].Err)
+	}
+	if results[0].M == nil {
+		t.Fatal("complete job carries no graph")
+	}
+}
+
+// TestRunBatchCancelStillFailsLostJobs: the nil-on-complete relaxation
+// must not swallow real cancellations — a context cancelled before any
+// job starts still fails the batch.
+func TestRunBatchCancelStillFailsLostJobs(t *testing.T) {
+	d := loadDB(t)
+	rng := rand.New(rand.NewSource(68))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, _ := Preset("quick")
+	p.DB = d
+	jobs := []Job{{Name: "lost", M: randomMIG(rng, 6, 60, 2)}}
+	if _, err := RunBatch(ctx, p, jobs, BatchOptions{Workers: 1}); err == nil {
+		t.Fatal("batch with lost jobs returned nil")
+	}
+}
+
+// renderBatch serializes every result graph so warm and cold runs can be
+// compared bit-for-bit.
+func renderBatch(t *testing.T, results []Result) []string {
+	t.Helper()
+	out := make([]string, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Name, r.Err)
+		}
+		var buf bytes.Buffer
+		if err := r.M.WriteBENCH(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.String()
+	}
+	return out
+}
+
+func sumCache(results []Result) (hits, misses int) {
+	for _, r := range results {
+		hits += r.Stats.CacheHits
+		misses += r.Stats.CacheMisses
+	}
+	return
+}
+
+// TestRunBatchCacheFileWarmStart is the persistence property test: a
+// warm-started batch produces bit-identical optimized MIGs to the cold
+// run — only the hit/miss split may shift — and the warm run's hit rate
+// is strictly higher. A corrupted snapshot degrades to a cold cache with
+// identical graphs rather than failing the batch.
+func TestRunBatchCacheFileWarmStart(t *testing.T) {
+	d := loadDB(t)
+	rng := rand.New(rand.NewSource(71))
+	jobs := []Job{{Name: "Max", M: startMax(t)}}
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, Job{
+			Name: string(rune('p' + i)),
+			M:    randomMIG(rng, 6+rng.Intn(4), 150+rng.Intn(150), 3),
+		})
+	}
+	p, _ := Preset("size")
+	p.DB = d
+	path := filepath.Join(t.TempDir(), "npn.cache")
+
+	cold, err := RunBatch(context.Background(), p, jobs, BatchOptions{Workers: 2, CacheFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldGraphs := renderBatch(t, cold)
+	coldHits, coldMisses := sumCache(cold)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("batch did not leave a snapshot: %v", err)
+	}
+
+	warm, err := RunBatch(context.Background(), p, jobs, BatchOptions{Workers: 2, CacheFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmGraphs := renderBatch(t, warm)
+	warmHits, warmMisses := sumCache(warm)
+	for i := range coldGraphs {
+		if warmGraphs[i] != coldGraphs[i] {
+			t.Errorf("job %s: warm-started graph differs from cold run", jobs[i].Name)
+		}
+	}
+	coldRate := float64(coldHits) / float64(coldHits+coldMisses)
+	warmRate := float64(warmHits) / float64(warmHits+warmMisses)
+	if warmRate <= coldRate {
+		t.Errorf("warm hit rate %.4f not above cold %.4f (hits %d→%d, misses %d→%d)",
+			warmRate, coldRate, coldHits, warmHits, coldMisses, warmMisses)
+	}
+
+	// Scribble over the snapshot: the next batch must start cold (logged,
+	// not fatal) and still produce the same graphs.
+	if err := os.WriteFile(path, []byte("this is not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RunBatch(context.Background(), p, jobs, BatchOptions{Workers: 2, CacheFile: path})
+	if err != nil {
+		t.Fatalf("batch with corrupt snapshot failed: %v", err)
+	}
+	for i, g := range renderBatch(t, recovered) {
+		if g != coldGraphs[i] {
+			t.Errorf("job %s: corrupt-snapshot run diverged from cold run", jobs[i].Name)
+		}
+	}
+	// …and it must have replaced the corrupt file with a valid snapshot.
+	if _, err := db.NewCache().LoadFile(path, d); err != nil {
+		t.Fatalf("snapshot after corrupt warm-start is not loadable: %v", err)
 	}
 }

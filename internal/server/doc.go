@@ -38,4 +38,16 @@
 // the only shared mutable state is the atomic metrics counters, the slot
 // semaphore, and — only with Config.SharedCache — the sharded NPN
 // cut-cache, each of which is concurrency-safe on its own.
+//
+// # Cache persistence
+//
+// Config.CacheFile makes the shared cache survive restarts: New restores
+// the snapshot (corrupt or missing files degrade to a cold cache with a
+// logged error), a background writer re-snapshots it every
+// Config.CacheSnapshotInterval, and Close — which cmd/migserve calls
+// after the SIGTERM HTTP drain — writes the final snapshot. Snapshots
+// never change optimization results, only the hit/miss statistics;
+// Config.CacheLimit bounds the cache with second-chance eviction. The
+// persistence state is exported as migserve_npn_cache_entries,
+// migserve_cache_restored_entries and migserve_cache_snapshot_* metrics.
 package server

@@ -29,6 +29,12 @@ type metrics struct {
 	passes     atomic.Int64 // executed pipeline passes
 	cacheHits  atomic.Int64 // NPN cut-cache hits, summed over jobs
 	cacheMiss  atomic.Int64 // NPN cut-cache misses, summed over jobs
+
+	// Cache-persistence counters (all zero without Config.CacheFile).
+	cacheRestored   atomic.Int64 // entries warm-started from the snapshot
+	snapshots       atomic.Int64 // snapshot attempts (periodic + Close)
+	snapshotErrors  atomic.Int64 // snapshot attempts that failed
+	snapshotEntries atomic.Int64 // entries in the last successful snapshot
 }
 
 // observe folds one finished batch into the counters.
@@ -65,6 +71,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"migserve_uptime_seconds":          int64(time.Since(m.start).Seconds()),
 		"migserve_max_concurrent_jobs":     int64(s.cfg.MaxConcurrent),
 		"migserve_max_body_bytes":          s.cfg.MaxBodyBytes,
+	}
+	if s.cache != nil {
+		// The live entry count is a gauge sampled at scrape time; the
+		// snapshot counters only move when cache persistence is on.
+		vals["migserve_npn_cache_entries"] = int64(s.cache.Len())
+		vals["migserve_cache_restored_entries"] = m.cacheRestored.Load()
+		vals["migserve_cache_snapshot_total"] = m.snapshots.Load()
+		vals["migserve_cache_snapshot_errors_total"] = m.snapshotErrors.Load()
+		vals["migserve_cache_snapshot_entries"] = m.snapshotEntries.Load()
 	}
 	names := make([]string, 0, len(vals))
 	for n := range vals {

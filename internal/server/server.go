@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
+	"log"
 	"net/http"
 	"runtime"
 	"strings"
@@ -46,6 +48,22 @@ type Config struct {
 	// different clients reuse each other's canonicalizations. Per-request
 	// hit/miss statistics then depend on the server's history.
 	SharedCache bool
+	// CacheFile persists the shared cache across process restarts: New
+	// restores the snapshot at this path (a missing file is a cold start;
+	// a corrupt or version-skewed one degrades to a cold cache with a
+	// logged error), a background goroutine re-snapshots it every
+	// CacheSnapshotInterval, and Close writes a final snapshot during
+	// graceful shutdown. Optimized netlists are bit-identical warm or
+	// cold — only hit/miss statistics shift. Setting CacheFile implies
+	// SharedCache.
+	CacheFile string
+	// CacheSnapshotInterval is the period of the background snapshot
+	// writer when CacheFile is set. Default 5m; negative disables the
+	// periodic writer (Close still snapshots).
+	CacheSnapshotInterval time.Duration
+	// CacheLimit bounds the shared cache's entry count with per-shard
+	// second-chance eviction (db.Cache.SetLimit). 0 means unbounded.
+	CacheLimit int
 	// DB supplies the minimum-MIG database; nil loads the embedded one.
 	DB *db.DB
 }
@@ -69,6 +87,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkersPerRequest == 0 {
 		c.MaxWorkersPerRequest = 4
 	}
+	if c.CacheFile != "" {
+		c.SharedCache = true
+		if c.CacheSnapshotInterval == 0 {
+			c.CacheSnapshotInterval = 5 * time.Minute
+		}
+	}
 	return c
 }
 
@@ -84,6 +108,11 @@ type Server struct {
 	slots   chan struct{}
 	mux     *http.ServeMux
 	metrics metrics
+
+	// Cache-persistence lifecycle (nil/zero without Config.CacheFile).
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a Server, loading the embedded minimum-MIG database unless
@@ -104,6 +133,24 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SharedCache {
 		s.cache = db.NewCache()
+		if cfg.CacheLimit > 0 {
+			s.cache.SetLimit(cfg.CacheLimit)
+		}
+	}
+	if cfg.CacheFile != "" {
+		n, err := s.cache.LoadFile(cfg.CacheFile, d)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("server: no cache snapshot at %s, starting cold", cfg.CacheFile)
+		case err != nil:
+			log.Printf("server: restoring cache snapshot %s failed, starting cold: %v", cfg.CacheFile, err)
+		default:
+			s.metrics.cacheRestored.Store(int64(n))
+			log.Printf("server: warm-started %d cache entries from %s", n, cfg.CacheFile)
+		}
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
 	}
 	s.metrics.start = time.Now()
 	s.mux = http.NewServeMux()
@@ -117,6 +164,61 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s }
+
+// snapshotLoop re-snapshots the shared cache every CacheSnapshotInterval
+// until Close. Snapshot failures are logged and counted, never fatal —
+// the cache keeps serving and the next tick retries.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	if s.cfg.CacheSnapshotInterval < 0 {
+		<-s.snapStop
+		return
+	}
+	t := time.NewTicker(s.cfg.CacheSnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.snapshotCache()
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// snapshotCache writes one snapshot and updates the snapshot metrics.
+func (s *Server) snapshotCache() error {
+	s.metrics.snapshots.Add(1)
+	n, err := s.cache.SaveFile(s.cfg.CacheFile)
+	if err != nil {
+		s.metrics.snapshotErrors.Add(1)
+		log.Printf("server: cache snapshot to %s failed: %v", s.cfg.CacheFile, err)
+		return err
+	}
+	s.metrics.snapshotEntries.Store(int64(n))
+	return nil
+}
+
+// Close releases the server's background resources: it stops the
+// periodic snapshot writer and, when Config.CacheFile is set, drains the
+// cache to disk one final time so a restarted process warm-starts from
+// the full working set (cmd/migserve calls this after the HTTP drain on
+// SIGTERM). It returns the final snapshot's error, if any — a full disk
+// at shutdown must not masquerade as a clean close. Close is idempotent
+// and safe to call on a server without cache persistence, where it is a
+// no-op.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.snapStop == nil {
+			return
+		}
+		close(s.snapStop)
+		<-s.snapDone
+		err = s.snapshotCache()
+	})
+	return err
+}
 
 // ServeHTTP dispatches to the /v1 API, /healthz and /metrics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -331,6 +433,12 @@ func (s *Server) pipeline(spec ScriptSpec) (*engine.Pipeline, error) {
 		p.MaxIterations = spec.MaxIterations
 	}
 	workers := spec.Workers
+	if workers < 0 {
+		// A negative request is "no preference", not "minus three
+		// workers": normalize before the upper clamp so the engine never
+		// sees a nonsense budget.
+		workers = 0
+	}
 	if limit := s.cfg.MaxWorkersPerRequest; limit > 0 && workers > limit {
 		workers = limit
 	}
@@ -466,16 +574,27 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 
 	switch {
 	case req.Stream:
+		// In-stream error events bypass writeError (the 200 header is long
+		// gone), so an erroring stream must feed the error counter itself
+		// or streaming aborts become invisible to monitoring. The counter
+		// tracks error *responses*, so a stream carrying any number of
+		// error events counts once — same as its non-streaming twin.
+		streamErrored := false
 		for i := range resps {
 			resp := &resps[i]
 			if resp.Error != "" {
+				streamErrored = true
 				stream.send(StreamEvent{Event: "error", Job: resp.Name, Error: resp.Error})
 				continue
 			}
 			stream.send(StreamEvent{Event: "result", Job: resp.Name, Result: resp})
 		}
 		if runErr != nil {
+			streamErrored = true
 			stream.send(StreamEvent{Event: "error", Error: runErr.Error()})
+		}
+		if streamErrored {
+			s.metrics.errors.Add(1)
 		}
 	case batch:
 		writeJSON(w, http.StatusOK, BatchResponse{Script: p.Name, Results: resps, ElapsedNS: elapsed})

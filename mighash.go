@@ -156,7 +156,10 @@ type RewriteWorkspace = rewrite.Workspace
 var NewRewriteWorkspace = rewrite.NewWorkspace
 
 // NPNCache is the concurrency-safe, sharded memo of NPN canonicalization
-// + database lookups shared by pipelines and batch workers.
+// + database lookups shared by pipelines and batch workers. It persists
+// across processes — Snapshot/Restore and SaveFile/LoadFile serialize it
+// as a checksummed binary snapshot that rebinds entries through the
+// loading database — and SetLimit bounds it with second-chance eviction.
 type NPNCache = db.Cache
 
 // NewNPNCache returns an empty cut-cache ready for concurrent use.
@@ -177,7 +180,8 @@ type (
 	BatchJob = engine.Job
 	// BatchResult is the outcome of one BatchJob.
 	BatchResult = engine.Result
-	// BatchOptions tunes RunBatch (workers, shared cache).
+	// BatchOptions tunes RunBatch (workers, shared cache, on-disk cache
+	// snapshot for cross-process warm-starts).
 	BatchOptions = engine.BatchOptions
 )
 
@@ -211,7 +215,8 @@ var SplitOutputs = engine.SplitOutputs
 // their own http.Server. See the README's "The HTTP API" section.
 type (
 	// ServerConfig tunes an optimization server (limits, deadlines,
-	// concurrency, cache sharing). The zero value uses sane defaults.
+	// concurrency, cache sharing and on-disk cache persistence). The
+	// zero value uses sane defaults.
 	ServerConfig = server.Config
 	// OptimizeServer is the HTTP optimization service; it implements
 	// http.Handler.
