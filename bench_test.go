@@ -77,7 +77,7 @@ func BenchmarkTableI_ExactSynthesisUpTo5(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := reps[i%len(reps)]
-		if _, err := exact.Minimum(rep, exact.Options{}); err != nil {
+		if _, err := exact.Minimum(context.Background(), rep, exact.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +96,7 @@ func BenchmarkTableI_DecisionUnsat(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, _ := exact.Decide(rep, 4, exact.Options{})
+		st, _ := exact.Decide(context.Background(), rep, 4, exact.Options{})
 		if st != sat.Unsat {
 			b.Fatalf("k=4 decision returned %v", st)
 		}
@@ -331,7 +331,7 @@ func BenchmarkAblation_ExactPruning(b *testing.B) {
 	f := pickSize5Class(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exact.Minimum(f, exact.Options{}); err != nil {
+		if _, err := exact.Minimum(context.Background(), f, exact.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -341,7 +341,7 @@ func BenchmarkAblation_ExactNoPruning(b *testing.B) {
 	f := pickSize5Class(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exact.Minimum(f, exact.Options{NoExtraPruning: true}); err != nil {
+		if _, err := exact.Minimum(context.Background(), f, exact.Options{NoExtraPruning: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

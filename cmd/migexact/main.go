@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,7 +48,7 @@ func main() {
 	f := tt.New(*n, bits&tt.Mask(*n))
 
 	start := time.Now()
-	m, err := exact.Minimum(f, exact.Options{Timeout: *timeout})
+	m, err := exact.Minimum(context.Background(), f, exact.Options{Timeout: *timeout})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,8 @@
 //	migpipe -script resyn -cachefile npn.cache   # warm-start reruns from disk
 //	migpipe -script BF -in circuit.bench -split   # one job per output cone
 //	migpipe -script resyn -in big.bench -workers 8  # one graph: FFR-parallel rewriting
+//	migpipe -script resyn -k 5                # same script, 5-input functional hashing
+//	migpipe -script resyn5 -cachefile npn.cache -synth-budget 2s
 //	migpipe -url http://localhost:8080 -script resyn  # optimize remotely over HTTP
 //	migpipe -scripts                          # list available scripts
 //
@@ -22,12 +24,21 @@
 // the run, so reruns skip the canonicalizations of previous processes;
 // the optimized graphs are bit-identical warm or cold.
 //
+// With -k 5 (or a *5 script such as resyn5) functional hashing extends
+// to five-leaf cuts: their NPN classes are not precomputed but learned —
+// synthesized on first contact by the SAT engine under the budget of
+// -synth-conflicts/-synth-budget, memoized by semi-canonical class, and
+// persisted through -cachefile alongside the 4-input cut-cache, so a
+// warm rerun re-synthesizes nothing. -k 5 maps each preset to its
+// 5-input variant (resyn→resyn5, size→size5, TF→TF5, …).
+//
 // With -url the jobs are not optimized locally: they are serialized to
 // BENCH and submitted to a running migserve at that base URL via
 // POST /v1/optimize/batch, and the reported statistics are the server's.
-// The engine-local -sharedcache/-cachefile flags are ignored remotely
-// (with a warning), and the reported worker count is the requested value
-// — the server clamps the parallelism it actually grants.
+// The engine-local -sharedcache/-cachefile/-synth-* flags are ignored
+// remotely (with a warning), and the reported worker count is the
+// requested value — the server clamps the parallelism it actually
+// grants.
 package main
 
 import (
@@ -74,10 +85,18 @@ type jsonReport struct {
 	// CacheHits/CacheMisses aggregate the NPN cut-cache counters over
 	// every job; CacheHitRate is their ratio. The CI warm-start smoke
 	// compares these across runs of the same -cachefile.
-	CacheHits    int          `json:"cache_hits"`
-	CacheMisses  int          `json:"cache_misses"`
-	CacheHitRate float64      `json:"cache_hit_rate"`
-	Results      []jsonResult `json:"results"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// The on-demand 5-input store of this run (all zero for K = 4
+	// scripts): classes known at exit, exact-synthesis ladders run, and
+	// ladders that blew their budget. The exact5-smoke CI job asserts
+	// Exact5Synths == 0 on a warm -cachefile rerun.
+	Exact5Entries  int          `json:"exact5_entries"`
+	Exact5Negative int          `json:"exact5_negative"`
+	Exact5Synths   int          `json:"exact5_synths"`
+	Exact5Timeouts int          `json:"exact5_timeouts"`
+	Results        []jsonResult `json:"results"`
 }
 
 func main() {
@@ -97,6 +116,9 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		url        = flag.String("url", "", "optimize remotely: base URL of a running migserve")
+		cutWidth   = flag.Int("k", 0, "functional-hashing cut width: 4, or 5 to map the script to its 5-input variant")
+		synthConfl = flag.Int64("synth-conflicts", 0, "per-class SAT conflict budget of 5-input exact synthesis (0 = default, <0 = unlimited)")
+		synthTime  = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none; trades determinism for latency)")
 	)
 	flag.Parse()
 
@@ -104,7 +126,11 @@ func main() {
 		fmt.Println(strings.Join(engine.PresetNames(), "\n"))
 		return
 	}
-	p, err := engine.Preset(*script)
+	scriptName, err := applyCutWidth(*script, *cutWidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := engine.Preset(scriptName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,7 +155,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := engine.BatchOptions{Workers: *workers, CacheFile: *cacheFile}
+	exact5 := db.NewOnDemand(db.OnDemandOptions{MaxConflicts: *synthConfl, Timeout: *synthTime})
+	opt := engine.BatchOptions{Workers: *workers, CacheFile: *cacheFile, Exact5: exact5}
 	if *shared {
 		opt.SharedCache = db.NewCache()
 	}
@@ -142,11 +169,14 @@ func main() {
 		if *cacheFile != "" {
 			log.Printf("warning: -cachefile is ignored with -url (persist the cache server-side with migserve -cache-file)")
 		}
+		if *synthConfl != 0 || *synthTime != 0 {
+			log.Printf("warning: -synth-conflicts/-synth-budget are ignored with -url (tune the server with migserve -synth-*)")
+		}
 	}
 	start := time.Now()
 	var results []engine.Result
 	if *url != "" {
-		results, err = runRemote(ctx, *url, *script, *workers, *verify, *timeout, jobs)
+		results, err = runRemote(ctx, *url, scriptName, *workers, *verify, *timeout, jobs)
 	} else {
 		results, err = engine.RunBatch(ctx, p, jobs, opt)
 	}
@@ -192,12 +222,16 @@ func main() {
 
 	if *jsonOut {
 		rep := jsonReport{
-			Script:      p.Name,
-			Workers:     reportedWorkers,
-			Jobs:        len(jobs),
-			Elapsed:     elapsed,
-			CacheHits:   cacheHits,
-			CacheMisses: cacheMisses,
+			Script:         p.Name,
+			Workers:        reportedWorkers,
+			Jobs:           len(jobs),
+			Elapsed:        elapsed,
+			CacheHits:      cacheHits,
+			CacheMisses:    cacheMisses,
+			Exact5Entries:  exact5.Len(),
+			Exact5Negative: exact5.NegativeLen(),
+			Exact5Synths:   int(exact5.Synths()),
+			Exact5Timeouts: int(exact5.Failures()),
 		}
 		if total := cacheHits + cacheMisses; total > 0 {
 			rep.CacheHitRate = float64(cacheHits) / float64(total)
@@ -232,6 +266,9 @@ func main() {
 		if total := cacheHits + cacheMisses; total > 0 {
 			fmt.Printf("npn cache: %d hits / %d misses (%.1f%%)\n",
 				cacheHits, cacheMisses, 100*float64(cacheHits)/float64(total))
+		}
+		if exact5.Len()+exact5.NegativeLen() > 0 || exact5.Synths() > 0 {
+			fmt.Println(exact5)
 		}
 	}
 	if failed {
@@ -365,6 +402,28 @@ func runRemote(ctx context.Context, baseURL, script string, workers int, verify 
 		}
 	}
 	return results, nil
+}
+
+// applyCutWidth maps a script name to its K = 5 variant when -k 5 asks
+// for it: presets with a learned-database twin gain the "5" suffix,
+// already-5-wide names pass through, and anything else is an error that
+// lists the valid scripts.
+func applyCutWidth(script string, k int) (string, error) {
+	switch k {
+	case 0, 4:
+		return script, nil
+	case 5:
+		if strings.HasSuffix(script, "5") {
+			return script, nil
+		}
+		wide := script + "5"
+		if _, err := engine.Preset(wide); err != nil {
+			return "", fmt.Errorf("script %q has no 5-input variant (have %v)", script, engine.PresetNames())
+		}
+		return wide, nil
+	default:
+		return "", fmt.Errorf("unsupported cut width %d (want 4 or 5)", k)
+	}
 }
 
 func effectiveWorkers(requested, jobs int) int {

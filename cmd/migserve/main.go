@@ -10,11 +10,14 @@
 //	migserve -max-body 4194304 -timeout 30s -max-timeout 2m
 //	migserve -cache-file /var/lib/migserve/npn.cache -cache-snapshot 2m
 //
-// With -cache-file the shared NPN cut-cache survives restarts: the
-// snapshot is restored on startup (a corrupt file degrades to a cold
-// cache with a logged error), re-written every -cache-snapshot interval,
-// and drained to disk one final time during SIGTERM shutdown. -cache-limit
-// bounds the cache with second-chance eviction.
+// With -cache-file the shared NPN cut-cache — and the on-demand 5-input
+// exact-synthesis store behind the resyn5/size5/TF5… scripts — survives
+// restarts: the snapshot is restored on startup (a corrupt file degrades
+// to a cold cache with a logged error), re-written every -cache-snapshot
+// interval, and drained to disk one final time during SIGTERM shutdown.
+// -cache-limit bounds the cache with second-chance eviction, and
+// -synth-conflicts/-synth-budget/-synth-gates bound each 5-input class's
+// first-contact synthesis; request deadlines cancel in-flight ladders.
 //
 // Endpoints (see internal/server and the README's HTTP API section):
 //
@@ -38,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"mighash/internal/db"
 	"mighash/internal/server"
 )
 
@@ -56,6 +60,9 @@ func main() {
 		cacheFile   = flag.String("cache-file", "", "persist the shared cache to this snapshot file (implies -sharedcache)")
 		cacheSnap   = flag.Duration("cache-snapshot", 0, "periodic cache snapshot interval (0 = 5m, <0 = shutdown-only)")
 		cacheLimit  = flag.Int("cache-limit", 0, "bound on shared-cache entries, second-chance evicted (0 = unbounded)")
+		synthConfl  = flag.Int64("synth-conflicts", 0, "per-class SAT conflict budget of 5-input exact synthesis (0 = default, <0 = unlimited)")
+		synthTime   = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none)")
+		synthGates  = flag.Int("synth-gates", 0, "ladder cap of 5-input exact synthesis (0 = default)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
@@ -71,6 +78,11 @@ func main() {
 		CacheFile:             *cacheFile,
 		CacheSnapshotInterval: *cacheSnap,
 		CacheLimit:            *cacheLimit,
+		Synth5: db.OnDemandOptions{
+			MaxConflicts: *synthConfl,
+			Timeout:      *synthTime,
+			MaxGates:     *synthGates,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

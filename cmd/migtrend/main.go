@@ -1,0 +1,223 @@
+// Command migtrend merges migpipe -json artifacts into one markdown
+// size/depth/runtime trajectory table, so the per-PR BENCH_*.json files
+// the CI uploads become a readable history instead of a pile of blobs
+// (the ROADMAP's "plot the trajectories" item).
+//
+// Usage:
+//
+//	migtrend BENCH_rewrite.json BENCH_npn5.json   # table on stdout
+//	migtrend -label resyn=BENCH_a.json -label resyn5=BENCH_b.json
+//	go run ./cmd/migtrend BENCH_*.json >> "$GITHUB_STEP_SUMMARY"
+//
+// Each artifact contributes one column group (size/depth per circuit);
+// labels default to the artifact's script name, deduplicated by file
+// name. Files that do not parse as migpipe reports are skipped with a
+// warning so a mixed artifact directory can be globbed wholesale.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// report mirrors the subset of migpipe's -json output migtrend needs;
+// unknown fields are ignored, so the tool reads old artifacts too.
+type report struct {
+	Script  string        `json:"script"`
+	Jobs    int           `json:"jobs"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Results []struct {
+		Name  string `json:"name"`
+		Error string `json:"error"`
+		Stats struct {
+			SizeBefore  int           `json:"size_before"`
+			SizeAfter   int           `json:"size_after"`
+			DepthBefore int           `json:"depth_before"`
+			DepthAfter  int           `json:"depth_after"`
+			Elapsed     time.Duration `json:"elapsed_ns"`
+		} `json:"stats"`
+	} `json:"results"`
+	Exact5Synths   int `json:"exact5_synths"`
+	Exact5Entries  int `json:"exact5_entries"`
+	Exact5Timeouts int `json:"exact5_timeouts"`
+}
+
+type column struct {
+	label string
+	rep   report
+}
+
+type labelFlag []string
+
+func (l *labelFlag) String() string     { return strings.Join(*l, ",") }
+func (l *labelFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migtrend: ")
+	var labels labelFlag
+	flag.Var(&labels, "label", "name=file pair; repeatable (default: the artifact's script name)")
+	flag.Parse()
+
+	var cols []column
+	for _, lv := range labels {
+		name, file, ok := strings.Cut(lv, "=")
+		if !ok {
+			log.Fatalf("-label wants name=file, got %q", lv)
+		}
+		rep, err := readReport(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cols = append(cols, column{label: name, rep: rep})
+	}
+	for _, file := range flag.Args() {
+		rep, err := readReport(file)
+		if err != nil {
+			log.Printf("skipping %s: %v", file, err)
+			continue
+		}
+		label := rep.Script
+		if label == "" {
+			label = strings.TrimSuffix(filepath.Base(file), ".json")
+		}
+		cols = append(cols, column{label: label, rep: rep})
+	}
+	if len(cols) == 0 {
+		log.Fatal("no readable artifacts (pass migpipe -json outputs)")
+	}
+	dedupeLabels(cols)
+	render(os.Stdout, cols)
+}
+
+func readReport(path string) (report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return report{}, fmt.Errorf("%s: no results (not a migpipe -json artifact?)", path)
+	}
+	return rep, nil
+}
+
+// dedupeLabels suffixes repeated labels so columns stay tell-apart-able
+// when the same script was run twice (cold/warm pairs).
+func dedupeLabels(cols []column) {
+	seen := map[string]int{}
+	for i := range cols {
+		seen[cols[i].label]++
+		if n := seen[cols[i].label]; n > 1 {
+			cols[i].label = fmt.Sprintf("%s#%d", cols[i].label, n)
+		}
+	}
+}
+
+// render writes the markdown trajectory table: one row per circuit with
+// each artifact's optimized size/depth, then totals and runtime rows.
+func render(w *os.File, cols []column) {
+	// Circuit order: first artifact wins, later ones append novelties.
+	var order []string
+	index := map[string]bool{}
+	for _, c := range cols {
+		for _, r := range c.rep.Results {
+			if !index[r.Name] {
+				index[r.Name] = true
+				order = append(order, r.Name)
+			}
+		}
+	}
+	fmt.Fprintf(w, "### Optimization trajectory (%d artifacts)\n\n", len(cols))
+	fmt.Fprint(w, "| circuit |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %s size |  depth |", c.label)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range cols {
+		fmt.Fprint(w, "---:|---:|")
+	}
+	fmt.Fprintln(w)
+	for _, name := range order {
+		fmt.Fprintf(w, "| %s |", name)
+		for _, c := range cols {
+			size, depth := "–", "–"
+			for _, r := range c.rep.Results {
+				if r.Name != name {
+					continue
+				}
+				if r.Error != "" {
+					size, depth = "err", "err"
+				} else {
+					size = fmt.Sprint(r.Stats.SizeAfter)
+					depth = fmt.Sprint(r.Stats.DepthAfter)
+				}
+				break
+			}
+			fmt.Fprintf(w, " %s | %s |", size, depth)
+		}
+		fmt.Fprintln(w)
+	}
+	// Totals only cover circuits present and error-free in every column:
+	// summing an errored or absent circuit as zero would render a broken
+	// run as a huge apparent improvement.
+	complete := map[string]bool{}
+	for _, name := range order {
+		ok := true
+		for _, c := range cols {
+			found := false
+			for _, r := range c.rep.Results {
+				if r.Name == name && r.Error == "" {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		complete[name] = ok
+	}
+	nComplete := 0
+	for _, name := range order {
+		if complete[name] {
+			nComplete++
+		}
+	}
+	fmt.Fprint(w, "| **total** |")
+	for _, c := range cols {
+		size, depth := 0, 0
+		for _, r := range c.rep.Results {
+			if complete[r.Name] {
+				size += r.Stats.SizeAfter
+				depth += r.Stats.DepthAfter
+			}
+		}
+		fmt.Fprintf(w, " **%d** | **%d** |", size, depth)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+	if nComplete < len(order) {
+		fmt.Fprintf(w, "Totals cover the %d of %d circuits present and error-free in every artifact.\n\n",
+			nComplete, len(order))
+	}
+	for _, c := range cols {
+		fmt.Fprintf(w, "- **%s**: %d jobs in %v", c.label, c.rep.Jobs, c.rep.Elapsed.Round(time.Millisecond))
+		if c.rep.Exact5Synths > 0 || c.rep.Exact5Entries > 0 {
+			fmt.Fprintf(w, "; exact5: %d classes learned, %d ladders (%d budget-blown)",
+				c.rep.Exact5Entries, c.rep.Exact5Synths, c.rep.Exact5Timeouts)
+		}
+		fmt.Fprintln(w)
+	}
+}

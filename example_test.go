@@ -33,7 +33,7 @@ func ExampleCanonizeNPN() {
 // paper's SAT-encoded ladder search.
 func ExampleExactMinimum() {
 	and2 := mighash.NewTT(2, 0b1000)
-	m, err := mighash.ExactMinimum(and2, mighash.ExactOptions{})
+	m, err := mighash.ExactMinimum(context.Background(), and2, mighash.ExactOptions{})
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,7 +21,7 @@ func main() {
 	// MIG with fewer than 3 majority gates computes it.
 	xor3 := mighash.NewTT(3, 0x96)
 	start := time.Now()
-	m, err := mighash.ExactMinimum(xor3, mighash.ExactOptions{})
+	m, err := mighash.ExactMinimum(context.Background(), xor3, mighash.ExactOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,14 +15,16 @@ const MaxK = 6
 // Bloom-style signature for fast subset tests.
 //
 // TT is the function of the cut root over the leaves — leaf i is variable
-// i — stored expanded to 4 variables (unused upper variables are
-// don't-cares), so it equals mig.ConeTT(root, leaves).Expand(4).Bits. It
+// i — stored expanded to 5 variables (unused upper variables are
+// don't-cares), so it equals mig.ConeTT(root, leaves).Expand(5).Bits. It
 // is computed incrementally during enumeration from the child cuts' truth
-// tables and is only populated when enumerating with K <= 4; wider
-// enumerations (LUT mapping) leave it zero.
+// tables and is only populated when enumerating with K <= 5; wider
+// enumerations (LUT mapping) leave it zero. For cuts of at most four
+// leaves the low 16 bits are exactly the 4-variable table (expansion
+// duplicates the halves), which is what the K = 4 rewriting path reads.
 type Cut struct {
 	Sig uint64
-	TT  uint16
+	TT  uint32
 	N   uint8
 	L   [MaxK]mig.ID
 }
@@ -45,18 +47,18 @@ func (c *Cut) String() string {
 
 func sigOf(id mig.ID) uint64 { return 1 << (uint(id) & 63) }
 
-// proj4[i] is the truth table of variable i over 4 variables, the 16-bit
-// analogue of tt.Var(4, i).
-var proj4 = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+// proj5[i] is the truth table of variable i over 5 variables, the 32-bit
+// analogue of tt.Var(5, i).
+var proj5 = [5]uint32{0xAAAAAAAA, 0xCCCCCCCC, 0xF0F0F0F0, 0xFF00FF00, 0xFFFF0000}
 
 // ttVar0 is the truth table of a single-leaf cut: variable 0 expanded to
-// 4 variables.
-const ttVar0 = 0xAAAA
+// 5 variables.
+const ttVar0 = 0xAAAAAAAA
 
-// swapTT exchanges variables i < j of a 4-variable truth table; the
-// 16-bit counterpart of tt.SwapVars.
-func swapTT(bits uint16, i, j int) uint16 {
-	pi, pj := proj4[i], proj4[j]
+// swapTT exchanges variables i < j of a 5-variable truth table; the
+// 32-bit counterpart of tt.SwapVars.
+func swapTT(bits uint32, i, j int) uint32 {
+	pi, pj := proj5[i], proj5[j]
 	sh := uint(1)<<uint(j) - uint(1)<<uint(i)
 	keep := bits & (pi&pj | ^pi&^pj)
 	up := (bits & pi &^ pj) << sh
@@ -69,8 +71,8 @@ func swapTT(bits uint16, i, j int) uint16 {
 // leaf lists are ascending, variable i of c moves to a position p_i >= i
 // with p_0 < p_1 < ..., so — walking from the highest variable down —
 // each move is a swap with a position currently holding a don't-care
-// variable, which in the expanded-to-4 representation is exact.
-func stretchTT(c, d *Cut) uint16 {
+// variable, which in the expanded-to-5 representation is exact.
+func stretchTT(c, d *Cut) uint32 {
 	bits := c.TT
 	j := int(d.N)
 	for i := int(c.N) - 1; i >= 0; i-- {
@@ -86,7 +88,7 @@ func stretchTT(c, d *Cut) uint16 {
 // mergedTT computes the truth table of a gate over the leaves of the
 // merged cut out: each child cut's function is stretched onto out's leaf
 // positions, complemented per the fanin edge, and combined by majority.
-func mergedTT(f [3]mig.Lit, a, b, c, out *Cut) uint16 {
+func mergedTT(f [3]mig.Lit, a, b, c, out *Cut) uint32 {
 	ta := stretchTT(a, out)
 	if f[0].Comp() {
 		ta = ^ta
@@ -184,7 +186,7 @@ func (o Options) withDefaults() Options {
 
 // Enumerate computes the cut sets of every node of m. The result is
 // indexed by node ID; terminals get their defining cuts and every gate's
-// set ends with the trivial cut {g}. With K <= 4 every cut also carries
+// set ends with the trivial cut {g}. With K <= 5 every cut also carries
 // its truth table (see Cut.TT).
 //
 // Enumerate allocates fresh cut sets the caller may retain; the rewrite
@@ -223,7 +225,7 @@ func (w *Workspace) Enumerate(m *mig.MIG, opts Options) [][]Cut {
 	// per would reallocate out of the arena, which the cap in
 	// addIrredundant rules out.
 	slot := func(i int) []Cut { return w.arena[i*per : i*per : (i+1)*per] }
-	withTT := opts.K <= 4
+	withTT := opts.K <= 5
 	sets[0] = append(slot(0), Cut{}) // constant node: the empty cut
 	for i := 0; i < m.NumPIs(); i++ {
 		id := int(m.Input(i).ID())

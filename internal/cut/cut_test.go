@@ -145,20 +145,31 @@ func TestCutFunctionsComposeCorrectly(t *testing.T) {
 
 // TestCutTTMatchesConeTT checks the incrementally-maintained truth table
 // of every enumerated cut against the reference cone re-simulation: the
-// carried TT must equal ConeTT(root, leaves).Expand(4) exactly, which is
-// what the rewrite hot path consumes instead of re-simulating.
+// carried TT must equal ConeTT(root, leaves).Expand(5) exactly, which is
+// what the rewrite hot path consumes instead of re-simulating. Both
+// rewriting widths are covered; with K = 4 the low 16 bits must equally
+// read back as the 4-variable table.
 func TestCutTTMatchesConeTT(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	for trial := 0; trial < 40; trial++ {
 		m := randomMIG(rng, 5, 30)
-		sets := Enumerate(m, Options{K: 4, MaxCuts: 30})
-		for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
-			for i := range sets[id] {
-				c := &sets[id][i]
-				want := m.ConeTT(mig.MakeLit(mig.ID(id), false), c.Leaves()).Expand(4)
-				if uint64(c.TT) != want.Bits {
-					t.Fatalf("trial %d node %d cut %v: TT %#04x, want %#04x",
-						trial, id, c, c.TT, want.Bits)
+		for _, k := range []int{4, 5} {
+			sets := Enumerate(m, Options{K: k, MaxCuts: 30})
+			for id := m.NumPIs() + 1; id < m.NumNodes(); id++ {
+				for i := range sets[id] {
+					c := &sets[id][i]
+					want := m.ConeTT(mig.MakeLit(mig.ID(id), false), c.Leaves()).Expand(5)
+					if uint64(c.TT) != want.Bits {
+						t.Fatalf("trial %d k=%d node %d cut %v: TT %#08x, want %#08x",
+							trial, k, id, c, c.TT, want.Bits)
+					}
+					if int(c.N) <= 4 {
+						want4 := m.ConeTT(mig.MakeLit(mig.ID(id), false), c.Leaves()).Expand(4)
+						if uint64(uint16(c.TT)) != want4.Bits {
+							t.Fatalf("trial %d k=%d node %d cut %v: low TT half %#04x, want %#04x",
+								trial, k, id, c, uint16(c.TT), want4.Bits)
+						}
+					}
 				}
 			}
 		}

@@ -17,10 +17,11 @@
 // retained.
 //
 // Role in the functional-hashing flow: this is the first stage of the hot
-// path. When enumerating with K ≤ 4 each cut carries its truth table,
-// computed incrementally from the child cuts' tables during the merge —
-// so the rewriter (internal/rewrite) hands Cut.TT straight to NPN
-// canonicalization and no cone is ever re-simulated. A popcount signature
+// path. When enumerating with K ≤ 5 each cut carries its truth table
+// (expanded to 5 variables; the low 16 bits are the 4-variable table for
+// narrow cuts), computed incrementally from the child cuts' tables during
+// the merge — so the rewriter (internal/rewrite) hands Cut.TT straight to
+// NPN canonicalization and no cone is ever re-simulated. A popcount signature
 // prefilter rejects infeasible merges before any set operation runs.
 //
 // Concurrency contract: enumeration only reads the MIG, so any number of

@@ -2,6 +2,7 @@ package db
 
 import (
 	"bufio"
+	"context"
 	"embed"
 	"fmt"
 	"io"
@@ -64,7 +65,7 @@ func (d *DB) Build(m *mig.MIG, f tt.TT, leaves []mig.Lit) (mig.Lit, bool) {
 	}
 	var padded [4]mig.Lit
 	copy(padded[:], leaves)
-	return e.Instantiate(m, padded, t), true
+	return e.Instantiate(m, padded[:], t), true
 }
 
 // Size returns the minimum MIG size C(f) recorded for f's class, or -1 if
@@ -216,9 +217,9 @@ func Generate(opt exact.Options, workers int, progress func(done, total int, e E
 			err error
 		)
 		if splitWorkers > 1 {
-			m, err = exact.MinimumParallel(reps[i], o, splitWorkers, 5)
+			m, err = exact.MinimumParallel(context.Background(), reps[i], o, splitWorkers, 5)
 		} else {
-			m, err = exact.Minimum(reps[i], o)
+			m, err = exact.Minimum(context.Background(), reps[i], o)
 		}
 		if err != nil {
 			results[i] = result{err: fmt.Errorf("class %04x: %w", reps[i].Bits, err)}

@@ -82,7 +82,7 @@ func TestLookupInstantiate(t *testing.T) {
 		}
 		m := mig.New(4)
 		leaves := [4]mig.Lit{m.Input(0), m.Input(1), m.Input(2), m.Input(3)}
-		m.AddOutput(e.Instantiate(m, leaves, tr))
+		m.AddOutput(e.Instantiate(m, leaves[:], tr))
 		if got := m.Simulate()[0]; got != f {
 			t.Fatalf("instantiated %v, want %v (entry %04x)", got, f, e.Rep.Bits)
 		}
@@ -218,7 +218,7 @@ func TestDepthMetadata(t *testing.T) {
 		if e.Depth < 1 || e.Depth > e.Size() {
 			t.Errorf("%04x: depth %d outside [1, %d]", e.Rep.Bits, e.Depth, e.Size())
 		}
-		for i, ld := range e.LeafDepth {
+		for i, ld := range e.LeafDepth[:e.K()] {
 			if ld > e.Depth {
 				t.Errorf("%04x: leaf %d depth %d exceeds total %d", e.Rep.Bits, i, ld, e.Depth)
 			}

@@ -1,0 +1,169 @@
+package db
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mighash/internal/mig"
+	"mighash/internal/npn"
+	"mighash/internal/tt"
+)
+
+func and5() tt.TT {
+	f := tt.Var(5, 0)
+	for i := 1; i < 5; i++ {
+		f = f.And(tt.Var(5, i))
+	}
+	return f
+}
+
+func majority5() tt.TT {
+	var b uint64
+	for x := uint(0); x < 32; x++ {
+		ones := 0
+		for j := uint(0); j < 5; j++ {
+			ones += int(x >> j & 1)
+		}
+		if ones >= 3 {
+			b |= 1 << x
+		}
+	}
+	return tt.New(5, b)
+}
+
+// TestOnDemandLearnsAndMemoizes drives the full learn-once path: a first
+// lookup synthesizes, every NPN-equivalent lookup afterwards is a memory
+// hit, and the instantiated entry really computes the asked-for function.
+func TestOnDemandLearnsAndMemoizes(t *testing.T) {
+	s := NewOnDemand(OnDemandOptions{})
+	rng := rand.New(rand.NewSource(5))
+	all5 := npn.All(5)
+	for _, f := range []tt.TT{and5(), majority5()} {
+		before := s.Synths()
+		e, tr, ok := s.Lookup(context.Background(), f)
+		if !ok {
+			t.Fatalf("class of %v blew the default budget", f)
+		}
+		if s.Synths() != before+1 {
+			t.Fatalf("first lookup ran %d ladders, want 1", s.Synths()-before)
+		}
+		if got := tr.Apply(e.Rep); got != f {
+			t.Fatalf("Apply(t, rep) = %v, want %v", got, f)
+		}
+		m := mig.New(5)
+		leaves := []mig.Lit{m.Input(0), m.Input(1), m.Input(2), m.Input(3), m.Input(4)}
+		m.AddOutput(e.Instantiate(m, leaves, tr))
+		if got := m.Simulate()[0]; got != f {
+			t.Fatalf("instantiated %v, want %v", got, f)
+		}
+		// Every class member must be a hit on the same entry.
+		for i := 0; i < 16; i++ {
+			g := all5[rng.Intn(len(all5))].Apply(f)
+			e2, tr2, ok := s.Lookup(context.Background(), g)
+			if !ok || e2 != e {
+				t.Fatalf("variant %v missed the learned class", g)
+			}
+			if got := tr2.Apply(e2.Rep); got != g {
+				t.Fatalf("variant transform broken: %v != %v", got, g)
+			}
+		}
+		if s.Synths() != before+1 {
+			t.Fatalf("variants re-synthesized (%d ladders)", s.Synths()-before)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("learned %d classes, want 2", s.Len())
+	}
+}
+
+// TestOnDemandOptionsNormalized: a non-positive gate cap must select
+// the default, not an empty ladder — an empty ladder would instantly
+// negative-cache every class and persist the poison into snapshots.
+func TestOnDemandOptionsNormalized(t *testing.T) {
+	for _, gates := range []int{0, -1} {
+		s := NewOnDemand(OnDemandOptions{MaxGates: gates})
+		if got := s.Options().MaxGates; got != 7 {
+			t.Fatalf("MaxGates %d normalized to %d, want 7", gates, got)
+		}
+		if _, _, ok := s.Lookup(context.Background(), and5()); !ok {
+			t.Fatalf("MaxGates %d: trivial class failed to synthesize", gates)
+		}
+	}
+	if s := NewOnDemand(OnDemandOptions{MaxConflicts: -1}); s.Options().MaxConflicts != 0 {
+		t.Fatal("negative MaxConflicts did not normalize to unlimited")
+	}
+}
+
+// TestOnDemandNegativeCache: a class that blows its (tiny) budget is
+// negative-cached and never retried.
+func TestOnDemandNegativeCache(t *testing.T) {
+	s := NewOnDemand(OnDemandOptions{MaxConflicts: 1, MaxGates: 7})
+	f := tt.New(5, 0x9D2B64E817A3C55F) // dense random function, far past 1 conflict
+	if _, _, ok := s.Lookup(context.Background(), f); ok {
+		t.Fatal("expected the 1-conflict budget to fail")
+	}
+	if s.Failures() != 1 || s.NegativeLen() != 1 {
+		t.Fatalf("failures=%d negative=%d, want 1/1", s.Failures(), s.NegativeLen())
+	}
+	synths := s.Synths()
+	if _, _, ok := s.Lookup(context.Background(), f.Not()); ok {
+		t.Fatal("NPN variant of a negative class must miss")
+	}
+	if s.Synths() != synths {
+		t.Fatal("negative-cached class was re-synthesized")
+	}
+}
+
+// TestOnDemandCancellationNotCached: a lookup abandoned by its context
+// must not poison the class — the next caller retries and can succeed.
+func TestOnDemandCancellationNotCached(t *testing.T) {
+	s := NewOnDemand(OnDemandOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := majority5()
+	if _, _, ok := s.Lookup(ctx, f); ok {
+		t.Fatal("lookup under a cancelled context returned ok")
+	}
+	if s.NegativeLen() != 0 {
+		t.Fatal("cancellation negative-cached the class")
+	}
+	if _, _, ok := s.Lookup(context.Background(), f); !ok {
+		t.Fatal("retry after cancellation failed")
+	}
+}
+
+// TestOnDemandConcurrent hammers one store from many goroutines with NPN
+// variants of a few functions: every class must be synthesized exactly
+// once and all callers must agree on the learned entries.
+func TestOnDemandConcurrent(t *testing.T) {
+	s := NewOnDemand(OnDemandOptions{})
+	fns := []tt.TT{and5(), majority5(), tt.Var(5, 2), tt.Const1(5)}
+	all5 := npn.All(5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := fns[rng.Intn(len(fns))]
+				g := all5[rng.Intn(len(all5))].Apply(f)
+				e, tr, ok := s.Lookup(context.Background(), g)
+				if !ok {
+					t.Errorf("class of %v blew the budget", g)
+					return
+				}
+				if got := tr.Apply(e.Rep); got != g {
+					t.Errorf("Apply(t, rep) = %v, want %v", got, g)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Synths() != uint64(s.Len()) || s.Len() > len(fns) {
+		t.Fatalf("%d ladders for %d classes", s.Synths(), s.Len())
+	}
+}

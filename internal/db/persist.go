@@ -10,33 +10,54 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
+	"mighash/internal/mig"
 	"mighash/internal/npn"
+	"mighash/internal/tt"
 )
 
 // The snapshot format is a versioned, checksummed binary stream:
 //
-//	magic   4 bytes  "MHC\x01" (the trailing byte is the format version)
+//	magic   4 bytes  "MHC\x02" (the trailing byte is the format version)
 //	count   uvarint  number of records
-//	records count ×:
-//	  key   uvarint  the 16-bit truth table of the cached cut function
-//	  flags 1 byte   bit 0: ok, bit 1: NegOut, bits 2–5: input Flip mask
-//	  perm  1 byte   (ok only) bits 2j..2j+1: Perm[j], the transform's
-//	                 input permutation
-//	  rep   uvarint  (ok only) the 16-bit NPN class representative
+//	records count ×, each introduced by a width/kind tag byte:
+//	  kind 1 — memoized 4-input lookup (the NPN cut-cache):
+//	    key   uvarint  the 16-bit truth table of the cached cut function
+//	    flags 1 byte   bit 0: ok, bit 1: NegOut, bits 2–5: input Flip mask
+//	    perm  1 byte   bits 2j..2j+1: Perm[j], the transform's input
+//	                   permutation
+//	    rep   uvarint  the 16-bit NPN class representative
+//	  kind 2 — learned 5-input class (the on-demand store):
+//	    rep   uvarint  the 32-bit semi-canonical class representative
+//	    k     uvarint  gate count
+//	    out   uvarint  output literal (id·2+complement; ids: 0 = const 0,
+//	                   1..5 = x1..x5, 6+l = gate l)
+//	    gates k × 3 uvarint fanin literals, topological order
+//	    us    uvarint  synthesis time in µs
+//	  kind 3 — negative-cached 5-input class (budget blown):
+//	    rep   uvarint  the 32-bit semi-canonical class representative
 //	crc     4 bytes  little-endian IEEE CRC-32 of everything above
 //
-// The format stores no *Entry pointers and no process-local state: a
-// record names its class by the representative truth table, and Restore
-// rebinds it to the loading process's database (d.byRep), so a snapshot
-// is valid across processes — and across database rebuilds, because a
-// representative whose class the loading DB lacks is simply skipped.
-// Negative entries (ok=false, only possible with partial databases) are
-// not written: their transform was never computed, so there is nothing
-// to rebind; they are re-discovered as ordinary misses.
+// Version 1 (no kind tags, 4-input records only) is still decoded, so
+// pre-existing cache files keep warm-starting after an upgrade.
+//
+// The format stores no pointers and no process-local state: kind-1
+// records name their class by representative and Restore rebinds them to
+// the loading process's database; kind-2 records carry the learned
+// structure itself and are re-verified by simulation (plus the
+// semi-canonicity of the representative) before installation; kind-3
+// records re-seed the negative cache so a budget-blown class is not
+// re-proven hopeless by every process. Negative 4-input entries
+// (ok=false, only possible with partial databases) are not written:
+// their transform was never computed, so there is nothing to rebind.
 const (
 	snapshotMagic   = "MHC"
-	snapshotVersion = 1
+	snapshotVersion = 2
+
+	recCache4 = 1
+	recClass5 = 2
+	recNeg5   = 3
 )
 
 // ErrSnapshot wraps every snapshot decoding failure, so callers can
@@ -44,7 +65,7 @@ const (
 // cache) from I/O errors on a healthy file.
 var ErrSnapshot = errors.New("db: invalid cache snapshot")
 
-// snapRecord is one decoded snapshot record before rebinding.
+// snapRecord is one decoded 4-input cache record before rebinding.
 type snapRecord struct {
 	key uint16
 	rep uint16
@@ -52,28 +73,46 @@ type snapRecord struct {
 }
 
 // Snapshot writes a point-in-time copy of the cache to w in the binary
-// snapshot format and returns the number of records written. The output
-// is deterministic (records are sorted by key) and safe to take while
-// other goroutines keep using the cache; concurrent insertions may or
-// may not be included. Negative entries are skipped — see the format
-// comment — so the count can trail Len on partial databases.
+// snapshot format and returns the number of records written; it is
+// WriteSnapshot without an on-demand store. The output is deterministic
+// (records are sorted by key) and safe to take while other goroutines
+// keep using the cache; concurrent insertions may or may not be
+// included. Negative entries are skipped — see the format comment — so
+// the count can trail Len on partial databases.
 func (c *Cache) Snapshot(w io.Writer) (int, error) {
+	return WriteSnapshot(w, c, nil)
+}
+
+// WriteSnapshot writes the cache and, when s is non-nil, the on-demand
+// store's learned and negative 5-input classes to w as one snapshot. It
+// returns the total number of records written. Either of c and s may be
+// nil. The output is deterministic for a given cache/store state.
+func WriteSnapshot(w io.Writer, c *Cache, s *OnDemand) (int, error) {
 	type rec struct {
 		key uint16
 		v   cacheVal
 	}
 	var recs []rec
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.RLock()
-		for k, v := range s.m {
-			if v.ok {
-				recs = append(recs, rec{key: k, v: v})
+	if c != nil {
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.RLock()
+			for k, v := range sh.m {
+				if v.ok {
+					recs = append(recs, rec{key: k, v: v})
+				}
 			}
+			sh.mu.RUnlock()
 		}
-		s.mu.RUnlock()
+		sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	var entries []*Entry
+	var negatives []uint32
+	if s != nil {
+		entries, negatives = s.snapshotState()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Rep.Bits < entries[j].Rep.Bits })
+		sort.Slice(negatives, func(i, j int) bool { return negatives[i] < negatives[j] })
+	}
 
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
@@ -82,14 +121,32 @@ func (c *Cache) Snapshot(w io.Writer) (int, error) {
 		n := binary.PutUvarint(buf[:], v)
 		bw.Write(buf[:n])
 	}
+	total := len(recs) + len(entries) + len(negatives)
 	bw.WriteString(snapshotMagic)
 	bw.WriteByte(snapshotVersion)
-	writeUvarint(uint64(len(recs)))
+	writeUvarint(uint64(total))
 	for _, r := range recs {
+		bw.WriteByte(recCache4)
 		writeUvarint(uint64(r.key))
 		bw.WriteByte(packFlags(r.v.t, true))
 		bw.WriteByte(packPerm(r.v.t))
 		writeUvarint(uint64(r.v.entry.Rep.Bits))
+	}
+	for _, e := range entries {
+		bw.WriteByte(recClass5)
+		writeUvarint(e.Rep.Bits)
+		writeUvarint(uint64(len(e.Gates)))
+		writeUvarint(uint64(e.Out))
+		for _, g := range e.Gates {
+			writeUvarint(uint64(g[0]))
+			writeUvarint(uint64(g[1]))
+			writeUvarint(uint64(g[2]))
+		}
+		writeUvarint(uint64(e.GenTime.Microseconds()))
+	}
+	for _, k := range negatives {
+		bw.WriteByte(recNeg5)
+		writeUvarint(uint64(k))
 	}
 	if err := bw.Flush(); err != nil {
 		return 0, err
@@ -97,7 +154,7 @@ func (c *Cache) Snapshot(w io.Writer) (int, error) {
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
 	_, err := w.Write(sum[:])
-	return len(recs), err
+	return total, err
 }
 
 func packFlags(t npn.Transform, ok bool) byte {
@@ -155,21 +212,33 @@ func (cr *crcByteReader) read(p []byte) error {
 	return nil
 }
 
-// Restore reads a snapshot from r and installs its records into c,
-// rebinding every record to the loading process's database d: the class
-// named by the stored representative is looked up in d, records whose
-// class d lacks are skipped, and each surviving transform is verified
-// against its key (Apply(t, rep) must reproduce the cut function), so a
-// snapshot can never install an entry the equivalent cold Lookup would
-// not have produced. It returns the number of entries installed.
+// Restore reads a snapshot from r and installs its 4-input cache records
+// into c, rebinding every record to the loading process's database d; it
+// is ReadSnapshot without an on-demand store (learned-class records in
+// the stream are validated but skipped). It returns the number of
+// entries installed.
+func (c *Cache) Restore(r io.Reader, d *DB) (int, error) {
+	return ReadSnapshot(r, d, c, nil)
+}
+
+// ReadSnapshot decodes one snapshot from r and installs its records:
+// 4-input cache records into c (rebound through d — the class named by
+// the stored representative is looked up in d, records whose class d
+// lacks are skipped, and each surviving transform is verified against
+// its key, so a snapshot can never install an entry the equivalent cold
+// Lookup would not have produced), learned and negative 5-input classes
+// into s (learned structures are re-verified by simulation and their
+// representatives checked semi-canonical). A nil c or s skips the
+// corresponding record kinds. It returns the number of records
+// installed.
 //
 // Decoding is all-or-nothing: on any error (truncation, corruption,
-// checksum or version mismatch — all wrapping ErrSnapshot, distinguishable
-// from I/O errors) the cache is left unchanged, so callers degrade to a
-// cold cache. Existing cache contents are kept; restored records do not
-// overwrite keys already present.
-func (c *Cache) Restore(r io.Reader, d *DB) (int, error) {
-	if d == nil {
+// checksum or version mismatch, a record failing verification — all
+// wrapping ErrSnapshot, distinguishable from I/O errors) neither c nor s
+// is changed, so callers degrade to a cold cache. Existing contents are
+// kept; restored records do not overwrite keys already present.
+func ReadSnapshot(r io.Reader, d *DB, c *Cache, s *OnDemand) (int, error) {
+	if c != nil && d == nil {
 		return 0, fmt.Errorf("%w: restore requires a database to rebind entries", ErrSnapshot)
 	}
 	cr := &crcByteReader{r: bufio.NewReader(r)}
@@ -180,53 +249,156 @@ func (c *Cache) Restore(r io.Reader, d *DB) (int, error) {
 	if string(head[:3]) != snapshotMagic {
 		return 0, fmt.Errorf("%w: bad magic %q", ErrSnapshot, head[:3])
 	}
-	if head[3] != snapshotVersion {
-		return 0, fmt.Errorf("%w: unsupported version %d (want %d)", ErrSnapshot, head[3], snapshotVersion)
+	version := head[3]
+	if version != 1 && version != snapshotVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d (want ≤ %d)", ErrSnapshot, version, snapshotVersion)
 	}
 	count, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return 0, fmt.Errorf("%w: bad record count: %v", ErrSnapshot, err)
 	}
-	// Keys are 16-bit truth tables, so no valid snapshot outgrows the
-	// function space; the bound also stops a corrupt count from allocating
-	// unbounded memory before the checksum check can reject it.
-	if count > 1<<16 {
-		return 0, fmt.Errorf("%w: record count %d exceeds the 4-input function space", ErrSnapshot, count)
+	// 4-input keys are 16-bit and 5-input classes are bounded by the
+	// budgeted synthesis reach, so no honest snapshot outgrows this; the
+	// bound also stops a corrupt count from allocating unbounded memory
+	// before the checksum check can reject it.
+	if count > 1<<21 {
+		return 0, fmt.Errorf("%w: implausible record count %d", ErrSnapshot, count)
 	}
-	recs := make([]snapRecord, 0, count)
-	for i := uint64(0); i < count; i++ {
+	var (
+		recs    []snapRecord
+		learned []Entry
+		negs    []uint32
+	)
+	readCache4 := func(i uint64) error {
 		key, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
 		}
 		if key > 0xFFFF {
-			return 0, fmt.Errorf("%w: record %d key %#x exceeds 16 bits", ErrSnapshot, i, key)
+			return fmt.Errorf("%w: record %d key %#x exceeds 16 bits", ErrSnapshot, i, key)
 		}
 		flags, err := cr.ReadByte()
 		if err != nil {
-			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
 		}
 		if flags&1 == 0 {
 			// Negative record: tolerated for forward compatibility but
 			// never rebound (the loading DB may know the class).
-			continue
+			return nil
 		}
 		perm, err := cr.ReadByte()
 		if err != nil {
-			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
 		}
 		rep, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
 		}
 		if rep > 0xFFFF {
-			return 0, fmt.Errorf("%w: record %d representative %#x exceeds 16 bits", ErrSnapshot, i, rep)
+			return fmt.Errorf("%w: record %d representative %#x exceeds 16 bits", ErrSnapshot, i, rep)
 		}
 		recs = append(recs, snapRecord{
 			key: uint16(key),
 			rep: uint16(rep),
 			t:   unpackTransform(flags, perm),
 		})
+		return nil
+	}
+	readClass5 := func(i uint64) error {
+		rep, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		if rep > 0xFFFFFFFF {
+			return fmt.Errorf("%w: record %d representative %#x exceeds 32 bits", ErrSnapshot, i, rep)
+		}
+		k, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		if k > uint64(Bound(5)) {
+			return fmt.Errorf("%w: record %d gate count %d exceeds the Theorem 2 bound", ErrSnapshot, i, k)
+		}
+		out, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		e := Entry{Rep: tt.New(5, rep), Out: mig.Lit(out)}
+		for l := uint64(0); l < k; l++ {
+			var g [3]mig.Lit
+			for cidx := 0; cidx < 3; cidx++ {
+				v, err := binary.ReadUvarint(cr)
+				if err != nil {
+					return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+				}
+				g[cidx] = mig.Lit(v)
+				if int(g[cidx].ID()) >= 6+int(l) {
+					return fmt.Errorf("%w: record %d gate %d has forward reference %v", ErrSnapshot, i, l, g[cidx])
+				}
+			}
+			e.Gates = append(e.Gates, g)
+		}
+		us, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		e.GenTime = time.Duration(us) * time.Microsecond
+		if int(e.Out.ID()) >= 6+len(e.Gates) {
+			return fmt.Errorf("%w: record %d output literal %v out of range", ErrSnapshot, i, e.Out)
+		}
+		if s == nil {
+			return nil // structurally validated, but no store to feed
+		}
+		// Semantic verification — by simulation and semi-canonicity — so
+		// a tampered snapshot cannot install an entry the equivalent cold
+		// synthesis would not have produced.
+		if got := e.Eval(); got != e.Rep {
+			return fmt.Errorf("%w: record %d entry computes %v, want %v", ErrSnapshot, i, got, e.Rep)
+		}
+		if !npn.IsCanonical5(e.Rep) {
+			return fmt.Errorf("%w: record %d representative %v is not semi-canonical", ErrSnapshot, i, e.Rep)
+		}
+		e.analyze()
+		learned = append(learned, e)
+		return nil
+	}
+	readNeg5 := func(i uint64) error {
+		rep, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		if rep > 0xFFFFFFFF {
+			return fmt.Errorf("%w: record %d representative %#x exceeds 32 bits", ErrSnapshot, i, rep)
+		}
+		if s == nil {
+			return nil
+		}
+		if !npn.IsCanonical5(tt.New(5, rep)) {
+			return fmt.Errorf("%w: record %d negative representative %#x is not semi-canonical", ErrSnapshot, i, rep)
+		}
+		negs = append(negs, uint32(rep))
+		return nil
+	}
+	for i := uint64(0); i < count; i++ {
+		kind := byte(recCache4)
+		if version >= 2 {
+			if kind, err = cr.ReadByte(); err != nil {
+				return 0, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+			}
+		}
+		switch kind {
+		case recCache4:
+			err = readCache4(i)
+		case recClass5:
+			err = readClass5(i)
+		case recNeg5:
+			err = readNeg5(i)
+		default:
+			err = fmt.Errorf("%w: record %d has unknown kind %d", ErrSnapshot, i, kind)
+		}
+		if err != nil {
+			return 0, err
+		}
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(cr.r, sum[:]); err != nil {
@@ -242,40 +414,60 @@ func (c *Cache) Restore(r io.Reader, d *DB) (int, error) {
 		key uint16
 		v   cacheVal
 	}
-	installs := make([]bound, 0, len(recs))
-	for _, r := range recs {
-		i, ok := d.byRep[r.rep]
-		if !ok {
-			continue // class unknown to this database; re-discover as a miss
+	var installs []bound
+	if c != nil {
+		installs = make([]bound, 0, len(recs))
+		for _, r := range recs {
+			i, ok := d.byRep[r.rep]
+			if !ok {
+				continue // class unknown to this database; re-discover as a miss
+			}
+			e := &d.entries[i]
+			if got := r.t.Apply(e.Rep); uint16(got.Bits) != r.key {
+				return 0, fmt.Errorf("%w: record %04x: transform does not map class %04x onto it",
+					ErrSnapshot, r.key, r.rep)
+			}
+			installs = append(installs, bound{key: r.key, v: cacheVal{entry: e, t: r.t, ok: true}})
 		}
-		e := &d.entries[i]
-		if got := r.t.Apply(e.Rep); uint16(got.Bits) != r.key {
-			return 0, fmt.Errorf("%w: record %04x: transform does not map class %04x onto it",
-				ErrSnapshot, r.key, r.rep)
-		}
-		installs = append(installs, bound{key: r.key, v: cacheVal{entry: e, t: r.t, ok: true}})
 	}
 	n := 0
 	for _, b := range installs {
-		s := c.shard(b.key)
-		s.mu.Lock()
-		if _, exists := s.m[b.key]; !exists {
-			s.insert(b.key, b.v)
+		sh := c.shard(b.key)
+		sh.mu.Lock()
+		if _, exists := sh.m[b.key]; !exists {
+			sh.insert(b.key, b.v)
 			n++
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
+	}
+	for i := range learned {
+		if s.add(&learned[i]) {
+			n++
+		}
+	}
+	for _, k := range negs {
+		if s.addNegative(k) {
+			n++
+		}
 	}
 	return n, nil
 }
 
-// SaveFile atomically writes a snapshot of c to path and returns the
-// number of records written: the snapshot is streamed to a temporary
-// file in the same directory, synced, and renamed over path, so readers
-// never observe a partially written snapshot and a crash mid-save leaves
-// the previous snapshot intact. An existing file keeps its permission
-// bits; a fresh one is created world-readable (0644) rather than with
-// CreateTemp's private 0600, so sidecar readers are not locked out.
+// SaveFile atomically writes a snapshot of c to path; it is
+// SaveSnapshotFile without an on-demand store.
 func (c *Cache) SaveFile(path string) (int, error) {
+	return SaveSnapshotFile(path, c, nil)
+}
+
+// SaveSnapshotFile atomically writes a snapshot of c and s (either may
+// be nil) to path and returns the number of records written: the
+// snapshot is streamed to a temporary file in the same directory,
+// synced, and renamed over path, so readers never observe a partially
+// written snapshot and a crash mid-save leaves the previous snapshot
+// intact. An existing file keeps its permission bits; a fresh one is
+// created world-readable (0644) rather than with CreateTemp's private
+// 0600, so sidecar readers are not locked out.
+func SaveSnapshotFile(path string, c *Cache, s *OnDemand) (int, error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -294,7 +486,7 @@ func (c *Cache) SaveFile(path string) (int, error) {
 	if err := f.Chmod(mode); err != nil {
 		return fail(err)
 	}
-	n, err := c.Snapshot(f)
+	n, err := WriteSnapshot(f, c, s)
 	if err != nil {
 		return fail(err)
 	}
@@ -313,14 +505,20 @@ func (c *Cache) SaveFile(path string) (int, error) {
 }
 
 // LoadFile restores the snapshot at path into c, rebinding entries
-// through d (see Restore). A missing file is reported as an error
-// satisfying errors.Is(err, fs.ErrNotExist), which callers treat as a
-// cold start; any ErrSnapshot error likewise leaves c unchanged.
+// through d; it is LoadSnapshotFile without an on-demand store.
 func (c *Cache) LoadFile(path string, d *DB) (int, error) {
+	return LoadSnapshotFile(path, d, c, nil)
+}
+
+// LoadSnapshotFile restores the snapshot at path into c and s (see
+// ReadSnapshot). A missing file is reported as an error satisfying
+// errors.Is(err, fs.ErrNotExist), which callers treat as a cold start;
+// any ErrSnapshot error likewise leaves c and s unchanged.
+func LoadSnapshotFile(path string, d *DB, c *Cache, s *OnDemand) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	return c.Restore(f, d)
+	return ReadSnapshot(f, d, c, s)
 }

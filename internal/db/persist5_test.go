@@ -1,0 +1,179 @@
+package db
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"testing"
+
+	"mighash/internal/npn"
+	"mighash/internal/tt"
+)
+
+// learnTwo returns a store that has learned two classes and
+// negative-cached one.
+func learnTwo(t *testing.T) *OnDemand {
+	t.Helper()
+	s := NewOnDemand(OnDemandOptions{})
+	for _, f := range []tt.TT{and5(), majority5()} {
+		if _, _, ok := s.Lookup(context.Background(), f); !ok {
+			t.Fatalf("class of %v blew the default budget", f)
+		}
+	}
+	hard := NewOnDemand(OnDemandOptions{MaxConflicts: 1})
+	// Learn the negative marker through a separate 1-conflict store so
+	// the main store's entries stay real, then transplant the key.
+	f := tt.New(5, 0x9D2B64E817A3C55F)
+	if _, _, ok := hard.Lookup(context.Background(), f); ok {
+		t.Fatal("1-conflict budget unexpectedly succeeded")
+	}
+	rep, _ := npn.Canonize5(f)
+	s.addNegative(uint32(rep.Bits))
+	return s
+}
+
+// TestSnapshotRoundTripsStore: learned and negative 5-input classes
+// survive SaveSnapshotFile/LoadSnapshotFile, and a warm store
+// re-synthesizes nothing.
+func TestSnapshotRoundTripsStore(t *testing.T) {
+	s := learnTwo(t)
+	c := NewCache()
+	populate(t, load(t), c, 500, 42) // some 4-input cache records alongside
+	path := filepath.Join(t.TempDir(), "npn.cache")
+	wrote, err := SaveSnapshotFile(path, c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.Len() + s.Len() + s.NegativeLen(); wrote != want {
+		t.Fatalf("wrote %d records, want %d", wrote, want)
+	}
+
+	c2, s2 := NewCache(), NewOnDemand(OnDemandOptions{})
+	got, err := LoadSnapshotFile(path, load(t), c2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wrote {
+		t.Fatalf("restored %d records, want %d", got, wrote)
+	}
+	if s2.Len() != s.Len() || s2.NegativeLen() != s.NegativeLen() {
+		t.Fatalf("store restored %d/%d classes, want %d/%d",
+			s2.Len(), s2.NegativeLen(), s.Len(), s.NegativeLen())
+	}
+	// Warm lookups must hit without synthesizing, for positive and
+	// negative classes alike.
+	for _, f := range []tt.TT{and5().Not(), majority5(), tt.New(5, 0x9D2B64E817A3C55F)} {
+		e, tr, ok := s2.Lookup(context.Background(), f)
+		if ok {
+			if got := tr.Apply(e.Rep); got != f {
+				t.Fatalf("restored entry instantiates %v, want %v", got, f)
+			}
+		}
+	}
+	if s2.Synths() != 0 {
+		t.Fatalf("warm store ran %d ladders, want 0", s2.Synths())
+	}
+	// And the snapshot is deterministic.
+	var a, b bytes.Buffer
+	if _, err := WriteSnapshot(&a, c, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(&b, c2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot of a restored state differs from the original")
+	}
+}
+
+// TestRestoreSkipsStoreRecordsWithoutStore: a combined snapshot loaded
+// through the cache-only API validates and skips the 5-input records.
+func TestRestoreSkipsStoreRecordsWithoutStore(t *testing.T) {
+	s := learnTwo(t)
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, nil, s); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	n, err := c.Restore(bytes.NewReader(buf.Bytes()), load(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || c.Len() != 0 {
+		t.Fatalf("cache-only restore installed %d records", n)
+	}
+}
+
+// TestRestoreRejectsTamperedClass5: flipping a bit inside a learned
+// class's structure must fail the whole restore (simulation check),
+// leaving cache and store cold.
+func TestRestoreRejectsTamperedClass5(t *testing.T) {
+	s := learnTwo(t)
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, nil, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one payload bit past the header and re-seal the checksum so
+	// only the semantic verification can catch it.
+	raw[len(raw)/2] ^= 0x04
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(raw[:len(raw)-4]))
+	s2 := NewOnDemand(OnDemandOptions{})
+	if _, err := ReadSnapshot(bytes.NewReader(raw), nil, nil, s2); err == nil {
+		t.Fatal("tampered snapshot restored cleanly")
+	} else if !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("error %v does not wrap ErrSnapshot", err)
+	}
+	if s2.Len() != 0 || s2.NegativeLen() != 0 {
+		t.Fatalf("tampered restore left %d/%d classes installed", s2.Len(), s2.NegativeLen())
+	}
+}
+
+// TestRestoreReadsVersion1: pre-upgrade snapshots (no kind tags) still
+// warm-start the 4-input cache.
+func TestRestoreReadsVersion1(t *testing.T) {
+	d := load(t)
+	c := NewCache()
+	populate(t, d, c, 500, 43)
+	// Hand-build a v1 snapshot from the live cache contents.
+	var payload bytes.Buffer
+	type rec struct {
+		key uint16
+		v   cacheVal
+	}
+	var recs []rec
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for k, v := range sh.m {
+			if v.ok {
+				recs = append(recs, rec{k, v})
+			}
+		}
+	}
+	payload.WriteString(snapshotMagic)
+	payload.WriteByte(1)
+	var tmp [binary.MaxVarintLen64]byte
+	wu := func(v uint64) { payload.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	wu(uint64(len(recs)))
+	for _, r := range recs {
+		wu(uint64(r.key))
+		payload.WriteByte(packFlags(r.v.t, true))
+		payload.WriteByte(packPerm(r.v.t))
+		wu(uint64(r.v.entry.Rep.Bits))
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload.Bytes()))
+	payload.Write(sum[:])
+
+	c2 := NewCache()
+	n, err := c2.Restore(bytes.NewReader(payload.Bytes()), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) || c2.Len() != len(recs) {
+		t.Fatalf("v1 restore installed %d records, want %d", n, len(recs))
+	}
+}

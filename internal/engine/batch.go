@@ -42,13 +42,24 @@ type BatchOptions struct {
 	SharedCache *db.Cache
 	// CacheFile warm-starts the batch from an on-disk cache snapshot:
 	// before any job runs, the snapshot at this path is restored into the
-	// batch's shared cache (creating one when SharedCache is nil), and
-	// after the batch the cache is snapshotted back atomically. A missing
-	// file is a silent cold start; a corrupt or version-skewed snapshot
-	// degrades to a cold cache with a logged warning. The optimized
-	// graphs are bit-identical warm or cold — a snapshot only changes
-	// which lookups count as hits.
+	// batch's shared cache (creating one when SharedCache is nil) and the
+	// batch's on-demand 5-input store, and after the batch both are
+	// snapshotted back atomically in the width-tagged combined format. A
+	// missing file is a silent cold start; a corrupt or version-skewed
+	// snapshot degrades to a cold state with a logged warning. The
+	// optimized graphs of K = 4 scripts are bit-identical warm or cold —
+	// a snapshot only changes which lookups count as hits; for K = 5
+	// scripts a warm store additionally skips every already-learned
+	// synthesis (the results are identical, the ladders just never run).
 	CacheFile string
+	// Exact5 shares one on-demand 5-input exact-synthesis store across
+	// every job, so workers learn classes for each other. When nil,
+	// RunBatch creates a batch-shared store with the Synth5 budget
+	// (K = 4 scripts never touch it, so the empty store costs nothing).
+	Exact5 *db.OnDemand
+	// Synth5 tunes the per-class synthesis budget of the store RunBatch
+	// creates when Exact5 is nil. Ignored otherwise.
+	Synth5 db.OnDemandOptions
 	// Progress, when non-nil, is invoked synchronously after every pass of
 	// every job with the job index (into the jobs slice) and that pass's
 	// statistics. Calls for different jobs come from different worker
@@ -89,11 +100,20 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 	if opt.SharedCache != nil {
 		run.Cache = opt.SharedCache
 	}
+	if opt.Exact5 != nil {
+		run.Exact5 = opt.Exact5
+	}
+	if run.Exact5 == nil {
+		// Always share one store across the batch: jobs learn 5-input
+		// classes for each other, and the caller's Synth5 budget applies
+		// with or without a cache file (K = 4 scripts never touch it).
+		run.Exact5 = db.NewOnDemand(opt.Synth5)
+	}
 	if opt.CacheFile != "" {
 		if run.Cache == nil {
 			run.Cache = db.NewCache()
 		}
-		warmStart(run.Cache, run.DB, opt.CacheFile)
+		warmStart(run.Cache, run.Exact5, run.DB, opt.CacheFile)
 	}
 	var (
 		wg   sync.WaitGroup
@@ -131,8 +151,9 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 	wg.Wait()
 	if opt.CacheFile != "" {
 		// Even a cancelled batch may have warmed the cache; persisting it
-		// is always safe because snapshots only change hit/miss stats.
-		if _, err := run.Cache.SaveFile(opt.CacheFile); err != nil {
+		// is always safe because snapshots only change hit/miss stats and
+		// skip already-learned synthesis.
+		if _, err := db.SaveSnapshotFile(opt.CacheFile, run.Cache, run.Exact5); err != nil {
 			log.Printf("engine: cache snapshot to %s failed: %v", opt.CacheFile, err)
 		}
 	}
@@ -153,11 +174,12 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 	return results, nil
 }
 
-// warmStart restores the snapshot at path into cache, resolving the
-// database the entries rebind through (the pipeline's, or the embedded
-// one — the same resolution RunContext performs). Every failure short of
-// a missing file is logged and degrades to a cold cache.
-func warmStart(cache *db.Cache, d *db.DB, path string) {
+// warmStart restores the snapshot at path into cache and store,
+// resolving the database the cache entries rebind through (the
+// pipeline's, or the embedded one — the same resolution RunContext
+// performs). Every failure short of a missing file is logged and
+// degrades to a cold start.
+func warmStart(cache *db.Cache, store *db.OnDemand, d *db.DB, path string) {
 	if d == nil {
 		var err error
 		if d, err = db.Load(); err != nil {
@@ -165,7 +187,7 @@ func warmStart(cache *db.Cache, d *db.DB, path string) {
 			return
 		}
 	}
-	if _, err := cache.LoadFile(path, d); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if _, err := db.LoadSnapshotFile(path, d, cache, store); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		log.Printf("engine: cache warm-start from %s failed, starting cold: %v", path, err)
 	}
 }

@@ -2,23 +2,31 @@
 // repository into a production-style optimization engine:
 //
 //   - Pass wraps one transformation (the five functional-hashing variants
-//     TF, T, TFD, TD and BF of internal/rewrite, plus the algebraic depth
-//     optimizer of internal/depthopt) behind a uniform interface.
+//     TF, T, TFD, TD and BF of internal/rewrite, their 5-input extensions
+//     TF5/T5/TFD5/TD5, plus the algebraic depth optimizer of
+//     internal/depthopt) behind a uniform interface.
 //   - Pipeline composes named passes into a script and runs the script to
 //     convergence, keeping the best graph seen and reporting per-pass
-//     statistics. Preset scripts ("resyn", "size", "depth", …) cover the
-//     common flows; custom scripts are built with New.
+//     statistics. Preset scripts ("resyn", "size", "depth", "resyn5", …)
+//     cover the common flows; custom scripts are built with New.
+//     PresetNames is the single source of truth for what exists — the
+//     CLIs and GET /v1/scripts derive from it.
 //   - RunBatch optimizes many MIGs concurrently on a bounded worker pool
 //     with deterministic result ordering and context cancellation.
 //
 // All pipelines share the sharded NPN cut-cache of internal/db: the
 // canonicalization + database lookup of every 4-feasible cut — the hot
 // path of functional hashing — is memoized across passes, iterations and
-// (optionally) across batch workers. BatchOptions.CacheFile extends the
-// memoization across processes: the batch warm-starts from an on-disk
-// cache snapshot and saves it back atomically afterwards, with corrupt
-// snapshots degrading to a cold cache (logged, never fatal). Optimized
-// graphs are bit-identical warm or cold.
+// (optionally) across batch workers. K = 5 scripts additionally share an
+// on-demand exact-synthesis store (Pipeline.Exact5 / BatchOptions.Exact5,
+// budget via BatchOptions.Synth5): 5-input classes are learned once per
+// process and fed to every worker, with the run's context cancelling
+// in-flight ladders. BatchOptions.CacheFile extends both memoizations
+// across processes: the batch warm-starts cache and learned store from
+// one on-disk snapshot and saves them back atomically afterwards, with
+// corrupt snapshots degrading to a cold state (logged, never fatal).
+// Optimized graphs are bit-identical warm or cold — a warm learned store
+// just skips the ladders.
 //
 // Long-running consumers observe progress through callbacks:
 // Pipeline.Progress fires after every executed pass, and

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,13 +38,16 @@ func (s PassStats) String() string {
 }
 
 // passEnv is the shared context a pass executes in: the database and NPN
-// cache shared by the whole run, the rewrite workspace reused across all
-// passes and iterations of one pipeline run (each RunContext owns a
-// private one, so concurrent batch workers never share scratch), and the
-// intra-graph worker budget.
+// cache shared by the whole run, the on-demand 5-input store feeding the
+// K = 5 passes, the run's context (cancelling in-flight exact synthesis),
+// the rewrite workspace reused across all passes and iterations of one
+// pipeline run (each RunContext owns a private one, so concurrent batch
+// workers never share scratch), and the intra-graph worker budget.
 type passEnv struct {
+	ctx     context.Context
 	d       *db.DB
 	cache   *db.Cache
+	exact5  *db.OnDemand
 	ws      *rewrite.Workspace
 	workers int
 }
@@ -59,8 +63,9 @@ type Pass struct {
 func (p Pass) Name() string { return p.name }
 
 // RewritePass wraps one functional-hashing configuration. The pass name
-// is the paper acronym of opt (rewrite.VariantName); opt.Cache is
-// overridden by the pipeline's cache.
+// is the paper acronym of opt (rewrite.VariantName, "TF5" etc. for the
+// K = 5 extensions); opt.Cache, opt.Exact5 and opt.Ctx are overridden by
+// the pipeline's environment.
 func RewritePass(opt rewrite.Options) Pass {
 	name := rewrite.VariantName(opt)
 	return Pass{
@@ -70,6 +75,8 @@ func RewritePass(opt rewrite.Options) Pass {
 			// this Pass, so the closure state must stay read-only.
 			o := opt
 			o.Cache = env.cache
+			o.Exact5 = env.exact5
+			o.Ctx = env.ctx
 			o.Workspace = env.ws
 			o.Workers = env.workers
 			res, st := rewrite.Run(m, env.d, o)
@@ -103,23 +110,33 @@ func DepthPass(opt depthopt.Options) Pass {
 	}
 }
 
-// PassByName resolves the script name of a pass: one of the five paper
-// variants "TF", "T", "TFD", "TD", "BF", or "depthopt" (the depth
-// optimizer with its default production tuning).
-func PassByName(name string) (Pass, bool) {
-	switch name {
-	case "TF":
-		return RewritePass(rewrite.TF), true
-	case "T":
-		return RewritePass(rewrite.T), true
-	case "TFD":
-		return RewritePass(rewrite.TFD), true
-	case "TD":
-		return RewritePass(rewrite.TD), true
-	case "BF":
-		return RewritePass(rewrite.BF), true
-	case "depthopt":
-		return DepthPass(depthopt.Options{SizeFactor: 1.2, MaxPasses: 10}), true
+// passRegistry maps pass script names to constructors. PassByName and
+// PresetNames both derive from this map, so a pass added here appears in
+// the scripts listing, the CLIs and every "have %v" error at once.
+func passRegistry() map[string]func() Pass {
+	return map[string]func() Pass{
+		"TF":       func() Pass { return RewritePass(rewrite.TF) },
+		"T":        func() Pass { return RewritePass(rewrite.T) },
+		"TFD":      func() Pass { return RewritePass(rewrite.TFD) },
+		"TD":       func() Pass { return RewritePass(rewrite.TD) },
+		"BF":       func() Pass { return RewritePass(rewrite.BF) },
+		"TF5":      func() Pass { return RewritePass(rewrite.TF5) },
+		"T5":       func() Pass { return RewritePass(rewrite.T5) },
+		"TFD5":     func() Pass { return RewritePass(rewrite.TFD5) },
+		"TD5":      func() Pass { return RewritePass(rewrite.TD5) },
+		"depthopt": func() Pass { return DepthPass(depthopt.Options{SizeFactor: 1.2, MaxPasses: 10}) },
 	}
-	return Pass{}, false
+}
+
+// PassByName resolves the script name of a pass: one of the five paper
+// variants "TF", "T", "TFD", "TD", "BF", their 5-input extensions "TF5",
+// "T5", "TFD5", "TD5" (five-leaf cuts resolved through the on-demand
+// exact-synthesis store), or "depthopt" (the depth optimizer with its
+// default production tuning).
+func PassByName(name string) (Pass, bool) {
+	mk, ok := passRegistry()[name]
+	if !ok {
+		return Pass{}, false
+	}
+	return mk(), true
 }

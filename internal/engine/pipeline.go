@@ -60,6 +60,13 @@ type Pipeline struct {
 	// statistics deterministic; install a shared db.NewCache() to also
 	// reuse canonicalizations across runs and batch workers.
 	Cache *db.Cache
+	// Exact5 is the on-demand 5-input exact-synthesis store feeding the
+	// K = 5 passes ("TF5" and friends, the resyn5/size5 presets). When
+	// nil each Run allocates a private store with default budgets; share
+	// one db.NewOnDemand across runs and batch workers so every class is
+	// synthesized once per process — and, with BatchOptions.CacheFile,
+	// once per cache file. K = 4 scripts never touch it.
+	Exact5 *db.OnDemand
 	// Workers bounds intra-graph parallelism of the rewrite passes: best
 	// cuts of independent fanout-free regions are evaluated concurrently
 	// and committed serially, so the optimized graphs are bit-identical
@@ -165,6 +172,30 @@ func presets() map[string]func() *Pipeline {
 		"quick": func() *Pipeline {
 			return &Pipeline{Name: "quick", Passes: []Pass{RewritePass(rewrite.TF)}, MaxIterations: 1}
 		},
+		// resyn5 is resyn with a trailing K = 5 hashing pass: the same
+		// rounds, then five-leaf cuts resolved through the on-demand
+		// exact-synthesis store. Rewrite passes never grow the graph, so
+		// a resyn5 round is never worse than the resyn round it extends
+		// (the exact5-smoke CI job pins this on the suite).
+		"resyn5": func() *Pipeline {
+			return &Pipeline{
+				Name: "resyn5",
+				Passes: []Pass{
+					RewritePass(rewrite.TF),
+					DepthPass(depthopt.Options{SizeFactor: 1.2, MaxPasses: 10}),
+					RewritePass(rewrite.BF),
+					RewritePass(rewrite.TFD),
+					RewritePass(rewrite.TF5),
+				},
+			}
+		},
+		// size5 extends the strongest size script with the K = 5 pass.
+		"size5": func() *Pipeline {
+			return &Pipeline{Name: "size5", Passes: []Pass{
+				RewritePass(rewrite.BF),
+				RewritePass(rewrite.TF5),
+			}}
+		},
 	}
 }
 
@@ -181,9 +212,15 @@ func Preset(name string) (*Pipeline, error) {
 	return nil, fmt.Errorf("engine: unknown script %q (have %v)", name, PresetNames())
 }
 
-// PresetNames lists every name Preset accepts, sorted.
+// PresetNames lists every name Preset accepts, sorted. This is the
+// single source of truth for "what scripts exist": the CLIs' error
+// messages and the HTTP service's GET /v1/scripts both derive from it,
+// so a preset added here appears everywhere at once.
 func PresetNames() []string {
-	names := []string{"TF", "T", "TFD", "TD", "BF", "depthopt"}
+	var names []string
+	for n := range passRegistry() {
+		names = append(names, n)
+	}
 	for n := range presets() {
 		names = append(names, n)
 	}
@@ -213,7 +250,11 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 	if cache == nil {
 		cache = db.NewCache()
 	}
-	env := passEnv{d: d, cache: cache, ws: rewrite.NewWorkspace(), workers: p.Workers}
+	exact5 := p.Exact5
+	if exact5 == nil {
+		exact5 = db.NewOnDemand(db.OnDemandOptions{})
+	}
+	env := passEnv{ctx: ctx, d: d, cache: cache, exact5: exact5, ws: rewrite.NewWorkspace(), workers: p.Workers}
 
 	start := time.Now()
 	st := PipelineStats{

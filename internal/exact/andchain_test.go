@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"testing"
 
 	"mighash/internal/npn"
@@ -51,7 +52,7 @@ func TestMinimumAIGNeverBeatsMIG(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := Minimum(f, Options{})
+		m, err := Minimum(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

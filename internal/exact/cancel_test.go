@@ -1,0 +1,61 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mighash/internal/tt"
+)
+
+// TestMinimumCancellation pins the context plumbing through the ladder
+// and into the SAT search: a Minimum call with no conflict or wall-clock
+// budget of its own must return promptly once its context is cancelled —
+// previously a runaway instance could only be abandoned by killing the
+// process, which also made clean server-deadline behavior impossible.
+func TestMinimumCancellation(t *testing.T) {
+	// A dense 5-variable function: the ladder has to climb through
+	// several nontrivial UNSAT proofs, far more work than the
+	// cancellation window allows.
+	f := tt.New(5, 0x9D2B64E817A3C55F)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	m, err := Minimum(ctx, f, Options{})
+	elapsed := time.Since(start)
+	if err == nil {
+		// The machine solved it inside the window: make the race
+		// deterministic by re-running with a pre-cancelled context.
+		if m == nil {
+			t.Fatal("nil MIG without error")
+		}
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		cancel2()
+		if _, err = Minimum(ctx2, f, Options{}); err == nil {
+			t.Fatal("Minimum succeeded under a cancelled context")
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// Generous bound: the point is "seconds, not the minutes a full
+	// 5-variable ladder takes", not a tight latency SLA on loaded CI.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestMinimumParallelCancellation covers the cube-and-conquer path: a
+// cancelled context must abandon DecideSplit's sub-instances too.
+func TestMinimumParallelCancellation(t *testing.T) {
+	f := tt.New(5, 0x6A3C55F19D2B64E8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinimumParallel(ctx, f, Options{}, 4, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}

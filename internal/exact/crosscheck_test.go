@@ -1,6 +1,7 @@
 package exact_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestMinimumMatchesDatabaseFor3Vars(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m, err := exact.Minimum(rep, exact.Options{})
+			m, err := exact.Minimum(context.Background(), rep, exact.Options{})
 			if err != nil {
 				t.Errorf("class %v: %v", rep, err)
 				return
@@ -57,7 +58,7 @@ func TestMinimumMatchesDatabaseSample(t *testing.T) {
 		if want > 4 {
 			continue // keep the test fast; big classes covered elsewhere
 		}
-		m, err := exact.Minimum(f, exact.Options{})
+		m, err := exact.Minimum(context.Background(), f, exact.Options{})
 		if err != nil {
 			t.Fatalf("f=%v: %v", f, err)
 		}

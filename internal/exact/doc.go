@@ -13,11 +13,20 @@
 // symmetry break of Eq. (10) — and solves it with the internal CDCL solver.
 // Minimality follows from the ladder search k = 0, 1, 2, … .
 //
-// Role in the functional-hashing flow: exact synthesis is the offline
-// half of the paper's Algorithm 1/2 — it produces the optimal MIG per NPN
-// class that the database (internal/db) serves at rewrite time. The
-// checked-in artifact internal/db/data/npn4.txt is generated through this
-// package by cmd/migdb.
+// Role in the functional-hashing flow: exact synthesis is both the
+// offline half of the paper's Algorithm 1/2 — it produces the optimal
+// MIG per NPN class that the database (internal/db) serves at rewrite
+// time; the checked-in artifact internal/db/data/npn4.txt is generated
+// through this package by cmd/migdb — and, since the 5-input extension,
+// an online engine: db.OnDemand drives Minimum per previously-unseen
+// 5-input class, under a per-class budget, from inside running
+// optimization passes.
+//
+// Every ladder entry point takes a context.Context that cancels the
+// underlying SAT search (polled at restart boundaries and every 64
+// conflicts), so a caller — an HTTP request deadline, typically — can
+// abandon a runaway instance; the resulting error wraps ctx.Err() to be
+// distinguishable from an exhausted conflict or wall-clock budget.
 //
 // Concurrency contract: every synthesis call (Minimum, MinimumAIG, the
 // complexity functions) builds a private SAT solver and scratch state, so

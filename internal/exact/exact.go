@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,15 +39,17 @@ func UpperBound(n int) int {
 
 // Decide determines whether an MIG with exactly k majority gates computes
 // f, returning the extracted MIG on success. For k = 0 the answer is
-// immediate: only constants and literals qualify.
-func Decide(f tt.TT, k int, opt Options) (sat.Status, *mig.MIG) {
+// immediate: only constants and literals qualify. ctx cancels the SAT
+// search (the result is then sat.Unknown); context.Background() runs
+// uninterruptible.
+func Decide(ctx context.Context, f tt.TT, k int, opt Options) (sat.Status, *mig.MIG) {
 	if k == 0 {
 		if m, ok := trivialMIG(f); ok {
 			return sat.Sat, m
 		}
 		return sat.Unsat, nil
 	}
-	e := newEncoding(f, k, opt)
+	e := newEncoding(ctx, f, k, opt)
 	st := e.solver.Solve()
 	if st != sat.Sat {
 		return st, nil
@@ -61,8 +64,10 @@ func Decide(f tt.TT, k int, opt Options) (sat.Status, *mig.MIG) {
 
 // Minimum synthesizes a minimum-size MIG for f by solving the decision
 // problem for k = 0, 1, 2, … (Sec. III). It fails only when a budget
-// expires.
-func Minimum(f tt.TT, opt Options) (*mig.MIG, error) {
+// expires or ctx is cancelled; a cancellation is reported as an error
+// wrapping ctx.Err(), so callers can tell an abandoned ladder from a
+// genuinely exhausted budget with errors.Is.
+func Minimum(ctx context.Context, f tt.TT, opt Options) (*mig.MIG, error) {
 	maxGates := opt.MaxGates
 	if maxGates == 0 {
 		maxGates = UpperBound(f.N)
@@ -72,6 +77,9 @@ func Minimum(f tt.TT, opt Options) (*mig.MIG, error) {
 		deadline = time.Now().Add(opt.Timeout)
 	}
 	for k := 0; k <= maxGates; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exact: ladder abandoned at k = %d for %v: %w", k, f, err)
+		}
 		stepOpt := opt
 		if !deadline.IsZero() {
 			remaining := time.Until(deadline)
@@ -80,11 +88,14 @@ func Minimum(f tt.TT, opt Options) (*mig.MIG, error) {
 			}
 			stepOpt.Timeout = remaining
 		}
-		st, m := Decide(f, k, stepOpt)
+		st, m := Decide(ctx, f, k, stepOpt)
 		switch st {
 		case sat.Sat:
 			return m, nil
 		case sat.Unknown:
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exact: ladder abandoned at k = %d for %v: %w", k, f, err)
+			}
 			return nil, fmt.Errorf("exact: budget exhausted at k = %d for %v", k, f)
 		}
 	}
@@ -129,7 +140,7 @@ type encoding struct {
 	outNeg int        // output edge polarity
 }
 
-func newEncoding(f tt.TT, k int, opt Options) *encoding {
+func newEncoding(ctx context.Context, f tt.TT, k int, opt Options) *encoding {
 	n := f.N
 	e := &encoding{f: f, n: n, k: k, solver: sat.New()}
 	s := e.solver
@@ -138,6 +149,9 @@ func newEncoding(f tt.TT, k int, opt Options) *encoding {
 	}
 	if opt.Timeout > 0 {
 		s.Deadline = time.Now().Add(opt.Timeout)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		s.Ctx = ctx
 	}
 	nj := 1 << uint(n)
 

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ func TestTrivialSizeZero(t *testing.T) {
 		tt.Const0(3), tt.Const1(3),
 		tt.Var(3, 0), tt.Var(3, 2).Not(),
 	} {
-		m, err := Minimum(f, Options{})
+		m, err := Minimum(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatalf("Minimum(%v): %v", f, err)
 		}
@@ -46,7 +47,7 @@ func TestSingleGateFunctions(t *testing.T) {
 		"nand":    x.And(y).Not(),
 		"maj-nxy": tt.Maj(x.Not(), y, z),
 	} {
-		m, err := Minimum(f, Options{})
+		m, err := Minimum(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -62,10 +63,10 @@ func TestSingleGateFunctions(t *testing.T) {
 func TestAndThree(t *testing.T) {
 	// x∧y∧z requires exactly two majority gates.
 	f := tt.Var(3, 0).And(tt.Var(3, 1)).And(tt.Var(3, 2))
-	if st, _ := Decide(f, 1, Options{}); st != sat.Unsat {
+	if st, _ := Decide(context.Background(), f, 1, Options{}); st != sat.Unsat {
 		t.Error("AND3 should not fit in one gate")
 	}
-	st, m := Decide(f, 2, Options{})
+	st, m := Decide(context.Background(), f, 2, Options{})
 	if st != sat.Sat {
 		t.Fatal("AND3 should fit in two gates")
 	}
@@ -76,7 +77,7 @@ func TestAndThree(t *testing.T) {
 
 func TestXor2NeedsThreeGates(t *testing.T) {
 	f := tt.Var(2, 0).Xor(tt.Var(2, 1))
-	m, err := Minimum(f, Options{})
+	m, err := Minimum(context.Background(), f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestXor2NeedsThreeGates(t *testing.T) {
 func TestFullAdderSumExact(t *testing.T) {
 	// XOR3 has a 3-gate MIG (the full-adder sum of Fig. 1 shares the carry).
 	f := tt.Var(3, 0).Xor(tt.Var(3, 1)).Xor(tt.Var(3, 2))
-	m, err := Minimum(f, Options{})
+	m, err := Minimum(context.Background(), f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestMinimumRandom4VarConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 6; trial++ {
 		f := tt.New(4, uint64(rng.Intn(1<<16)))
-		m, err := Minimum(f, Options{Timeout: 2 * time.Minute})
+		m, err := Minimum(context.Background(), f, Options{Timeout: 2 * time.Minute})
 		if err != nil {
 			t.Fatalf("trial %d (%v): %v", trial, f, err)
 		}
@@ -120,7 +121,7 @@ func TestMinimumRandom4VarConsistency(t *testing.T) {
 		}
 		if k > 0 {
 			// Minimality: one gate fewer must be UNSAT.
-			if st, _ := Decide(f, k-1, Options{}); st != sat.Unsat {
+			if st, _ := Decide(context.Background(), f, k-1, Options{}); st != sat.Unsat {
 				t.Fatalf("trial %d: Decide(k-1) = %v, not UNSAT", trial, st)
 			}
 		}
@@ -132,8 +133,8 @@ func TestPruningPreservesMinimum(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 4; trial++ {
 		f := tt.New(3, uint64(rng.Intn(1<<8)))
-		m1, err1 := Minimum(f, Options{})
-		m2, err2 := Minimum(f, Options{NoExtraPruning: true})
+		m1, err1 := Minimum(context.Background(), f, Options{})
+		m2, err2 := Minimum(context.Background(), f, Options{NoExtraPruning: true})
 		if err1 != nil || err2 != nil {
 			t.Fatalf("trial %d: %v %v", trial, err1, err2)
 		}
@@ -157,7 +158,7 @@ func TestFiveVariableMajority(t *testing.T) {
 		}
 	}
 	f = tt.New(n, bits)
-	m, err := Minimum(f, Options{Timeout: 3 * time.Minute})
+	m, err := Minimum(context.Background(), f, Options{Timeout: 3 * time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func popcount(v uint) int {
 
 func TestDecideBudget(t *testing.T) {
 	f := tt.New(4, 0x1668) // a nontrivial function
-	st, _ := Decide(f, 5, Options{MaxConflicts: 1})
+	st, _ := Decide(context.Background(), f, 5, Options{MaxConflicts: 1})
 	if st == sat.Sat {
 		// A single conflict budget may still solve easy instances; accept.
 		return
@@ -192,7 +193,7 @@ func TestDecideBudget(t *testing.T) {
 func BenchmarkMinimumXor3(b *testing.B) {
 	f := tt.Var(3, 0).Xor(tt.Var(3, 1)).Xor(tt.Var(3, 2))
 	for i := 0; i < b.N; i++ {
-		if _, err := Minimum(f, Options{}); err != nil {
+		if _, err := Minimum(context.Background(), f, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestHardClassSplitTiming(t *testing.T) {
 	}
 	f := tt.New(4, 0x1669)
 	start := time.Now()
-	st, _ := DecideSplit(f, 6, Options{}, 0)
+	st, _ := DecideSplit(context.Background(), f, 6, Options{}, 0)
 	if st != sat.Unsat {
 		t.Fatalf("k=6 for S0,2 returned %v", st)
 	}

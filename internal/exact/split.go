@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,10 +23,10 @@ import (
 //
 // The hardest Table I instance (proving that S0,2 needs more than 6
 // gates) takes ~24 minutes sequentially and a few minutes split this way.
-func DecideSplit(f tt.TT, k int, opt Options, workers int) (sat.Status, *mig.MIG) {
+func DecideSplit(ctx context.Context, f tt.TT, k int, opt Options, workers int) (sat.Status, *mig.MIG) {
 	if k < 2 {
 		// Nothing worth splitting: a 0/1-gate instance is immediate.
-		return Decide(f, k, opt)
+		return Decide(ctx, f, k, opt)
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -63,8 +64,12 @@ func DecideSplit(f tt.TT, k int, opt Options, workers int) (sat.Status, *mig.MIG
 				if i >= len(cubes) {
 					return
 				}
+				if ctx.Err() != nil {
+					unknown.Store(true)
+					return
+				}
 				cu := cubes[i]
-				e := newEncoding(f, k, opt)
+				e := newEncoding(ctx, f, k, opt)
 				root := k - 1
 				ok := e.solver.AddClause(sat.PosLit(e.sel[root][0][cu.a])) &&
 					e.solver.AddClause(sat.PosLit(e.sel[root][1][cu.b])) &&
@@ -102,7 +107,7 @@ func DecideSplit(f tt.TT, k int, opt Options, workers int) (sat.Status, *mig.MIG
 
 // MinimumParallel is Minimum with cube-and-conquer ladder steps for
 // k ≥ splitFrom (the small steps are faster solved whole).
-func MinimumParallel(f tt.TT, opt Options, workers, splitFrom int) (*mig.MIG, error) {
+func MinimumParallel(ctx context.Context, f tt.TT, opt Options, workers, splitFrom int) (*mig.MIG, error) {
 	if splitFrom <= 0 {
 		splitFrom = 5
 	}
@@ -116,14 +121,17 @@ func MinimumParallel(f tt.TT, opt Options, workers, splitFrom int) (*mig.MIG, er
 			m  *mig.MIG
 		)
 		if k >= splitFrom {
-			st, m = DecideSplit(f, k, opt, workers)
+			st, m = DecideSplit(ctx, f, k, opt, workers)
 		} else {
-			st, m = Decide(f, k, opt)
+			st, m = Decide(ctx, f, k, opt)
 		}
 		switch st {
 		case sat.Sat:
 			return m, nil
 		case sat.Unknown:
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exact: ladder abandoned at k = %d for %v: %w", k, f, err)
+			}
 			return nil, errBudget(f, k)
 		}
 	}

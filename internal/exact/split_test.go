@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"testing"
 
 	"mighash/internal/sat"
@@ -23,8 +24,8 @@ func TestDecideSplitAgreesWithDecide(t *testing.T) {
 	}
 	for _, c := range cases {
 		f := tt.New(4, c.bits)
-		want, _ := Decide(f, c.k, Options{})
-		got, m := DecideSplit(f, c.k, Options{}, 8)
+		want, _ := Decide(context.Background(), f, c.k, Options{})
+		got, m := DecideSplit(context.Background(), f, c.k, Options{}, 8)
 		if got != want {
 			t.Errorf("f=%v k=%d: split says %v, monolithic says %v", f, c.k, got, want)
 		}
@@ -47,11 +48,11 @@ func TestDecideSplitAgreesWithDecide(t *testing.T) {
 func TestMinimumParallelMatchesMinimum(t *testing.T) {
 	for _, bits := range []uint64{0x0001, 0x0116, 0x0696, 0x1ee1} {
 		f := tt.New(4, bits)
-		seq, err := Minimum(f, Options{})
+		seq, err := Minimum(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := MinimumParallel(f, Options{}, 8, 3)
+		par, err := MinimumParallel(context.Background(), f, Options{}, 8, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,174 @@
+package npn
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mighash/internal/tt"
+)
+
+// Semi-canonical 5-variable canonization. Exhaustively sweeping the
+// 2·2^5·5! = 7680 NPN transforms per lookup (canonizeSlow) is far too
+// slow for the rewriting hot path, and the ~616k classes of 5 variables
+// rule out the 4-variable trick of tabulating the whole function space.
+// Canonize5 instead normalizes by signatures that every NPN transform
+// preserves or permutes predictably:
+//
+//	output polarity   ones(f) ≤ 2^4 (complement the output otherwise),
+//	input polarity    per variable, ones(f | x_i=1) ≤ ones(f | x_i=0),
+//	variable order    positions sorted by ascending ones(f | x_i=1).
+//
+// Only transforms whose image satisfies all three invariants are
+// candidates, and the representative is the minimum truth table among
+// them. Because "the image satisfies the invariants" is a property of the
+// image alone, the candidate set — and therefore the representative — is
+// identical for every function of an NPN class: the result is a true
+// class invariant, merely not always the class-wide minimum truth table
+// (hence "semi-canonical"). Ties in the signatures (equal cofactor
+// counts) multiply the candidate set; random cut functions almost always
+// have none, so the common path applies a handful of transforms instead
+// of thousands.
+
+// canon5FallbackLimit caps the tie-breaking enumeration: degenerate
+// highly-symmetric functions (parity, constants) tie everywhere and
+// would enumerate more candidates than the exhaustive sweep itself, so
+// past this bound Canonize5 falls back to canonizeSlow. The bound is a
+// function of class-invariant tie counts, so the fallback decision is
+// itself identical across a class.
+const canon5FallbackLimit = 1920
+
+// Canonize5 returns the semi-canonical NPN representative of the
+// 5-variable function f together with a transform t such that
+// Apply(t, rep) = f — the same contract as Canonize. NPN-equivalent
+// functions always map to the same representative; unlike Canonize's
+// 4-variable path the representative need not be the smallest truth
+// table of the class.
+func Canonize5(f tt.TT) (tt.TT, Transform) {
+	if f.N != 5 {
+		panic(fmt.Sprintf("npn: Canonize5 requires a 5-variable function, got %d", f.N))
+	}
+	cands, ok := canon5Transforms(f)
+	if !ok {
+		return canonizeSlow(f)
+	}
+	best := cands[0].Apply(f)
+	bestT := cands[0]
+	for _, t := range cands[1:] {
+		if g := t.Apply(f); g.Bits < best.Bits {
+			best, bestT = g, t
+		}
+	}
+	// bestT maps f onto the representative; return the instantiating
+	// direction, mirroring Canonize.
+	return best, bestT.Inverse()
+}
+
+// IsCanonical5 reports whether f is its own semi-canonical
+// representative. Restore uses it to validate learned-class records.
+func IsCanonical5(f tt.TT) bool {
+	rep, _ := Canonize5(f)
+	return rep == f
+}
+
+// canon5Transforms returns every transform whose image of f satisfies
+// the normalization invariants, or ok=false when signature ties would
+// blow the set past canon5FallbackLimit.
+func canon5Transforms(f tt.TT) ([]Transform, bool) {
+	var out []Transform
+	for _, neg := range [2]bool{false, true} {
+		g := f.NotIf(neg)
+		ones := g.CountOnes()
+		if ones*2 > 32 {
+			continue // output polarity invariant violated
+		}
+		// c1[j]: minterms of g with x_j = 1. Flipping x_j swaps it with
+		// c0[j] = ones − c1[j]; permutations move it between positions;
+		// nothing else touches it.
+		var c1, key [5]int
+		flipBoth := 0 // bitmask of variables free to flip either way
+		var flip uint8
+		for j := 0; j < 5; j++ {
+			c1[j] = bits.OnesCount64(g.Bits & tt.Var(5, j).Bits)
+			c0 := ones - c1[j]
+			switch {
+			case c1[j] > c0:
+				flip |= 1 << j
+			case c1[j] == c0:
+				flipBoth |= 1 << j
+			}
+			key[j] = min(c1[j], c0)
+		}
+		// Base assignment: position p reads the variable with the p-th
+		// smallest key; equal keys form groups whose internal order is
+		// free.
+		ord := [5]int{0, 1, 2, 3, 4}
+		sort.SliceStable(ord[:], func(a, b int) bool { return key[ord[a]] < key[ord[b]] })
+		count := 1 << bits.OnesCount(uint(flipBoth))
+		for s, p := 0, 0; p <= 5; p++ {
+			if p == 5 || (p > s && key[ord[p]] != key[ord[s]]) {
+				count *= factorial(p - s)
+				s = p
+			}
+		}
+		if len(out)+count > canon5FallbackLimit {
+			return nil, false
+		}
+		for _, asn := range tieAssignments(ord, key) {
+			base := Transform{N: 5, NegOut: neg}
+			for p := 0; p < 5; p++ {
+				base.Perm[asn[p]] = p
+			}
+			for m := 0; m < 1<<bits.OnesCount(uint(flipBoth)); m++ {
+				fm, rest := uint8(0), m
+				for j := 0; j < 5; j++ {
+					if flipBoth>>j&1 == 1 {
+						if rest&1 == 1 {
+							fm |= 1 << j
+						}
+						rest >>= 1
+					}
+				}
+				t := base
+				t.Flip = flip | fm
+				out = append(out, t)
+			}
+		}
+	}
+	return out, true
+}
+
+// tieAssignments expands the base position order over every permutation
+// of each equal-key group.
+func tieAssignments(ord [5]int, key [5]int) [][5]int {
+	res := [][5]int{ord}
+	for s, p := 0, 1; p <= 5; p++ {
+		if p < 5 && key[ord[p]] == key[ord[s]] {
+			continue
+		}
+		if size := p - s; size > 1 {
+			perms := Perms(size)
+			next := make([][5]int, 0, len(res)*len(perms))
+			for _, a := range res {
+				for _, pm := range perms {
+					b := a
+					for i, pi := range pm {
+						b[s+i] = a[s+pi]
+					}
+					next = append(next, b)
+				}
+			}
+			res = next
+		}
+		s = p
+	}
+	return res
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}

@@ -1,0 +1,136 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mighash/internal/tt"
+)
+
+// all5 memoizes the 7680 NPN transforms over 5 variables for the tests.
+var all5 = All(5)
+
+// TestCanonize5Direction checks the Canonize contract: the returned
+// transform instantiates f from the representative.
+func TestCanonize5Direction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		f := tt.New(5, rng.Uint64())
+		rep, tr := Canonize5(f)
+		if got := tr.Apply(rep); got != f {
+			t.Fatalf("f=%v: Apply(t, rep=%v) = %v, want f", f, rep, got)
+		}
+		if rep2, _ := Canonize5(rep); rep2 != rep {
+			t.Fatalf("representative %v is not a fixpoint (got %v)", rep, rep2)
+		}
+	}
+}
+
+// TestCanonize5ClassInvariant checks that every member of an NPN class
+// maps to the same semi-canonical representative.
+func TestCanonize5ClassInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		f := tt.New(5, rng.Uint64())
+		rep, _ := Canonize5(f)
+		for trial := 0; trial < 8; trial++ {
+			g := all5[rng.Intn(len(all5))].Apply(f)
+			if got, _ := Canonize5(g); got != rep {
+				t.Fatalf("f=%v g=%v: representatives differ (%v vs %v)", f, g, got, rep)
+			}
+		}
+	}
+}
+
+// TestCanonize5MatchesSlowOracle checks against the exhaustive sweep:
+// the semi-canonical representative must live in the same class as the
+// exact minimum (it need not equal it).
+func TestCanonize5MatchesSlowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 25; i++ {
+		f := tt.New(5, rng.Uint64())
+		rep, _ := Canonize5(f)
+		wantMin, _ := canonizeSlow(f)
+		gotMin, _ := canonizeSlow(rep)
+		if gotMin != wantMin {
+			t.Fatalf("f=%v: semi-canonical rep %v is in class %v, want class %v",
+				f, rep, gotMin, wantMin)
+		}
+	}
+}
+
+// TestCanonize5Degenerate exercises the tie-explosion fallback and other
+// fully symmetric corner cases.
+func TestCanonize5Degenerate(t *testing.T) {
+	cases := []tt.TT{
+		tt.Const0(5),
+		tt.Const1(5),
+		tt.Var(5, 3),
+		xor5(),
+		maj5(),
+	}
+	for _, f := range cases {
+		rep, tr := Canonize5(f)
+		if got := tr.Apply(rep); got != f {
+			t.Fatalf("f=%v: Apply(t, rep) = %v, want f", f, got)
+		}
+		for _, g := range []tt.TT{f.Not(), f.FlipVar(0), f.SwapVars(1, 4)} {
+			if got, _ := Canonize5(g); got != rep {
+				t.Fatalf("f=%v variant %v: rep %v, want %v", f, g, got, rep)
+			}
+		}
+	}
+}
+
+func xor5() tt.TT {
+	f := tt.Var(5, 0)
+	for i := 1; i < 5; i++ {
+		f = f.Xor(tt.Var(5, i))
+	}
+	return f
+}
+
+func maj5() tt.TT {
+	var b uint64
+	for x := uint(0); x < 32; x++ {
+		ones := 0
+		for j := uint(0); j < 5; j++ {
+			ones += int(x >> j & 1)
+		}
+		if ones >= 3 {
+			b |= 1 << x
+		}
+	}
+	return tt.New(5, b)
+}
+
+// FuzzCanonize5 fuzzes the two load-bearing properties of the
+// semi-canonical canonizer: the returned transform really instantiates f
+// from the representative, and NPN-equivalent inputs (f pushed through a
+// fuzzer-chosen transform) share one representative. A sampled subset is
+// additionally checked against the exhaustive canonizeSlow oracle.
+func FuzzCanonize5(f *testing.F) {
+	f.Add(uint64(0xDEADBEEF12345678), uint16(0))
+	f.Add(uint64(0), uint16(1))
+	f.Add(uint64(0x96696996_69969669), uint16(4242)) // parity-like: fallback path
+	f.Add(uint64(0xFFFF0000_00FF00FF), uint16(7679))
+	f.Fuzz(func(t *testing.T, bitsIn uint64, tid uint16) {
+		fn := tt.New(5, bitsIn)
+		rep, tr := Canonize5(fn)
+		if got := tr.Apply(rep); got != fn {
+			t.Fatalf("f=%v: Apply(t, rep=%v) = %v, want f", fn, rep, got)
+		}
+		g := all5[int(tid)%len(all5)].Apply(fn)
+		if gotRep, _ := Canonize5(g); gotRep != rep {
+			t.Fatalf("f=%v g=%v: representatives differ (%v vs %v)", fn, g, gotRep, rep)
+		}
+		// The exhaustive oracle is ~7680 transform applications per call:
+		// only a deterministic sample of the corpus pays for it.
+		if bitsIn%64 == 0 {
+			wantMin, _ := canonizeSlow(fn)
+			if gotMin, _ := canonizeSlow(rep); gotMin != wantMin {
+				t.Fatalf("f=%v: rep %v is in class %v, want %v", fn, rep, gotMin, wantMin)
+			}
+		}
+	})
+}

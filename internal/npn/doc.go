@@ -18,11 +18,24 @@
 // when bit j of Flip is set. This "wiring" form is exactly what is needed
 // to instantiate a database MIG on the leaves of a cut.
 //
+// Beyond 4 variables exhaustive classification stops scaling (~616k
+// classes at n = 5), so Canonize5 computes a *semi-canonical* form
+// instead: signature normalization — output polarity by ones count,
+// input polarities and variable order by cofactor counts — prunes the
+// 7680-transform sweep down to the handful of candidates whose image
+// satisfies the invariants, and the minimum image among them is the
+// representative. Because the candidate set is a property of the class,
+// not of the queried member, the result is a true class invariant; it
+// merely need not be the class-wide minimum truth table. Signature ties
+// multiply the candidates, and degenerate fully-symmetric functions fall
+// back to the exhaustive sweep (a class-invariant decision too).
+//
 // Role in the functional-hashing flow: Canonize sits on the hot path of
 // every rewriting pass — each enumerated cut's truth table is
 // canonicalized here before the database lookup. internal/db.Cache
 // memoizes the (Canonize, Lookup) pair so repeated cut functions skip
-// this package entirely.
+// this package entirely; Canonize5 keys the on-demand 5-input store
+// (db.OnDemand) the same way.
 //
 // Concurrency contract: Transform is an immutable value and every
 // function is pure. The 4-variable fast path uses a precomputed table

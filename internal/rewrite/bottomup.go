@@ -61,7 +61,7 @@ func (r *rewriter) runBottomUp() {
 				continue
 			}
 			r.eachCombo(leaves, cands, func(sel []candidate) {
-				var leafSigs [4]mig.Lit
+				var leafSigs [5]mig.Lit
 				size := e.Size()
 				for j := range sel {
 					leafSigs[j] = sel[j].lit

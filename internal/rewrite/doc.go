@@ -1,7 +1,8 @@
 // Package rewrite implements the paper's primary contribution: MIG size
-// optimization by functional hashing (Sec. IV). Every 4-feasible cut of
+// optimization by functional hashing (Sec. IV). Every K-feasible cut of
 // the graph is NPN-canonicalized and, when profitable, replaced by the
-// precomputed minimum MIG of its class.
+// minimum MIG of its class — precomputed for K = 4, learned on demand
+// for K = 5 (Options.K; the TF5/T5/TFD5/TD5 variants).
 //
 // Both traversal orders of the paper are provided — the top-down greedy
 // Algorithm 1 and the bottom-up dynamic-programming Algorithm 2 — together
@@ -21,9 +22,14 @@
 // Role in the functional-hashing flow: this package is the flow. It
 // consumes cuts from internal/cut, canonicalization + database lookups
 // through internal/db (optionally memoized by a db.Cache), and builds the
-// optimized graph through internal/mig's structural hashing. The engine
-// (internal/engine) composes Run calls into scripts; the HTTP service
-// exposes those scripts over the network.
+// optimized graph through internal/mig's structural hashing. At K = 5,
+// five-leaf cuts with genuine 5-variable support resolve through
+// db.OnDemand instead: the first contact with a class synthesizes its
+// minimum MIG (blocking just that lookup), Options.Ctx cancels in-flight
+// ladders on request deadlines, and the budget is conflict-based so the
+// learned database — hence the output graph — stays bit-identical at any
+// worker count. The engine (internal/engine) composes Run calls into
+// scripts; the HTTP service exposes those scripts over the network.
 //
 // Concurrency contract: Run never modifies the input graph, so concurrent
 // Run calls on the same input are safe as long as each has a private

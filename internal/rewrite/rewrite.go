@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,25 @@ type Options struct {
 	// this pass are reported in Stats.
 	Cache *db.Cache
 
+	// K selects the functional-hashing cut width: 4 (the paper's setting,
+	// default) or 5. At K = 5 enumeration additionally yields five-leaf
+	// cuts whose classes resolve through the on-demand exact-synthesis
+	// store (Exact5) instead of the precomputed database; cuts of at most
+	// four leaves keep using the 4-input path, so a K = 5 pass subsumes
+	// the K = 4 one.
+	K int
+	// Exact5 supplies (and learns) the minimum MIGs of 5-input classes
+	// when K = 5. Sharing one store across passes, runs, and batch
+	// workers amortizes the per-class synthesis; a nil store makes Run
+	// allocate a private one with default budgets. Ignored at K = 4.
+	Exact5 *db.OnDemand
+	// Ctx cancels in-flight exact synthesis (the only unbounded work a
+	// pass can do): when it fires, un-learned 5-input classes resolve as
+	// misses and the pass completes with what it has. The engine threads
+	// each request's context through here so server deadlines abandon
+	// running ladders. nil means context.Background().
+	Ctx context.Context
+
 	// Workers bounds intra-graph parallelism of the top-down variants:
 	// best-cut evaluation is fanned out over independent fanout-free
 	// regions on a worker pool, then committed serially in topological
@@ -73,9 +93,28 @@ var (
 	BF  = Options{BottomUp: true, FFR: true}
 )
 
-// VariantName returns the paper's acronym for o, or a descriptive string
-// for non-paper configurations.
+// The K = 5 extensions of the top-down variants (the bottom-up variant
+// stays at the paper's width): same traversal, five-leaf cuts resolved
+// through the on-demand store.
+var (
+	TF5  = Options{FFR: true, K: 5}
+	T5   = Options{K: 5}
+	TFD5 = Options{FFR: true, DepthPreserve: true, K: 5}
+	TD5  = Options{DepthPreserve: true, K: 5}
+)
+
+// VariantName returns the paper's acronym for o — suffixed with "5" for
+// the K = 5 extensions — or a descriptive string for non-paper
+// configurations.
 func VariantName(o Options) string {
+	name := baseVariantName(o)
+	if o.K == 5 {
+		name += "5"
+	}
+	return name
+}
+
+func baseVariantName(o Options) string {
 	switch {
 	case o.BottomUp && o.FFR && !o.DepthPreserve:
 		return "BF"
@@ -93,6 +132,15 @@ func VariantName(o Options) string {
 }
 
 func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.K != 4 && o.K != 5 {
+		panic(fmt.Sprintf("rewrite: unsupported cut width %d (want 4 or 5)", o.K))
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.MaxCuts == 0 {
 		o.MaxCuts = 24
 	}
@@ -205,13 +253,16 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 	if workers < 1 || opt.BottomUp {
 		workers = 1
 	}
+	if opt.K == 5 && opt.Exact5 == nil {
+		opt.Exact5 = db.NewOnDemand(db.OnDemandOptions{})
+	}
 	ws.prepare(m.NumNodes(), workers)
 	r := &rewriter{
 		m:         m,
 		d:         d,
 		opt:       opt,
 		ws:        ws,
-		cuts:      ws.cuts.Enumerate(m, cut.Options{K: 4, MaxCuts: opt.MaxCuts}),
+		cuts:      ws.cuts.Enumerate(m, cut.Options{K: opt.K, MaxCuts: opt.MaxCuts}),
 		fo:        m.FanoutCounts(),
 		out:       mig.New(m.NumPIs()),
 		oldLevels: m.Levels(),
@@ -314,7 +365,7 @@ type candidateCut struct {
 
 // transformRef avoids importing npn here twice; see lookup.
 type transformRef struct {
-	perm   [4]int
+	perm   [5]int
 	flip   uint8
 	negOut bool
 }
@@ -322,10 +373,15 @@ type transformRef struct {
 // lookup resolves the database entry for the cut's function plus
 // instantiation data, or nil when the class is absent. The function comes
 // straight off the cut — maintained incrementally during enumeration — so
-// no cone is re-simulated. With Options.Cache the canonicalization and
-// class lookup are memoized.
+// no cone is re-simulated. Cuts of at most four leaves resolve through
+// the precomputed 4-input database (memoized by Options.Cache); at
+// K = 5, five-leaf cuts resolve through — and are learned by — the
+// on-demand exact-synthesis store.
 func (r *rewriter) lookup(c *cut.Cut, st *evalState) (*db.Entry, transformRef) {
-	f := tt.TT{Bits: uint64(c.TT), N: 4}
+	if c.N == 5 {
+		return r.lookup5(c)
+	}
+	f := tt.TT{Bits: uint64(uint16(c.TT)), N: 4}
 	e, t, ok, hit := r.d.LookupCached(f, r.opt.Cache)
 	if r.opt.Cache != nil {
 		if hit {
@@ -346,23 +402,51 @@ func (r *rewriter) lookup(c *cut.Cut, st *evalState) (*db.Entry, transformRef) {
 	return e, tr
 }
 
-// instantiate builds the entry over the given leaf signals (padded to 4
-// with constant 0) in the output graph.
+// lookup5 resolves a five-leaf cut through the on-demand store. Cut
+// functions that do not actually depend on all five leaves are skipped:
+// their minimum MIGs are (embedded) 4-input classes the precomputed
+// database already owns, and keeping them out preserves the store's
+// "every entry is a genuine 5-input class" invariant.
+//
+// Lookup blocks while the class is synthesized (first contact only), so
+// a deterministic budget makes the learned database — and therefore
+// every downstream decision — identical at any worker count.
+func (r *rewriter) lookup5(c *cut.Cut) (*db.Entry, transformRef) {
+	f := tt.TT{Bits: uint64(c.TT), N: 5}
+	if f.SupportSize() != 5 {
+		return nil, transformRef{}
+	}
+	e, t, ok := r.opt.Exact5.Lookup(r.opt.Ctx, f)
+	if !ok {
+		return nil, transformRef{}
+	}
+	var tr transformRef
+	for j := 0; j < 5; j++ {
+		tr.perm[j] = t.Perm[j]
+	}
+	tr.flip = t.Flip
+	tr.negOut = t.NegOut
+	return e, tr
+}
+
+// instantiate builds the entry over the given leaf signals (padded to
+// the entry width with constant 0) in the output graph.
 func (r *rewriter) instantiate(e *db.Entry, tr transformRef, leafSigs []mig.Lit) mig.Lit {
-	var padded [4]mig.Lit
+	k := e.K()
+	var padded [5]mig.Lit
 	copy(padded[:], leafSigs)
-	need := 5 + e.Size()
+	need := 1 + k + e.Size()
 	if cap(r.ws.sig) < need {
 		r.ws.sig = make([]mig.Lit, 0, need+32)
 	}
 	sig := r.ws.sig[:need]
 	sig[0] = mig.Const0
-	for j := 0; j < 4; j++ {
+	for j := 0; j < k; j++ {
 		sig[1+j] = padded[tr.perm[j]].NotIf(tr.flip>>uint(j)&1 == 1)
 	}
 	at := func(l mig.Lit) mig.Lit { return sig[l.ID()].NotIf(l.Comp()) }
 	for l, g := range e.Gates {
-		sig[5+l] = r.addMaj(at(g[0]), at(g[1]), at(g[2]))
+		sig[1+k+l] = r.addMaj(at(g[0]), at(g[1]), at(g[2]))
 	}
 	return at(e.Out).NotIf(tr.negOut)
 }
@@ -400,7 +484,7 @@ func (r *rewriter) coneAdmissible(v mig.ID, leaves []mig.ID, st *evalState) ([]m
 // the root arrives LeafDepth[j] gates after that leaf.
 func (r *rewriter) arrivalOf(e *db.Entry, tr transformRef, leaves []mig.ID) int {
 	arr := 0
-	for j := 0; j < 4; j++ {
+	for j := 0; j < e.K(); j++ {
 		ld := e.LeafDepth[j]
 		if ld < 0 || tr.perm[j] >= len(leaves) {
 			continue // unused input or constant-padded position

@@ -72,7 +72,7 @@ func (r *rewriter) runTopDown(workers int) {
 				if !ready {
 					continue
 				}
-				var leafSigs [4]mig.Lit
+				var leafSigs [5]mig.Lit
 				for i, lf := range best.leaves {
 					leafSigs[i] = res[lf]
 				}

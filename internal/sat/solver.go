@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -120,8 +121,9 @@ type Solver struct {
 	maxLearnts  float64
 	lubyIdx     int64
 	propBudget  int64
-	MaxConflict int64     // conflict budget for a Solve call; <=0 means unlimited
-	Deadline    time.Time // wall-clock budget; zero means unlimited
+	MaxConflict int64           // conflict budget for a Solve call; <=0 means unlimited
+	Deadline    time.Time       // wall-clock budget; zero means unlimited
+	Ctx         context.Context // external cancellation; nil means none
 
 	Stats Stats
 }
@@ -574,6 +576,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
+		if s.Ctx != nil && s.Ctx.Err() != nil {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		s.Stats.Restarts++
 	}
 }
@@ -608,6 +614,14 @@ func (s *Solver) search(budget int64, assumptions []Lit) Status {
 			continue
 		}
 		if conflicts >= budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		// Poll external cancellation inside long search episodes too —
+		// restart boundaries alone can be hundreds of thousands of
+		// conflicts apart late in a run. Every 64 conflicts keeps the
+		// mutex-guarded Err read off the propagation fast path.
+		if s.Ctx != nil && conflicts&63 == 0 && conflicts > 0 && s.Ctx.Err() != nil {
 			s.cancelUntil(0)
 			return Unknown
 		}

@@ -12,9 +12,12 @@
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus-style counters
 //
-// Requests name a preset script ("resyn", "size", "depth", "quick", any
-// single pass) or spell out a custom pass list; the service runs it to
-// convergence with engine.RunBatch and returns results in job order.
+// Requests name a preset script ("resyn", "size", "depth", "quick",
+// "resyn5", any single pass) or spell out a custom pass list — the
+// listing at GET /v1/scripts is derived from the engine's preset
+// registry, so it is always exactly what the optimizer accepts; the
+// service runs the script to convergence with engine.RunBatch and
+// returns results in job order.
 // Setting "stream": true switches the response to application/x-ndjson:
 // one "pass" event per executed pass as it completes (via the engine's
 // progress callbacks), then a "result" event per job — so long-running
@@ -36,14 +39,18 @@
 // database is immutable and shared; per-request state (parsed graphs,
 // pipelines, rewrite workspaces) is private to the request's goroutines;
 // the only shared mutable state is the atomic metrics counters, the slot
-// semaphore, and — only with Config.SharedCache — the sharded NPN
-// cut-cache, each of which is concurrency-safe on its own.
+// semaphore, the always-shared on-demand 5-input store (classes are
+// learned once per server lifetime; request deadlines cancel in-flight
+// ladders, and the migserve_exact5_* metrics report its traffic), and —
+// only with Config.SharedCache — the sharded NPN cut-cache, each of
+// which is concurrency-safe on its own.
 //
 // # Cache persistence
 //
-// Config.CacheFile makes the shared cache survive restarts: New restores
-// the snapshot (corrupt or missing files degrade to a cold cache with a
-// logged error), a background writer re-snapshots it every
+// Config.CacheFile makes the shared cache — and the learned 5-input
+// store — survive restarts: New restores the combined snapshot (corrupt
+// or missing files degrade to a cold state with a logged error), a
+// background writer re-snapshots it every
 // Config.CacheSnapshotInterval, and Close — which cmd/migserve calls
 // after the SIGTERM HTTP drain — writes the final snapshot. Snapshots
 // never change optimization results, only the hit/miss statistics;

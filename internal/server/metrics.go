@@ -81,6 +81,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		vals["migserve_cache_snapshot_errors_total"] = m.snapshotErrors.Load()
 		vals["migserve_cache_snapshot_entries"] = m.snapshotEntries.Load()
 	}
+	// The on-demand 5-input store: learned classes (gauge), ladders run,
+	// and ladders that blew their budget and were negative-cached.
+	vals["migserve_exact5_entries"] = int64(s.exact5.Len())
+	vals["migserve_exact5_synth_total"] = int64(s.exact5.Synths())
+	vals["migserve_exact5_synth_timeouts"] = int64(s.exact5.Failures())
 	names := make([]string, 0, len(vals))
 	for n := range vals {
 		names = append(names, n)

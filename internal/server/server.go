@@ -64,6 +64,14 @@ type Config struct {
 	// CacheLimit bounds the shared cache's entry count with per-shard
 	// second-chance eviction (db.Cache.SetLimit). 0 means unbounded.
 	CacheLimit int
+	// Synth5 tunes the per-class budget of the on-demand 5-input
+	// exact-synthesis store behind the K = 5 scripts (resyn5, size5,
+	// TF5, …). The store is shared by every request of the server's
+	// lifetime — classes are learned once — and, with CacheFile, persists
+	// across restarts alongside the NPN cut-cache. In-flight ladders are
+	// cancelled when their request's deadline fires. The zero value uses
+	// the db package defaults (conflict-bounded, deterministic).
+	Synth5 db.OnDemandOptions
 	// DB supplies the minimum-MIG database; nil loads the embedded one.
 	DB *db.DB
 }
@@ -104,7 +112,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	db      *db.DB
-	cache   *db.Cache // non-nil only with Config.SharedCache
+	cache   *db.Cache    // non-nil only with Config.SharedCache
+	exact5  *db.OnDemand // always non-nil; shared by every request
 	slots   chan struct{}
 	mux     *http.ServeMux
 	metrics metrics
@@ -127,9 +136,10 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:   cfg,
-		db:    d,
-		slots: make(chan struct{}, cfg.MaxConcurrent),
+		cfg:    cfg,
+		db:     d,
+		exact5: db.NewOnDemand(cfg.Synth5),
+		slots:  make(chan struct{}, cfg.MaxConcurrent),
 	}
 	if cfg.SharedCache {
 		s.cache = db.NewCache()
@@ -138,7 +148,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.CacheFile != "" {
-		n, err := s.cache.LoadFile(cfg.CacheFile, d)
+		n, err := db.LoadSnapshotFile(cfg.CacheFile, d, s.cache, s.exact5)
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
 			log.Printf("server: no cache snapshot at %s, starting cold", cfg.CacheFile)
@@ -189,7 +199,7 @@ func (s *Server) snapshotLoop() {
 // snapshotCache writes one snapshot and updates the snapshot metrics.
 func (s *Server) snapshotCache() error {
 	s.metrics.snapshots.Add(1)
-	n, err := s.cache.SaveFile(s.cfg.CacheFile)
+	n, err := db.SaveSnapshotFile(s.cfg.CacheFile, s.cache, s.exact5)
 	if err != nil {
 		s.metrics.snapshotErrors.Add(1)
 		log.Printf("server: cache snapshot to %s failed: %v", s.cfg.CacheFile, err)
@@ -426,7 +436,8 @@ func (s *Server) pipeline(spec ScriptSpec) (*engine.Pipeline, error) {
 		return nil, err
 	}
 	p.DB = s.db
-	p.Cache = s.cache // nil without SharedCache: private per-run caches
+	p.Cache = s.cache   // nil without SharedCache: private per-run caches
+	p.Exact5 = s.exact5 // always shared: 5-input classes are learned once
 	if spec.MaxIterations > 0 {
 		// Only override when the client asked: presets like "quick" bake
 		// in their own iteration caps, and zero must not erase them.

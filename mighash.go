@@ -15,7 +15,14 @@
 // Beyond the paper, the internal/engine subsystem scales the single-shot
 // passes into a batch-optimization engine: composable pass pipelines with
 // run-to-convergence semantics, a concurrency-safe sharded NPN cut-cache,
-// and a bounded worker pool for optimizing many graphs at once. The
+// and a bounded worker pool for optimizing many graphs at once.
+// Functional hashing extends past the paper's 4-input database to
+// on-demand 5-input hashing: Canonize5 semi-canonicalizes 5-variable
+// functions without the exhaustive transform sweep, and an Exact5Store
+// learns each class's minimum MIG by budgeted exact synthesis on first
+// contact (the TF5/T5/TFD5/TD5 variants and resyn5/size5 scripts),
+// persisting the learned database across processes alongside the
+// cut-cache. The
 // rewriting hot path is allocation-free in the steady state — cuts carry
 // their truth tables, cone analysis uses epoch-stamped workspaces — and
 // parallelizes inside a single graph: best cuts of independent fanout-
@@ -105,6 +112,12 @@ type NPNTransform = npn.Transform
 // t with Apply(t, rep) = f.
 var CanonizeNPN = npn.Canonize
 
+// CanonizeNPN5 returns the semi-canonical NPN representative of a
+// 5-variable function — a true class invariant computed from cofactor
+// signatures instead of the exhaustive transform sweep — and a transform
+// t with Apply(t, rep) = f. It keys the on-demand 5-input database.
+var CanonizeNPN5 = npn.Canonize5
+
 // NumNPNClasses4 is the number of NPN classes of 4-variable functions.
 func NumNPNClasses4() int { return npn.NumClasses4() }
 
@@ -112,7 +125,9 @@ func NumNPNClasses4() int { return npn.NumClasses4() }
 type ExactOptions = exact.Options
 
 // ExactMinimum synthesizes a minimum-size MIG for f by the paper's
-// SAT-encoded decision ladder.
+// SAT-encoded decision ladder. The context cancels the underlying SAT
+// search, so runaway instances can be abandoned (server deadlines do
+// exactly that); pass context.Background() for an uninterruptible run.
 var ExactMinimum = exact.Minimum
 
 // TheoremBound is the Theorem 2 upper bound 10·(2^(n−4)−1)+7 on C(n).
@@ -141,6 +156,16 @@ var (
 	VariantBF  = rewrite.BF
 )
 
+// The 5-input extensions of the top-down variants: five-leaf cuts
+// resolved through the on-demand exact-synthesis store
+// (RewriteOptions.Exact5).
+var (
+	VariantTF5  = rewrite.TF5
+	VariantT5   = rewrite.T5
+	VariantTFD5 = rewrite.TFD5
+	VariantTD5  = rewrite.TD5
+)
+
 // Optimize applies one functional-hashing pass, returning a fresh
 // optimized MIG and its statistics.
 var Optimize = rewrite.Run
@@ -164,6 +189,33 @@ type NPNCache = db.Cache
 
 // NewNPNCache returns an empty cut-cache ready for concurrent use.
 var NewNPNCache = db.NewCache
+
+// On-demand 5-input functional hashing: at five inputs the ~616k NPN
+// classes rule out a precomputed artifact, so the database is learned —
+// each class's minimum MIG is synthesized on first contact under a
+// deterministic budget and memoized by semi-canonical representative.
+type (
+	// Exact5Store is the lazy 5-input database: concurrency-safe,
+	// negative-caching budget-blown classes, cancellable per lookup.
+	Exact5Store = db.OnDemand
+	// Exact5Options tunes the per-class synthesis budget (gate ladder
+	// cap, SAT conflict budget, optional wall-clock bound).
+	Exact5Options = db.OnDemandOptions
+)
+
+// NewExact5Store returns an empty on-demand store; share one across
+// pipelines and batch workers so every class is synthesized once.
+var NewExact5Store = db.NewOnDemand
+
+// SaveOptimizationState atomically snapshots the NPN cut-cache and the
+// learned 5-input store (either may be nil) into one width-tagged,
+// checksummed file that warm-starts future processes.
+var SaveOptimizationState = db.SaveSnapshotFile
+
+// LoadOptimizationState restores a combined snapshot, rebinding cache
+// entries through the given database and re-verifying learned classes;
+// corrupt files degrade to a cold state.
+var LoadOptimizationState = db.LoadSnapshotFile
 
 // Optimization engine: composable pass pipelines and concurrent batch
 // optimization (internal/engine; beyond the paper).

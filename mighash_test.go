@@ -118,7 +118,7 @@ func TestPublicEngine(t *testing.T) {
 // TestPublicExactSynthesis drives the exact engine through the façade.
 func TestPublicExactSynthesis(t *testing.T) {
 	maj := mighash.NewTT(3, 0xE8)
-	m, err := mighash.ExactMinimum(maj, mighash.ExactOptions{})
+	m, err := mighash.ExactMinimum(context.Background(), maj, mighash.ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
