@@ -13,6 +13,7 @@
 //	migpipe -script resyn -k 5                # same script, 5-input functional hashing
 //	migpipe -script resyn5 -cachefile npn.cache -synth-budget 2s
 //	migpipe -url http://localhost:8080 -script resyn  # optimize remotely over HTTP
+//	migpipe -script resyn5 -trace trace.json  # Chrome/Perfetto trace of the run
 //	migpipe -scripts                          # list available scripts
 //
 // With a single job the -workers budget moves from the batch pool to the
@@ -31,6 +32,12 @@
 // persisted through -cachefile alongside the 4-input cut-cache, so a
 // warm rerun re-synthesizes nothing. -k 5 maps each preset to its
 // 5-input variant (resyn→resyn5, size→size5, TF→TF5, …).
+//
+// With -trace the whole run is recorded as Chrome trace-event JSON: one
+// span per job, pipeline, iteration and pass, down to the rewrite phases
+// and the individual exact-synthesis ladders (internal/obs documents the
+// taxonomy). Load the file in chrome://tracing or https://ui.perfetto.dev
+// to see where a slow run spent its time.
 //
 // With -url the jobs are not optimized locally: they are serialized to
 // BENCH and submitted to a running migserve at that base URL via
@@ -63,6 +70,7 @@ import (
 	"mighash/internal/engine"
 	"mighash/internal/exp"
 	"mighash/internal/mig"
+	"mighash/internal/obs"
 	"mighash/internal/server"
 )
 
@@ -119,6 +127,7 @@ func main() {
 		cutWidth   = flag.Int("k", 0, "functional-hashing cut width: 4, or 5 to map the script to its 5-input variant")
 		synthConfl = flag.Int64("synth-conflicts", 0, "per-class SAT conflict budget of 5-input exact synthesis (0 = default, <0 = unlimited)")
 		synthTime  = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none; trades determinism for latency)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -155,6 +164,17 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tracer *obs.Tracer
+	var rootSpan *obs.Span
+	if *traceOut != "" {
+		if *url != "" {
+			log.Printf("warning: -trace records only the local HTTP exchange with -url (server-side spans live in migserve -trace-dir)")
+		}
+		tracer = obs.New(obs.Options{Retain: true})
+		ctx = obs.ContextWithTracer(ctx, tracer)
+		ctx, rootSpan = obs.Start(ctx, "migpipe")
+		rootSpan.SetStr("script", scriptName)
+	}
 	exact5 := db.NewOnDemand(db.OnDemandOptions{MaxConflicts: *synthConfl, Timeout: *synthTime})
 	opt := engine.BatchOptions{Workers: *workers, CacheFile: *cacheFile, Exact5: exact5}
 	if *shared {
@@ -181,6 +201,12 @@ func main() {
 		results, err = engine.RunBatch(ctx, p, jobs, opt)
 	}
 	elapsed := time.Since(start)
+	if tracer != nil {
+		rootSpan.End()
+		if err := tracer.SaveTrace(*traceOut); err != nil {
+			log.Fatalf("writing trace to %s: %v", *traceOut, err)
+		}
+	}
 	failed := false
 	if err != nil {
 		log.Printf("batch aborted: %v", err)

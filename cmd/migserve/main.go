@@ -9,6 +9,8 @@
 //	migserve -addr :9090 -concurrency 8 -sharedcache
 //	migserve -max-body 4194304 -timeout 30s -max-timeout 2m
 //	migserve -cache-file /var/lib/migserve/npn.cache -cache-snapshot 2m
+//	migserve -trace-dir /tmp/traces -slow-log 2s   # per-request Chrome traces
+//	migserve -pprof-addr localhost:6060            # pprof on a private listener
 //
 // With -cache-file the shared NPN cut-cache — and the on-demand 5-input
 // exact-synthesis store behind the resyn5/size5/TF5… scripts — survives
@@ -27,6 +29,16 @@
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus-style counters
 //
+// Observability: every response carries a generated X-Request-ID, and
+// /metrics always exposes duration histograms for requests, passes,
+// exact-synthesis ladders and slot-pool waits. With -trace-dir each
+// optimization request additionally writes a Chrome trace-event JSON
+// named <request-id>.json (loadable in chrome://tracing or Perfetto);
+// with -slow-log requests over the threshold emit one structured JSON
+// log line. -pprof-addr serves net/http/pprof on a separate listener —
+// keep it on localhost or behind a firewall; it is off by default and
+// never shares the service port.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, new connections are refused immediately.
 package main
@@ -36,7 +48,10 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -64,9 +79,17 @@ func main() {
 		synthTime   = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none)")
 		synthGates  = flag.Int("synth-gates", 0, "ladder cap of 5-input exact synthesis (0 = default)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		traceDir    = flag.String("trace-dir", "", "write one Chrome trace-event JSON per optimization request into this directory")
+		slowLog     = flag.Duration("slow-log", 0, "log a structured JSON line for optimization requests slower than this (0 = off)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty = off; keep it private)")
 	)
 	flag.Parse()
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			log.Fatalf("creating trace directory: %v", err)
+		}
+	}
 	srv, err := server.New(server.Config{
 		MaxBodyBytes:          *maxBody,
 		MaxGates:              *maxGates,
@@ -83,9 +106,35 @@ func main() {
 			Timeout:      *synthTime,
 			MaxGates:     *synthGates,
 		},
+		TraceDir:    *traceDir,
+		SlowRequest: *slowLog,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener and its own mux: the profiling
+		// surface must never ride on the public service port, and the
+		// explicit mux keeps anything else off DefaultServeMux from
+		// leaking in. The listener is bound before serving starts so a
+		// taken port fails loudly at startup, not silently at first use.
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listener: %v", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", pl.Addr())
+			if err := http.Serve(pl, pmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{

@@ -41,6 +41,10 @@ type report struct {
 			DepthBefore int           `json:"depth_before"`
 			DepthAfter  int           `json:"depth_after"`
 			Elapsed     time.Duration `json:"elapsed_ns"`
+			Passes      []struct {
+				Name    string        `json:"name"`
+				Elapsed time.Duration `json:"elapsed_ns"`
+			} `json:"passes"`
 		} `json:"stats"`
 	} `json:"results"`
 	Exact5Synths   int `json:"exact5_synths"`
@@ -220,4 +224,75 @@ func render(w *os.File, cols []column) {
 		}
 		fmt.Fprintln(w)
 	}
+	renderPassTotals(w, cols)
+}
+
+// renderPassTotals answers "where did the time go": per-pass wall-clock
+// totals summed across every circuit, one column per artifact, with the
+// share of that artifact's summed pass time. Artifacts written before
+// migpipe recorded per-pass stats simply contribute dashes, so the
+// section degrades gracefully on mixed artifact directories.
+func renderPassTotals(w *os.File, cols []column) {
+	// Pass order: first artifact wins, later ones append novelties —
+	// same convention as the circuit rows above.
+	var order []string
+	index := map[string]bool{}
+	totals := make([]map[string]time.Duration, len(cols))
+	sums := make([]time.Duration, len(cols))
+	any := false
+	for i, c := range cols {
+		totals[i] = map[string]time.Duration{}
+		for _, r := range c.rep.Results {
+			for _, p := range r.Stats.Passes {
+				if !index[p.Name] {
+					index[p.Name] = true
+					order = append(order, p.Name)
+				}
+				totals[i][p.Name] += p.Elapsed
+				sums[i] += p.Elapsed
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "### Where the time went")
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "| pass |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %s | share |", c.label)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range cols {
+		fmt.Fprint(w, "---:|---:|")
+	}
+	fmt.Fprintln(w)
+	for _, name := range order {
+		fmt.Fprintf(w, "| %s |", name)
+		for i := range cols {
+			d, ok := totals[i][name]
+			if !ok {
+				fmt.Fprint(w, " – | – |")
+				continue
+			}
+			share := 0.0
+			if sums[i] > 0 {
+				share = 100 * float64(d) / float64(sums[i])
+			}
+			fmt.Fprintf(w, " %v | %.1f%% |", d.Round(time.Millisecond), share)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "| **total** |")
+	for i := range cols {
+		if len(totals[i]) == 0 {
+			fmt.Fprint(w, " – | – |")
+			continue
+		}
+		fmt.Fprintf(w, " **%v** | 100%% |", sums[i].Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
 }

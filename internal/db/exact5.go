@@ -9,6 +9,7 @@ import (
 
 	"mighash/internal/exact"
 	"mighash/internal/npn"
+	"mighash/internal/obs"
 	"mighash/internal/tt"
 )
 
@@ -235,21 +236,33 @@ func (s *OnDemand) Lookup(ctx context.Context, f tt.TT) (*Entry, npn.Transform, 
 // synthesize runs one budgeted ladder for rep. It returns the learned
 // entry, or (nil, true) when the class should be negative-cached and
 // (nil, false) when the failure was the caller's cancellation.
+//
+// The ladder is the heavy tail of the whole stack, so it gets its own
+// trace span carrying the class representative, the conflicts spent, and
+// the outcome — the attribution that turns "this request was slow" into
+// "class 169ae443 burned 10k conflicts and was negative-cached".
 func (s *OnDemand) synthesize(ctx context.Context, rep tt.TT) (*Entry, bool) {
 	s.synths.Add(1)
+	ctx, span := obs.Start(ctx, "exact5.ladder")
+	defer span.End()
+	span.SetStr("class", fmt.Sprintf("%08x", uint32(rep.Bits)))
 	start := time.Now()
-	m, err := exact.Minimum(ctx, rep, exact.Options{
+	m, ls, err := exact.MinimumStats(ctx, rep, exact.Options{
 		MaxGates:     s.opt.MaxGates,
 		MaxConflicts: s.opt.MaxConflicts,
 		Timeout:      s.opt.Timeout,
 	})
+	span.SetInt("conflicts", ls.Conflicts)
+	span.SetInt("steps", int64(ls.Steps))
 	if err != nil {
 		if ctx.Err() != nil {
 			// The caller went away mid-ladder; the class itself was
 			// never proven hard, so leave it retryable.
+			span.SetStr("outcome", "cancelled")
 			return nil, false
 		}
 		s.failures.Add(1)
+		span.SetStr("outcome", "negative-cached")
 		return nil, true
 	}
 	e, err := FromMIG(rep, m)
@@ -257,9 +270,12 @@ func (s *OnDemand) synthesize(ctx context.Context, rep tt.TT) (*Entry, bool) {
 		// Impossible unless the synthesis engine mis-extracts; treat as
 		// a budget failure rather than poisoning the store.
 		s.failures.Add(1)
+		span.SetStr("outcome", "negative-cached")
 		return nil, true
 	}
 	e.GenTime = time.Since(start)
+	span.SetStr("outcome", "learned")
+	span.SetInt("gates", int64(ls.Gates))
 	return &e, false
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"mighash/internal/db"
 	"mighash/internal/mig"
+	"mighash/internal/obs"
 )
 
 // Job is one unit of batch work: a named MIG to optimize. Jobs must not
@@ -143,7 +144,10 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 				if opt.Progress != nil {
 					pj.Progress = func(ps PassStats) { opt.Progress(i, ps) }
 				}
-				m, st, err := pj.RunContext(ctx, jobs[i].M)
+				jctx, jspan := obs.Start(ctx, "job")
+				jspan.SetStr("name", jobs[i].Name)
+				m, st, err := pj.RunContext(jctx, jobs[i].M)
+				jspan.End()
 				results[i].M, results[i].Stats, results[i].Err = m, st, err
 			}
 		}()

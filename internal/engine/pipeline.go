@@ -9,6 +9,7 @@ import (
 	"mighash/internal/db"
 	"mighash/internal/depthopt"
 	"mighash/internal/mig"
+	"mighash/internal/obs"
 	"mighash/internal/rewrite"
 )
 
@@ -254,13 +255,22 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 	if exact5 == nil {
 		exact5 = db.NewOnDemand(db.OnDemandOptions{})
 	}
-	env := passEnv{ctx: ctx, d: d, cache: cache, exact5: exact5, ws: rewrite.NewWorkspace(), workers: p.Workers}
 
 	start := time.Now()
 	st := PipelineStats{
 		Script:     p.Name,
 		SizeBefore: m.Size(), DepthBefore: m.Depth(),
 	}
+	ctx, pspan := obs.Start(ctx, "pipeline")
+	pspan.SetStr("script", p.Name)
+	pspan.SetInt("size_before", int64(st.SizeBefore))
+	defer func() {
+		pspan.SetInt("size_after", int64(st.SizeAfter))
+		pspan.SetInt("iterations", int64(st.Iterations))
+		pspan.End()
+	}()
+	env := passEnv{ctx: ctx, d: d, cache: cache, exact5: exact5, ws: rewrite.NewWorkspace(), workers: p.Workers}
+
 	maxIter := p.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 10
@@ -276,19 +286,26 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 		// final cost is read off the last PassStats instead of re-walking
 		// the graph twice per round.
 		size, depth := bestSize, bestDepth
-		for _, pass := range p.Passes {
-			if err := ctx.Err(); err != nil {
-				return nil, PipelineStats{}, err
+		err := func() error {
+			ictx, ispan := obs.Start(ctx, "iteration")
+			defer ispan.End()
+			ispan.SetInt("round", int64(st.Iterations))
+			ienv := env
+			ienv.ctx = ictx
+			for _, pass := range p.Passes {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				next, ps := p.runPass(st.Iterations, pass, cur, ienv)
+				st.Passes = append(st.Passes, ps)
+				st.CacheHits += ps.CacheHits
+				st.CacheMisses += ps.CacheMisses
+				cur, size, depth = next, ps.SizeAfter, ps.DepthAfter
 			}
-			next, ps := pass.run(cur, env)
-			ps.Iteration = st.Iterations
-			if p.Progress != nil {
-				p.Progress(ps)
-			}
-			st.Passes = append(st.Passes, ps)
-			st.CacheHits += ps.CacheHits
-			st.CacheMisses += ps.CacheMisses
-			cur, size, depth = next, ps.SizeAfter, ps.DepthAfter
+			return nil
+		}()
+		if err != nil {
+			return nil, PipelineStats{}, err
 		}
 		if p.Objective.better(size, depth, bestSize, bestDepth) {
 			best, bestSize, bestDepth = cur, size, depth
@@ -302,4 +319,26 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 	st.SizeAfter, st.DepthAfter = bestSize, bestDepth
 	st.Elapsed = time.Since(start)
 	return best, st, nil
+}
+
+// runPass executes one pass inside a "pass" span. The span is ended
+// before the user Progress callback is invoked — the callback's cost is
+// not the pass's cost — and a deferred End (idempotent) guarantees a
+// panicking callback can never leave the span open.
+func (p *Pipeline) runPass(iter int, pass Pass, cur *mig.MIG, env passEnv) (*mig.MIG, PassStats) {
+	ctx, span := obs.Start(env.ctx, "pass")
+	defer span.End()
+	span.SetStr("name", pass.Name())
+	span.SetInt("iteration", int64(iter))
+	env.ctx = ctx
+	next, ps := pass.run(cur, env)
+	ps.Iteration = iter
+	span.SetInt("size_before", int64(ps.SizeBefore))
+	span.SetInt("size_after", int64(ps.SizeAfter))
+	span.SetInt("replacements", int64(ps.Replacements))
+	span.End()
+	if p.Progress != nil {
+		p.Progress(ps)
+	}
+	return next, ps
 }

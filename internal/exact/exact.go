@@ -43,23 +43,41 @@ func UpperBound(n int) int {
 // search (the result is then sat.Unknown); context.Background() runs
 // uninterruptible.
 func Decide(ctx context.Context, f tt.TT, k int, opt Options) (sat.Status, *mig.MIG) {
+	st, m, _ := decide(ctx, f, k, opt)
+	return st, m
+}
+
+// decide is Decide plus the number of SAT conflicts the step spent.
+func decide(ctx context.Context, f tt.TT, k int, opt Options) (sat.Status, *mig.MIG, int64) {
 	if k == 0 {
 		if m, ok := trivialMIG(f); ok {
-			return sat.Sat, m
+			return sat.Sat, m, 0
 		}
-		return sat.Unsat, nil
+		return sat.Unsat, nil, 0
 	}
 	e := newEncoding(ctx, f, k, opt)
 	st := e.solver.Solve()
+	conflicts := e.solver.Stats.Conflicts
 	if st != sat.Sat {
-		return st, nil
+		return st, nil, conflicts
 	}
 	m := e.extract()
 	// Guard against encoder bugs: the extracted MIG must compute f.
 	if got := m.Simulate()[0]; got != f {
 		panic(fmt.Sprintf("exact: extracted MIG computes %v, want %v", got, f))
 	}
-	return sat.Sat, m
+	return sat.Sat, m, conflicts
+}
+
+// LadderStats reports the work one Minimum ladder spent: how many
+// decision problems were solved, the SAT conflicts summed over them, and
+// the gate count of the result (-1 when the ladder failed). These feed
+// the per-ladder trace spans, which is how a heavy-tailed synthesis
+// workload becomes attributable instead of an average.
+type LadderStats struct {
+	Steps     int
+	Conflicts int64
+	Gates     int
 }
 
 // Minimum synthesizes a minimum-size MIG for f by solving the decision
@@ -68,6 +86,15 @@ func Decide(ctx context.Context, f tt.TT, k int, opt Options) (sat.Status, *mig.
 // wrapping ctx.Err(), so callers can tell an abandoned ladder from a
 // genuinely exhausted budget with errors.Is.
 func Minimum(ctx context.Context, f tt.TT, opt Options) (*mig.MIG, error) {
+	m, _, err := MinimumStats(ctx, f, opt)
+	return m, err
+}
+
+// MinimumStats is Minimum with an accounting of the work the ladder
+// spent. The stats are valid on failure too (Gates is then -1), so a
+// budget-exhausted ladder still reports its conflicts.
+func MinimumStats(ctx context.Context, f tt.TT, opt Options) (*mig.MIG, LadderStats, error) {
+	ls := LadderStats{Gates: -1}
 	maxGates := opt.MaxGates
 	if maxGates == 0 {
 		maxGates = UpperBound(f.N)
@@ -78,28 +105,31 @@ func Minimum(ctx context.Context, f tt.TT, opt Options) (*mig.MIG, error) {
 	}
 	for k := 0; k <= maxGates; k++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("exact: ladder abandoned at k = %d for %v: %w", k, f, err)
+			return nil, ls, fmt.Errorf("exact: ladder abandoned at k = %d for %v: %w", k, f, err)
 		}
 		stepOpt := opt
 		if !deadline.IsZero() {
 			remaining := time.Until(deadline)
 			if remaining <= 0 {
-				return nil, fmt.Errorf("exact: timeout after %v while proving k ≥ %d for %v", opt.Timeout, k, f)
+				return nil, ls, fmt.Errorf("exact: timeout after %v while proving k ≥ %d for %v", opt.Timeout, k, f)
 			}
 			stepOpt.Timeout = remaining
 		}
-		st, m := Decide(ctx, f, k, stepOpt)
+		st, m, conflicts := decide(ctx, f, k, stepOpt)
+		ls.Steps++
+		ls.Conflicts += conflicts
 		switch st {
 		case sat.Sat:
-			return m, nil
+			ls.Gates = k
+			return m, ls, nil
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("exact: ladder abandoned at k = %d for %v: %w", k, f, err)
+				return nil, ls, fmt.Errorf("exact: ladder abandoned at k = %d for %v: %w", k, f, err)
 			}
-			return nil, fmt.Errorf("exact: budget exhausted at k = %d for %v", k, f)
+			return nil, ls, fmt.Errorf("exact: budget exhausted at k = %d for %v", k, f)
 		}
 	}
-	return nil, fmt.Errorf("exact: no MIG with ≤ %d gates for %v (bound too small?)", maxGates, f)
+	return nil, ls, fmt.Errorf("exact: no MIG with ≤ %d gates for %v (bound too small?)", maxGates, f)
 }
 
 // trivialMIG returns an MIG of size 0 for f if one exists (constants and

@@ -1,0 +1,49 @@
+// Package obs is the zero-dependency tracing and profiling substrate of
+// the optimization service: an allocation-conscious span tracer, fixed-
+// bucket latency histograms, and a Chrome trace-event exporter, shared by
+// the HTTP server, the batch engine, the rewriting passes, and the
+// on-demand exact-synthesis store.
+//
+// # Spans
+//
+// A Tracer hands out Spans — named, attributed intervals with a parent —
+// and collects them when they End. Spans travel through context.Context:
+// Start derives a child of the context's current span (or a root span of
+// the context's Tracer), so the call tree of a request becomes a span
+// tree without any package knowing its callers. The span taxonomy of the
+// stack, from the outside in:
+//
+//	request                      one HTTP request (internal/server)
+//	  parse / queue-wait /       request phases (internal/server)
+//	  optimize / encode / verify
+//	    job                      one batch job (engine.RunBatch)
+//	      pipeline               one pipeline run (engine.Pipeline)
+//	        iteration            one script round
+//	          pass               one executed pass
+//	            rewrite.evaluate parallel best-cut evaluation (rewrite)
+//	            rewrite.commit   serial commit phase (rewrite)
+//	              exact5.ladder  one on-demand synthesis (db.OnDemand)
+//
+// The nil path is free by design: when no Tracer is installed in the
+// context, Start returns a nil Span whose every method is a no-op, and
+// the whole round trip performs zero allocations (pinned by a test).
+// Optimization hot loops therefore never pay for tracing they did not
+// ask for, and spans never perturb optimization results — they observe
+// timings, not graph state.
+//
+// # Concurrency
+//
+// A Tracer is safe for concurrent use at any worker count: span identity
+// is an atomic counter and collection is mutex-guarded. One Span must
+// only be mutated (attrs, End) by the goroutine that started it, which
+// the stack's usage guarantees — concurrent phases start sibling spans,
+// never share one.
+//
+// # Export
+//
+// WriteTrace serializes the collected spans as Chrome trace-event JSON
+// ("X" complete events with lane-assigned tids, so concurrent siblings
+// render side by side and nested phases stack), loadable in
+// chrome://tracing and https://ui.perfetto.dev. Histogram renders itself
+// in Prometheus text exposition format for the server's /metrics.
+package obs

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultDurationBuckets is the bucket ladder used by the service's
+// latency histograms: 100µs to ~26s in powers of four, wide enough to
+// span a cache-hit pass and a cold 12-gate SAT ladder in one histogram.
+var DefaultDurationBuckets = []time.Duration{
+	100 * time.Microsecond,
+	400 * time.Microsecond,
+	1600 * time.Microsecond,
+	6400 * time.Microsecond,
+	25600 * time.Microsecond,
+	102400 * time.Microsecond,
+	409600 * time.Microsecond,
+	1638400 * time.Microsecond,
+	6553600 * time.Microsecond,
+	26214400 * time.Microsecond,
+}
+
+// Histogram is a fixed-bucket duration histogram safe for concurrent
+// observation. Counts are kept per bucket (not cumulative) and summed
+// into Prometheus's cumulative le-form at render time, so Observe is a
+// single atomic increment.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	sum    atomic.Int64   // nanoseconds
+	count  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket upper
+// bounds. With no bounds given, DefaultDurationBuckets is used.
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultDurationBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Safe for concurrent use; nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// WritePrometheus renders the histogram in Prometheus text exposition
+// format under the given metric name: cumulative `le` buckets in
+// seconds, then `_sum` and `_count`.
+func (h *Histogram) WritePrometheus(w io.Writer, name string) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, formatSeconds(b.Seconds()), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name,
+		formatSeconds(time.Duration(h.sum.Load()).Seconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// formatSeconds renders a float without exponent notation or trailing
+// zeros, the way Prometheus bucket bounds are conventionally written.
+func formatSeconds(s float64) string {
+	return strconv.FormatFloat(s, 'f', -1, 64)
+}

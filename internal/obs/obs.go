@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a Tracer.
+type Options struct {
+	// Retain keeps every finished span in memory for later export
+	// (WriteTrace/Spans). Off, the tracer only feeds OnEnd and drops the
+	// span, which is how the server runs histograms without accumulating
+	// trace state on every request.
+	Retain bool
+	// OnEnd, when non-nil, is invoked synchronously from Span.End with
+	// the finished span. The callback must be fast and safe for
+	// concurrent use (spans of one tracer end on many goroutines); it
+	// must not retain the span past the call when Retain is off.
+	OnEnd func(*Span)
+}
+
+// Tracer hands out spans and collects them as they end. A nil *Tracer is
+// a valid no-op tracer: it starts nil spans and collects nothing.
+type Tracer struct {
+	opt Options
+	ids atomic.Uint64
+
+	mu    sync.Mutex
+	spans []*Span // finished spans, in End order (Retain only)
+}
+
+// New returns a Tracer with the given options.
+func New(opt Options) *Tracer { return &Tracer{opt: opt} }
+
+// start opens a span. parent 0 marks a root span.
+func (t *Tracer) start(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t:      t,
+		name:   name,
+		id:     t.ids.Add(1),
+		parent: parent,
+		start:  time.Now(),
+	}
+}
+
+// StartRoot opens a span with no parent — the head of a new span tree.
+// Use Start to grow the tree through a context instead.
+func (t *Tracer) StartRoot(name string) *Span { return t.start(name, 0) }
+
+// Spans returns a snapshot of the finished spans collected so far, in
+// the order they ended. Empty unless Options.Retain is set.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// collect records a finished span.
+func (t *Tracer) collect(s *Span) {
+	if t.opt.OnEnd != nil {
+		t.opt.OnEnd(s)
+	}
+	if !t.opt.Retain {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Attr is one span attribute: a key with either a string or an integer
+// value (IsInt selects which).
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Span is one named, attributed interval of a trace. A nil *Span is the
+// no-op span every method accepts, which is what Start returns when no
+// tracer is installed — callers never branch on "is tracing on". A span
+// must only be mutated by the goroutine that started it.
+type Span struct {
+	t      *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	dur    time.Duration
+	attrs  []Attr
+	ended  bool
+}
+
+// SetStr attaches a string attribute. No-op on a nil or ended span.
+func (s *Span) SetStr(key, val string) {
+	if s == nil || s.ended {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: val})
+}
+
+// SetInt attaches an integer attribute. No-op on a nil or ended span.
+func (s *Span) SetInt(key string, val int64) {
+	if s == nil || s.ended {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: val, IsInt: true})
+}
+
+// End closes the span and hands it to its tracer. End is idempotent and
+// a no-op on a nil span.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.t.collect(s)
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// ID returns the span's tracer-unique identifier (never 0).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Parent returns the parent span's ID, or 0 for a root span.
+func (s *Span) Parent() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.parent
+}
+
+// StartTime returns when the span was started.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the span's length; 0 until End.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Attrs returns the span's attributes. The slice is owned by the span;
+// do not mutate it.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs
+}
+
+// Attr returns the value of the named attribute rendered as a string,
+// or "" when absent (convenience for tests and exporters).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	for _, a := range s.attrs {
+		if a.Key == key {
+			if a.IsInt {
+				return strconv.FormatInt(a.Int, 10)
+			}
+			return a.Str
+		}
+	}
+	return ""
+}
+
+// Context plumbing. The tracer and the current span ride on separate
+// zero-size keys so a root context (tracer, no span yet) and a span
+// context both resolve without allocation.
+type (
+	tracerKey struct{}
+	spanKey   struct{}
+)
+
+// ContextWithTracer installs t as the context's tracer; spans started
+// from the returned context (and its descendants) belong to t.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFromContext returns the context's tracer, or nil.
+func TracerFromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithSpan makes s the context's current span; Start on the
+// returned context derives children of s.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of the context's current span — or a root span of
+// the context's tracer — and returns a context carrying the new span.
+// With neither a span nor a tracer installed, Start returns ctx
+// unchanged and a nil span, allocating nothing: the instrumented hot
+// paths are free when tracing is off (pinned by TestNilTracerZeroAlloc).
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := SpanFromContext(ctx); parent != nil {
+		s := parent.t.start(name, parent.id)
+		return ContextWithSpan(ctx, s), s
+	}
+	if t := TracerFromContext(ctx); t != nil {
+		s := t.start(name, 0)
+		return ContextWithSpan(ctx, s), s
+	}
+	return ctx, nil
+}
+
+// NewRequestID returns a fresh 16-hex-digit request identifier, suitable
+// for X-Request-ID headers and trace file names.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to
+		// a constant rather than panicking in a logging path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, span := Start(ctx, "pass")
+		span.SetStr("name", "rw")
+		span.SetInt("size", 42)
+		span.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer Start/Set/End allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilTracerStart(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, span := Start(ctx, "pass")
+		span.SetInt("size", int64(i))
+		span.End()
+		_ = c
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New(Options{Retain: true})
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "request")
+	if root == nil {
+		t.Fatal("Start with tracer installed returned nil span")
+	}
+	root.SetStr("id", "abc")
+	cctx, child := Start(ctx, "optimize")
+	_, grand := Start(cctx, "pass")
+	grand.SetInt("iteration", 3)
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// End order: innermost first.
+	if spans[0].Name() != "pass" || spans[1].Name() != "optimize" || spans[2].Name() != "request" {
+		t.Fatalf("unexpected end order: %s, %s, %s",
+			spans[0].Name(), spans[1].Name(), spans[2].Name())
+	}
+	if spans[2].Parent() != 0 {
+		t.Errorf("root span has parent %d, want 0", spans[2].Parent())
+	}
+	if spans[1].Parent() != spans[2].ID() {
+		t.Errorf("optimize parent = %d, want %d", spans[1].Parent(), spans[2].ID())
+	}
+	if spans[0].Parent() != spans[1].ID() {
+		t.Errorf("pass parent = %d, want %d", spans[0].Parent(), spans[1].ID())
+	}
+	if got := spans[0].Attr("iteration"); got != "3" {
+		t.Errorf("pass iteration attr = %q, want \"3\"", got)
+	}
+	if got := spans[2].Attr("id"); got != "abc" {
+		t.Errorf("request id attr = %q, want \"abc\"", got)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New(Options{Retain: true})
+	s := tr.StartRoot("x")
+	s.End()
+	d := s.Duration()
+	s.End()
+	s.End()
+	if len(tr.Spans()) != 1 {
+		t.Fatalf("double End collected %d spans, want 1", len(tr.Spans()))
+	}
+	if s.Duration() != d {
+		t.Error("second End changed duration")
+	}
+	s.SetStr("late", "v")
+	if s.Attr("late") != "" {
+		t.Error("attr set after End was recorded")
+	}
+}
+
+func TestOnEndCallback(t *testing.T) {
+	var mu sync.Mutex
+	var names []string
+	tr := New(Options{OnEnd: func(s *Span) {
+		mu.Lock()
+		names = append(names, s.Name())
+		mu.Unlock()
+	}})
+	tr.StartRoot("a").End()
+	tr.StartRoot("b").End()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("OnEnd saw %v, want [a b]", names)
+	}
+	if len(tr.Spans()) != 0 {
+		t.Error("Retain off but Spans() non-empty")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Options{Retain: true})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, s := Start(ctx, "work")
+				s.SetInt("worker", int64(w))
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != workers*perWorker+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*perWorker+1)
+	}
+	ids := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		if ids[s.ID()] {
+			t.Fatalf("duplicate span id %d", s.ID())
+		}
+		ids[s.ID()] = true
+		if s.Name() == "work" && s.Parent() != root.ID() {
+			t.Fatalf("work span parent = %d, want %d", s.Parent(), root.ID())
+		}
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	tr := New(Options{Retain: true})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "request")
+	root.SetStr("id", "deadbeef")
+	cctx, opt := Start(ctx, "optimize")
+	_, p1 := Start(cctx, "pass")
+	p1.SetInt("iteration", 0)
+	time.Sleep(time.Millisecond)
+	p1.End()
+	_, p2 := Start(cctx, "pass")
+	p2.End()
+	opt.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(tf.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has ph %q, want X", e.Name, e.Ph)
+		}
+		if e.PID != 1 {
+			t.Errorf("event %q has pid %d, want 1", e.Name, e.PID)
+		}
+		if e.TID < 1 {
+			t.Errorf("event %q has tid %d, want >= 1", e.Name, e.TID)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Errorf("event %q has negative ts/dur", e.Name)
+		}
+		byName[e.Name]++
+	}
+	if byName["request"] != 1 || byName["optimize"] != 1 || byName["pass"] != 2 {
+		t.Fatalf("event names: %v", byName)
+	}
+	// Nested spans share the root's lane: p1 starts inside optimize which
+	// starts inside request, sequentially — all containment, one lane.
+	lanes := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		if e.Name == "request" || e.Name == "optimize" {
+			lanes[e.Name] = e.TID
+		}
+	}
+	if lanes["request"] != lanes["optimize"] {
+		t.Errorf("nested request/optimize on different lanes: %v", lanes)
+	}
+	for _, e := range tf.TraceEvents {
+		if e.Name == "request" {
+			if e.Args["id"] != "deadbeef" {
+				t.Errorf("request args = %v", e.Args)
+			}
+		}
+	}
+}
+
+func TestWriteTraceConcurrentSiblingsSeparateLanes(t *testing.T) {
+	// Hand-build two overlapping siblings; they must land on distinct tids.
+	tr := New(Options{Retain: true})
+	root := tr.StartRoot("root")
+	a := tr.start("a", root.id)
+	b := tr.start("b", root.id)
+	now := time.Now()
+	a.start, a.dur = now, 10*time.Millisecond
+	b.start, b.dur = now.Add(2*time.Millisecond), 10*time.Millisecond
+	a.ended, b.ended = true, true
+	tr.collect(a)
+	tr.collect(b)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		tids[e.Name] = e.TID
+	}
+	if tids["a"] == tids["b"] {
+		t.Fatalf("overlapping siblings share lane %d", tids["a"])
+	}
+}
+
+func TestSaveTrace(t *testing.T) {
+	tr := New(Options{Retain: true})
+	tr.StartRoot("x").End()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.SaveTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace written")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(50 * time.Millisecond)  // bucket 2
+	h.Observe(time.Second)            // +Inf
+
+	var buf bytes.Buffer
+	h.WritePrometheus(&buf, "test_seconds")
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.001"} 1`,
+		`test_seconds_bucket{le="0.01"} 3`,
+		`test_seconds_bucket{le="0.1"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	// Sum = 0.0005 + 0.005 + 0.005 + 0.05 + 1 = 1.0605 seconds.
+	if !strings.Contains(out, "test_seconds_sum 1.0605") {
+		t.Errorf("missing sum in:\n%s", out)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartRoot("x")
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	s.SetStr("k", "v")
+	s.SetInt("k", 1)
+	s.End()
+	if s.Name() != "" || s.ID() != 0 || s.Attr("k") != "" {
+		t.Fatal("nil span accessors not zero-valued")
+	}
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer Spans() non-nil")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	h.WritePrometheus(&bytes.Buffer{}, "x")
+	if h.Count() != 0 {
+		t.Fatal("nil histogram Count non-zero")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("request id lengths %d/%d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatal("two request IDs collided")
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event record ("X" complete event). The
+// JSON Array Format / "traceEvents" object format is documented in the
+// Trace Event Format spec and consumed by chrome://tracing and Perfetto.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace serializes the tracer's retained spans as Chrome trace-event
+// JSON. Spans that are ancestors of each other share a tid (viewers stack
+// them by time containment); concurrent siblings are spread over separate
+// tids by a greedy lane assignment, so worker-pool phases render side by
+// side instead of as an unreadable overlap.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].start.Equal(spans[j].start) {
+			return spans[i].start.Before(spans[j].start)
+		}
+		// Longer first on ties so containers precede their content.
+		return spans[i].dur > spans[j].dur
+	})
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].start
+	}
+
+	// Greedy lane assignment. Each lane tracks the end time of its
+	// innermost open span; a span fits a lane when the lane is idle by
+	// the span's start or its open span fully contains the new one.
+	// Preferring the parent's lane keeps call stacks visually stacked.
+	type lane struct{ open []time.Time } // stack of open-span end times
+	var lanes []*lane
+	laneOf := make(map[uint64]int, len(spans))
+	fits := func(l *lane, s *Span) bool {
+		for len(l.open) > 0 && !l.open[len(l.open)-1].After(s.start) {
+			l.open = l.open[:len(l.open)-1]
+		}
+		if len(l.open) == 0 {
+			return true
+		}
+		return !l.open[len(l.open)-1].Before(s.start.Add(s.dur))
+	}
+	events := make([]traceEvent, 0, len(spans))
+	for _, s := range spans {
+		li := -1
+		if pl, ok := laneOf[s.parent]; ok && fits(lanes[pl], s) {
+			li = pl
+		}
+		if li < 0 {
+			for i, l := range lanes {
+				if fits(l, s) {
+					li = i
+					break
+				}
+			}
+		}
+		if li < 0 {
+			lanes = append(lanes, &lane{})
+			li = len(lanes) - 1
+		}
+		lanes[li].open = append(lanes[li].open, s.start.Add(s.dur))
+		laneOf[s.id] = li
+
+		var args map[string]any
+		if len(s.attrs) > 0 {
+			args = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				if a.IsInt {
+					args[a.Key] = a.Int
+				} else {
+					args[a.Key] = a.Str
+				}
+			}
+		}
+		events = append(events, traceEvent{
+			Name: s.name,
+			Cat:  "mighash",
+			Ph:   "X",
+			TS:   float64(s.start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  li + 1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// SaveTrace writes the trace atomically (temp file + rename) to path, so
+// a crash mid-write never leaves a truncated, unloadable trace behind.
+func (t *Tracer) SaveTrace(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".trace-*.json")
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

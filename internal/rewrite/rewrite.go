@@ -8,6 +8,7 @@ import (
 	"mighash/internal/cut"
 	"mighash/internal/db"
 	"mighash/internal/mig"
+	"mighash/internal/obs"
 	"mighash/internal/tt"
 )
 
@@ -271,7 +272,12 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 		r.ffr = m.FFRRoots()
 	}
 	if opt.BottomUp {
+		// Bottom-up is evaluate-and-commit interleaved per FFR; it gets a
+		// single commit-phase span (ladders of its K = 5 variants nest here).
+		cctx, cspan := obs.Start(r.opt.Ctx, "rewrite.commit")
+		r.opt.Ctx = cctx
 		r.runBottomUp()
+		cspan.End()
 	} else {
 		r.runTopDown(workers)
 	}

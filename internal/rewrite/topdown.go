@@ -1,6 +1,9 @@
 package rewrite
 
-import "mighash/internal/mig"
+import (
+	"mighash/internal/mig"
+	"mighash/internal/obs"
+)
 
 // runTopDown implements Algorithm 1 of the paper, split into an
 // evaluation phase and a commit phase. Starting from every output, opt(v)
@@ -26,9 +29,27 @@ func (r *rewriter) runTopDown(workers int) {
 		id := r.m.Input(i).ID()
 		res[id], known[id] = r.out.Input(i), true
 	}
+	// Phase spans: the parallel evaluation and the serial commit each get
+	// one. r.opt.Ctx is swapped per phase so the on-demand ladder spans
+	// started inside Exact5.Lookup parent under the phase they ran in. In
+	// serial mode every cut is evaluated lazily from the commit walk, so
+	// ladders land under rewrite.commit there — that is where the time
+	// actually goes.
+	base := r.opt.Ctx
 	if workers > 1 {
+		ectx, espan := obs.Start(base, "rewrite.evaluate")
+		espan.SetInt("workers", int64(workers))
+		r.opt.Ctx = ectx
 		r.evaluateAll(workers)
+		espan.End()
 	}
+	cctx, cspan := obs.Start(base, "rewrite.commit")
+	r.opt.Ctx = cctx
+	defer func() {
+		cspan.SetInt("replacements", int64(r.replacements))
+		cspan.End()
+		r.opt.Ctx = base
+	}()
 	st := &ws.eval[0]
 	// decide memoizes bestCut per node: prefilled for every live gate by
 	// evaluateAll in parallel mode, computed on first visit otherwise.

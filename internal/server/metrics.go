@@ -8,19 +8,27 @@ import (
 	"time"
 
 	"mighash/internal/engine"
+	"mighash/internal/obs"
 )
 
 // metrics is the server's counter set, exposed in Prometheus text
 // exposition format at GET /metrics. Counters are plain atomics — the
 // service's hot path must not pay for a metrics registry — and every
-// value is monotonic except the inflight gauge.
+// value is monotonic except the inflight and queue-depth gauges. The
+// duration histograms are fed by the per-request tracer (histograms are
+// always on; trace retention is opt-in via Config.TraceDir).
 type metrics struct {
-	start    time.Time
-	requests atomic.Int64 // every HTTP request, any endpoint
-	optimize atomic.Int64 // POST /v1/optimize
-	batch    atomic.Int64 // POST /v1/optimize/batch
-	errors   atomic.Int64 // non-2xx responses written
-	inflight atomic.Int64 // jobs currently holding a pool slot
+	start     time.Time
+	requests  atomic.Int64 // every HTTP request, any endpoint
+	optimize  atomic.Int64 // POST /v1/optimize
+	batch     atomic.Int64 // POST /v1/optimize/batch
+	responses atomic.Int64 // 2xx responses written (incl. completed streams)
+	errors    atomic.Int64 // non-2xx responses written
+	inflight  atomic.Int64 // jobs currently holding a pool slot
+	// queueDepth counts requests currently waiting for a pool slot: the
+	// front line of the 503-vs-served decision. inflight tells you the
+	// pool is full; queueDepth tells you how far behind it is.
+	queueDepth atomic.Int64
 
 	jobsOK     atomic.Int64 // jobs that returned an optimized netlist
 	jobsFailed atomic.Int64 // jobs that ended in a per-job error
@@ -35,6 +43,12 @@ type metrics struct {
 	snapshots       atomic.Int64 // snapshot attempts (periodic + Close)
 	snapshotErrors  atomic.Int64 // snapshot attempts that failed
 	snapshotEntries atomic.Int64 // entries in the last successful snapshot
+
+	// Duration histograms (created by New; all use the default buckets).
+	reqHist    *obs.Histogram // whole optimize/batch requests
+	passHist   *obs.Histogram // executed pipeline passes
+	ladderHist *obs.Histogram // on-demand exact-synthesis ladders
+	slotWait   *obs.Histogram // time spent waiting for a pool slot
 }
 
 // observe folds one finished batch into the counters.
@@ -59,8 +73,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"migserve_requests_total":          m.requests.Load(),
 		"migserve_optimize_requests_total": m.optimize.Load(),
 		"migserve_batch_requests_total":    m.batch.Load(),
+		"migserve_responses_total":         m.responses.Load(),
 		"migserve_error_responses_total":   m.errors.Load(),
 		"migserve_inflight_jobs":           m.inflight.Load(),
+		"migserve_slot_queue_depth":        m.queueDepth.Load(),
 		"migserve_jobs_completed_total":    m.jobsOK.Load(),
 		"migserve_jobs_failed_total":       m.jobsFailed.Load(),
 		"migserve_input_gates_total":       m.gatesIn.Load(),
@@ -95,4 +111,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, n := range names {
 		fmt.Fprintf(w, "%s %d\n", n, vals[n])
 	}
+	m.reqHist.WritePrometheus(w, "migserve_request_duration_seconds")
+	m.passHist.WritePrometheus(w, "migserve_pass_duration_seconds")
+	m.ladderHist.WritePrometheus(w, "migserve_exact5_ladder_duration_seconds")
+	m.slotWait.WritePrometheus(w, "migserve_slot_wait_seconds")
 }

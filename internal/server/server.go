@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"mighash/internal/db"
 	"mighash/internal/engine"
 	"mighash/internal/mig"
+	"mighash/internal/obs"
 )
 
 // Config tunes a Server. The zero value is usable: every limit falls back
@@ -74,6 +76,16 @@ type Config struct {
 	Synth5 db.OnDemandOptions
 	// DB supplies the minimum-MIG database; nil loads the embedded one.
 	DB *db.DB
+	// TraceDir, when set, writes one Chrome trace-event JSON file per
+	// optimization request into this directory, named <request-id>.json
+	// (the ID echoed in the X-Request-ID header), loadable in
+	// chrome://tracing and Perfetto. Off by default; the per-span latency
+	// histograms in /metrics are on either way.
+	TraceDir string
+	// SlowRequest logs one structured JSON line (request ID, path, status,
+	// elapsed) for every optimization request slower than this threshold.
+	// Zero disables the slow log.
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +175,10 @@ func New(cfg Config) (*Server, error) {
 		go s.snapshotLoop()
 	}
 	s.metrics.start = time.Now()
+	s.metrics.reqHist = obs.NewHistogram()
+	s.metrics.passHist = obs.NewHistogram()
+	s.metrics.ladderHist = obs.NewHistogram()
+	s.metrics.slotWait = obs.NewHistogram()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/optimize/batch", s.handleBatch)
@@ -230,10 +246,97 @@ func (s *Server) Close() error {
 	return err
 }
 
-// ServeHTTP dispatches to the /v1 API, /healthz and /metrics.
+// ServeHTTP dispatches to the /v1 API, /healthz and /metrics. Every
+// request gets a generated ID (echoed in X-Request-ID) and a tracer with
+// a "request" root span; optimization requests additionally feed the
+// request-duration histogram, the optional per-request trace file, and
+// the optional slow-request log. The tracer retains spans only when
+// TraceDir asks for a file — the histogram path drops each span as it
+// ends, so tracing-off requests accumulate no per-span state.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	id := obs.NewRequestID()
+	w.Header().Set("X-Request-ID", id)
+	tr := obs.New(obs.Options{Retain: s.cfg.TraceDir != "", OnEnd: s.observeSpan})
+	ctx := obs.ContextWithTracer(r.Context(), tr)
+	ctx, span := obs.Start(ctx, "request")
+	span.SetStr("id", id)
+	span.SetStr("path", r.URL.Path)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	elapsed := time.Since(start)
+	span.SetInt("status", int64(rec.status))
+	span.End()
+	if !isOptimizePath(r) {
+		return
+	}
+	s.metrics.reqHist.Observe(elapsed)
+	if dir := s.cfg.TraceDir; dir != "" {
+		if err := tr.SaveTrace(filepath.Join(dir, id+".json")); err != nil {
+			log.Printf("server: writing trace for request %s failed: %v", id, err)
+		}
+	}
+	if thr := s.cfg.SlowRequest; thr > 0 && elapsed >= thr {
+		line, _ := json.Marshal(slowRequestLog{
+			Msg:         "slow_request",
+			RequestID:   id,
+			Path:        r.URL.Path,
+			Status:      rec.status,
+			ElapsedMS:   elapsed.Milliseconds(),
+			ThresholdMS: thr.Milliseconds(),
+		})
+		log.Printf("server: %s", line)
+	}
+}
+
+// slowRequestLog is the schema of one slow-request log line: a single
+// JSON object, so fleet-side log pipelines need no custom parsing.
+type slowRequestLog struct {
+	Msg         string `json:"msg"`
+	RequestID   string `json:"request_id"`
+	Path        string `json:"path"`
+	Status      int    `json:"status"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+	ThresholdMS int64  `json:"threshold_ms"`
+}
+
+// isOptimizePath reports whether the request does optimization work —
+// the only requests worth a duration histogram sample or a trace file
+// (healthz/metrics scrapes would drown the latency signal).
+func isOptimizePath(r *http.Request) bool {
+	return r.Method == http.MethodPost &&
+		(r.URL.Path == "/v1/optimize" || r.URL.Path == "/v1/optimize/batch")
+}
+
+// observeSpan routes finished spans into the duration histograms; it is
+// the tracer's OnEnd hook, called from whatever goroutine ends the span.
+func (s *Server) observeSpan(sp *obs.Span) {
+	switch sp.Name() {
+	case "pass":
+		s.metrics.passHist.Observe(sp.Duration())
+	case "exact5.ladder":
+		s.metrics.ladderHist.Observe(sp.Duration())
+	}
+}
+
+// statusRecorder captures the response status for the request span and
+// the slow log. Flush must pass through — the streaming endpoints flush
+// after every NDJSON line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // OptimizeRequest is the body of POST /v1/optimize and, embedded per job,
@@ -515,6 +618,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // run executes a validated request. Both endpoints share it: a single
 // optimize is a batch of one whose response is unwrapped (batch=false).
 func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, batch bool) {
+	rctx := r.Context()
+	_, parseSpan := obs.Start(rctx, "parse")
+	defer parseSpan.End()
 	p, err := s.pipeline(req.ScriptSpec)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -534,10 +640,19 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 		}
 		jobs[i] = engine.Job{Name: jobName(j, i, batch), M: m}
 	}
+	parseSpan.SetInt("jobs", int64(len(jobs)))
+	parseSpan.End()
 
-	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	ctx, cancel := s.deadline(rctx, req.TimeoutMS)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	_, waitSpan := obs.Start(ctx, "queue-wait")
+	s.metrics.queueDepth.Add(1)
+	waitStart := time.Now()
+	err = s.acquire(ctx)
+	s.metrics.queueDepth.Add(-1)
+	s.metrics.slotWait.Observe(time.Since(waitStart))
+	waitSpan.End()
+	if err != nil {
 		s.writeError(w, http.StatusServiceUnavailable,
 			"no optimization slot became free before the request deadline: %v", err)
 		return
@@ -562,12 +677,18 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 		}
 	}
 	start := time.Now()
-	results, runErr := engine.RunBatch(ctx, p, jobs, opt)
+	octx, optSpan := obs.Start(ctx, "optimize")
+	results, runErr := engine.RunBatch(octx, p, jobs, opt)
+	optSpan.End()
 	elapsed := time.Since(start)
 
+	// The encode phase covers netlist rendering, the optional equivalence
+	// check (its own "verify" child spans), and response serialization.
+	ectx, encSpan := obs.Start(ctx, "encode")
+	defer encSpan.End()
 	resps := make([]OptimizeResponse, len(results))
 	for i, res := range results {
-		resps[i] = s.buildResponse(ctx, req, i, jobs[i].M, res)
+		resps[i] = s.buildResponse(ectx, req, i, jobs[i].M, res)
 	}
 	s.metrics.observe(results)
 
@@ -606,9 +727,14 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 		}
 		if streamErrored {
 			s.metrics.errors.Add(1)
+		} else {
+			// A stream that ran to completion is a success response even
+			// though it never passes through writeJSON: count it so the
+			// responses/errors pair partitions every outcome.
+			s.metrics.responses.Add(1)
 		}
 	case batch:
-		writeJSON(w, http.StatusOK, BatchResponse{Script: p.Name, Results: resps, ElapsedNS: elapsed})
+		s.writeJSON(w, http.StatusOK, BatchResponse{Script: p.Name, Results: resps, ElapsedNS: elapsed})
 	default:
 		resp := resps[0]
 		if resp.Error != "" {
@@ -619,7 +745,7 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 			s.writeError(w, status, "%s", resp.Error)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, resp)
 	}
 }
 
@@ -641,6 +767,9 @@ func (s *Server) buildResponse(ctx context.Context, req BatchRequest, i int, in 
 	}
 	resp.Netlist = netlist
 	if req.Verify {
+		_, vspan := obs.Start(ctx, "verify")
+		defer vspan.End()
+		vspan.SetStr("job", res.Name)
 		budget := time.Duration(0)
 		if deadline, ok := ctx.Deadline(); ok {
 			if budget = time.Until(deadline); budget <= 0 {
@@ -685,14 +814,19 @@ func (s *Server) handleScripts(w http.ResponseWriter, r *http.Request) {
 		}
 		infos = append(infos, ScriptInfo{Name: name, Passes: passes})
 	}
-	writeJSON(w, http.StatusOK, map[string][]ScriptInfo{"scripts": infos})
+	s.writeJSON(w, http.StatusOK, map[string][]ScriptInfo{"scripts": infos})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes a 2xx JSON response and counts it, the success twin
+// of writeError: every request outcome increments exactly one of
+// responses_total / error_responses_total (the accounting-audit test
+// pins this across all endpoints and failure modes).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.metrics.responses.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)

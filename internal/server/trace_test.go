@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// counters snapshots the two response-accounting counters.
+func counters(s *Server) (responses, errors int64) {
+	return s.metrics.responses.Load(), s.metrics.errors.Load()
+}
+
+// TestResponseAccountingAudit pins the invariant behind the /metrics
+// counters: every /v1/optimize[/batch] outcome — 2xx, 400, 413, 503,
+// streaming success — increments exactly one of responses_total and
+// error_responses_total.
+func TestResponseAccountingAudit(t *testing.T) {
+	// MaxGates 50 lets the full adder through and rejects Sine with 413.
+	s, hs := newTestServer(t, Config{MaxGates: 50, MaxConcurrent: 1})
+	sine := suiteBench(t, "Sine")
+
+	cases := []struct {
+		name       string
+		wantStatus int
+		wantErrs   int64 // error-counter delta; responses delta is 1 - this
+		run        func(t *testing.T) *http.Response
+	}{
+		{"optimize 2xx", 200, 0, func(t *testing.T) *http.Response {
+			return postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+				Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}})
+		}},
+		{"batch 2xx", 200, 0, func(t *testing.T) *http.Response {
+			return postJSON(t, hs.URL+"/v1/optimize/batch", BatchRequest{
+				Jobs: []BatchJobRequest{{Netlist: fullAdderBench}, {Netlist: fullAdderBench}},
+				ScriptSpec: ScriptSpec{Script: "quick"}})
+		}},
+		{"stream 2xx", 200, 0, func(t *testing.T) *http.Response {
+			return postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+				Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}, Stream: true})
+		}},
+		{"unparsable netlist 400", 400, 1, func(t *testing.T) *http.Response {
+			return postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{Netlist: "garbage"})
+		}},
+		{"malformed JSON 400", 400, 1, func(t *testing.T) *http.Response {
+			resp, err := http.Post(hs.URL+"/v1/optimize", "application/json",
+				strings.NewReader("{not json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { resp.Body.Close() })
+			return resp
+		}},
+		{"empty batch 400", 400, 1, func(t *testing.T) *http.Response {
+			return postJSON(t, hs.URL+"/v1/optimize/batch", BatchRequest{})
+		}},
+		{"oversized netlist 413", 413, 1, func(t *testing.T) *http.Response {
+			return postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{Netlist: sine})
+		}},
+		{"no slot 503", 503, 1, func(t *testing.T) *http.Response {
+			s.slots <- struct{}{} // occupy the only slot
+			t.Cleanup(func() { <-s.slots })
+			return postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+				Netlist: fullAdderBench, TimeoutMS: 30})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			respBefore, errBefore := counters(s)
+			resp := tc.run(t)
+			io.Copy(io.Discard, resp.Body) // streams count on completion
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			respAfter, errAfter := counters(s)
+			if d := errAfter - errBefore; d != tc.wantErrs {
+				t.Errorf("error_responses_total moved by %d, want %d", d, tc.wantErrs)
+			}
+			if d := respAfter - respBefore; d != 1-tc.wantErrs {
+				t.Errorf("responses_total moved by %d, want %d", d, 1-tc.wantErrs)
+			}
+		})
+	}
+}
+
+// TestAccountingDeadlineOutcomes covers the timing-dependent outcomes —
+// 504 and the erroring stream — on a separate unrestricted server. Which
+// error path fires depends on scheduling (the deadline can beat slot
+// acquisition), but the audit invariant is exactly one counter bump
+// either way.
+func TestAccountingDeadlineOutcomes(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	sine := suiteBench(t, "Sine")
+	for _, stream := range []bool{false, true} {
+		respBefore, errBefore := counters(s)
+		resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+			Netlist:    sine,
+			ScriptSpec: ScriptSpec{Script: "resyn"},
+			TimeoutMS:  1,
+			Stream:     stream,
+		})
+		io.Copy(io.Discard, resp.Body)
+		respAfter, errAfter := counters(s)
+		if total := (respAfter - respBefore) + (errAfter - errBefore); total != 1 {
+			t.Errorf("stream=%v: counters moved by %d total, want exactly 1", stream, total)
+		}
+		if errAfter == errBefore {
+			t.Errorf("stream=%v: a deadline-doomed request counted as a success", stream)
+		}
+	}
+}
+
+// TestRequestIDHeader pins the X-Request-ID contract: every response —
+// success or error — carries a fresh 16-hex-digit ID.
+func TestRequestIDHeader(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	idPat := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	var seen []string
+	for _, req := range []OptimizeRequest{
+		{Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}},
+		{Netlist: "garbage"},
+	} {
+		resp := postJSON(t, hs.URL+"/v1/optimize", req)
+		io.Copy(io.Discard, resp.Body)
+		id := resp.Header.Get("X-Request-ID")
+		if !idPat.MatchString(id) {
+			t.Fatalf("X-Request-ID = %q, want 16 hex digits", id)
+		}
+		seen = append(seen, id)
+	}
+	if seen[0] == seen[1] {
+		t.Fatalf("two requests shared ID %s", seen[0])
+	}
+}
+
+// TestTraceDirWritesRequestTrace: with Config.TraceDir set, an optimize
+// request leaves a Chrome-trace JSON named by its request ID whose span
+// tree reaches from the HTTP request down through the pipeline phases,
+// while non-optimization endpoints leave no files.
+func TestTraceDirWritesRequestTrace(t *testing.T) {
+	dir := t.TempDir()
+	_, hs := newTestServer(t, Config{TraceDir: dir})
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}})
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	raw, err := os.ReadFile(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatalf("trace file for request %s: %v", id, err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		names[e.Name]++
+	}
+	for _, want := range []string{
+		"request", "parse", "queue-wait", "optimize", "encode",
+		"job", "pipeline", "iteration", "pass", "rewrite.commit",
+	} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q span (have %v)", want, names)
+		}
+	}
+
+	// Metrics scrapes and health checks must not leave trace files.
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("trace dir has %d files after healthz, want 1", len(entries))
+	}
+}
+
+// TestMetricsHistograms: one served request populates the request, pass
+// and slot-wait histograms in /metrics, and the new counters/gauges are
+// exposed.
+func TestMetricsHistograms(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}})
+	io.Copy(io.Discard, resp.Body)
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(mresp.Body)
+	out := body.String()
+	for _, want := range []string{
+		"migserve_responses_total 1",
+		"migserve_slot_queue_depth 0",
+		"# TYPE migserve_request_duration_seconds histogram",
+		`migserve_request_duration_seconds_bucket{le="+Inf"} 1`,
+		"migserve_request_duration_seconds_count 1",
+		"# TYPE migserve_pass_duration_seconds histogram",
+		"# TYPE migserve_exact5_ladder_duration_seconds histogram",
+		"# TYPE migserve_slot_wait_seconds histogram",
+		"migserve_slot_wait_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The quick script runs at least one pass, so the pass histogram must
+	// have samples even though tracing (retention) is off.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	passCount := int64(-1)
+	for sc.Scan() {
+		var n int64
+		if _, err := fmt.Sscanf(sc.Text(), "migserve_pass_duration_seconds_count %d", &n); err == nil {
+			passCount = n
+		}
+	}
+	if passCount < 1 {
+		t.Errorf("pass histogram count = %d, want >= 1", passCount)
+	}
+}
+
+// TestSlowRequestLog: with Config.SlowRequest set below the request
+// latency, the server emits one structured JSON log line carrying the
+// request ID from the X-Request-ID header.
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+
+	_, hs := newTestServer(t, Config{SlowRequest: time.Nanosecond})
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}})
+	io.Copy(io.Discard, resp.Body)
+	id := resp.Header.Get("X-Request-ID")
+
+	var entry slowRequestLog
+	found := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if i := strings.Index(line, "{"); i >= 0 {
+			if json.Unmarshal([]byte(line[i:]), &entry) == nil && entry.Msg == "slow_request" {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no slow_request log line in:\n%s", buf.String())
+	}
+	if entry.RequestID != id {
+		t.Errorf("slow log request_id = %q, header says %q", entry.RequestID, id)
+	}
+	if entry.Path != "/v1/optimize" || entry.Status != 200 {
+		t.Errorf("slow log fields: %+v", entry)
+	}
+}

@@ -31,7 +31,10 @@
 // results at any worker count. The internal/server subsystem serves the
 // engine over HTTP (cmd/migserve): JSON requests carrying BENCH/MIG
 // netlists, streamed per-pass statistics, and per-request deadlines and
-// size limits — embed it with NewOptimizeServer.
+// size limits — embed it with NewOptimizeServer. The internal/obs
+// subsystem threads a zero-overhead-when-off span tracer from the HTTP
+// request down to individual SAT ladders (NewTracer / StartSpan),
+// exporting Chrome trace-event JSON and Prometheus latency histograms.
 //
 // This root package is the stable public surface; the examples/ directory
 // only uses what is exported here. See README.md for a quickstart and the
@@ -51,6 +54,7 @@ import (
 	"mighash/internal/mapper"
 	"mighash/internal/mig"
 	"mighash/internal/npn"
+	"mighash/internal/obs"
 	"mighash/internal/rewrite"
 	"mighash/internal/server"
 	"mighash/internal/tt"
@@ -295,6 +299,45 @@ type (
 // NewOptimizeServer builds the HTTP optimization service; mount its
 // Handler on any mux or listen with http.ListenAndServe directly.
 var NewOptimizeServer = server.New
+
+// Observability (internal/obs; beyond the paper): a zero-dependency
+// span tracer and latency histograms threaded through the engine, the
+// rewriters, the exact-synthesis ladders and the HTTP service. With no
+// tracer in the context every span call is a nil-receiver no-op that
+// allocates nothing, so instrumented hot paths cost nothing when
+// tracing is off.
+type (
+	// Tracer collects spans for one traced run; export them as
+	// Chrome trace-event JSON with WriteTrace/SaveTrace (loadable in
+	// chrome://tracing or Perfetto).
+	Tracer = obs.Tracer
+	// TracerOptions configures span retention and the per-span-end
+	// callback that feeds histograms.
+	TracerOptions = obs.Options
+	// TraceSpan is one timed, attributed operation; nil is a valid
+	// receiver for every method.
+	TraceSpan = obs.Span
+	// LatencyHistogram is a fixed-bucket concurrency-safe duration
+	// histogram rendered in Prometheus exposition format.
+	LatencyHistogram = obs.Histogram
+)
+
+// NewTracer returns a tracer; install it with TraceContext to activate
+// the spans of everything called under that context.
+var NewTracer = obs.New
+
+// TraceContext returns a context carrying the tracer; engine, rewrite
+// and exact-synthesis code called under it records spans.
+var TraceContext = obs.ContextWithTracer
+
+// StartSpan opens a child span of the context's current span (or a root
+// span of its tracer). It returns a nil span — every method a no-op —
+// when the context carries neither, so callers never branch.
+var StartSpan = obs.Start
+
+// NewLatencyHistogram returns a histogram over the given upper bounds
+// (DefaultDurationBuckets when none are given).
+var NewLatencyHistogram = obs.NewHistogram
 
 // Algebraic depth optimization (the substrate behind the paper's
 // "heavily optimized" starting points, refs [3], [4]).
