@@ -45,11 +45,14 @@
 // The engine-local -sharedcache/-cachefile/-synth-* flags are ignored
 // remotely (with a warning), and the reported worker count is the
 // requested value — the server clamps the parallelism it actually
-// grants.
+// grants. Transient failures — connection errors, 503s, other 5xx
+// responses received before any payload — are retried up to -retries
+// times with capped exponential backoff, full jitter, and the server's
+// Retry-After hint as a floor; the -json report carries the attempt
+// count spent (see the README's "HTTP API" retry contract).
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -79,6 +82,11 @@ type jsonResult struct {
 	Name  string               `json:"name"`
 	Stats engine.PipelineStats `json:"stats"`
 	Err   string               `json:"error,omitempty"`
+	// Attempts is how many HTTP attempts the remote exchange carrying
+	// this job spent (1 = first try succeeded); jobs travel in one batch
+	// request, so every result of a run reports the same count. Zero —
+	// and omitted — for local runs, which have no transport to retry.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 type jsonReport struct {
@@ -100,11 +108,15 @@ type jsonReport struct {
 	// scripts): classes known at exit, exact-synthesis ladders run, and
 	// ladders that blew their budget. The exact5-smoke CI job asserts
 	// Exact5Synths == 0 on a warm -cachefile rerun.
-	Exact5Entries  int          `json:"exact5_entries"`
-	Exact5Negative int          `json:"exact5_negative"`
-	Exact5Synths   int          `json:"exact5_synths"`
-	Exact5Timeouts int          `json:"exact5_timeouts"`
-	Results        []jsonResult `json:"results"`
+	Exact5Entries  int `json:"exact5_entries"`
+	Exact5Negative int `json:"exact5_negative"`
+	Exact5Synths   int `json:"exact5_synths"`
+	Exact5Timeouts int `json:"exact5_timeouts"`
+	// Attempts counts the HTTP attempts of a remote run (1 = no retries
+	// were needed; omitted locally). The chaos-smoke CI asserts this
+	// climbs when the server sheds with 503 + Retry-After.
+	Attempts int          `json:"attempts,omitempty"`
+	Results  []jsonResult `json:"results"`
 }
 
 func main() {
@@ -124,6 +136,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		url        = flag.String("url", "", "optimize remotely: base URL of a running migserve")
+		retries    = flag.Int("retries", 4, "with -url: extra attempts after a transient failure (connect error, 503, other 5xx); 0 = fail fast")
 		cutWidth   = flag.Int("k", 0, "functional-hashing cut width: 4, or 5 to map the script to its 5-input variant")
 		synthConfl = flag.Int64("synth-conflicts", 0, "per-class SAT conflict budget of 5-input exact synthesis (0 = default, <0 = unlimited)")
 		synthTime  = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none; trades determinism for latency)")
@@ -195,8 +208,9 @@ func main() {
 	}
 	start := time.Now()
 	var results []engine.Result
+	var attempts int
 	if *url != "" {
-		results, err = runRemote(ctx, *url, scriptName, *workers, *verify, *timeout, jobs)
+		results, attempts, err = runRemote(ctx, *url, scriptName, *workers, *verify, *timeout, *retries, jobs)
 	} else {
 		results, err = engine.RunBatch(ctx, p, jobs, opt)
 	}
@@ -258,12 +272,13 @@ func main() {
 			Exact5Negative: exact5.NegativeLen(),
 			Exact5Synths:   int(exact5.Synths()),
 			Exact5Timeouts: int(exact5.Failures()),
+			Attempts:       attempts,
 		}
 		if total := cacheHits + cacheMisses; total > 0 {
 			rep.CacheHitRate = float64(cacheHits) / float64(total)
 		}
 		for _, r := range results {
-			jr := jsonResult{Name: r.Name, Stats: r.Stats}
+			jr := jsonResult{Name: r.Name, Stats: r.Stats, Attempts: attempts}
 			if r.Err != nil {
 				jr.Err = r.Err.Error()
 			}
@@ -277,6 +292,9 @@ func main() {
 	} else {
 		fmt.Printf("script %s, %d jobs, %d workers, wall %v\n",
 			p.Name, len(jobs), reportedWorkers, elapsed.Round(time.Millisecond))
+		if attempts > 1 {
+			fmt.Printf("remote exchange took %d attempts (server busy; retried with backoff)\n", attempts)
+		}
 		fmt.Printf("%-16s %8s %8s %6s %6s %5s %9s %10s\n",
 			"circuit", "size", "size'", "depth", "depth'", "iters", "cache-hit", "time")
 		for _, r := range results {
@@ -373,7 +391,13 @@ func buildJobs(in string, split bool, benchmarks string, prepare bool) ([]engine
 // check is skipped (remote results carry no graph). ctx carries the
 // -timeout budget, bounding the HTTP exchange as well as the server-side
 // work (which additionally receives the budget as timeout_ms).
-func runRemote(ctx context.Context, baseURL, script string, workers int, verify bool, timeout time.Duration, jobs []engine.Job) ([]engine.Result, error) {
+//
+// Transient failures — connection errors, 503s (which carry the server's
+// Retry-After backlog hint), other 5xx responses — are retried up to
+// retries extra times with capped exponential backoff and full jitter
+// (see retryPolicy); the attempt count spent is reported back for the
+// -json attempts fields.
+func runRemote(ctx context.Context, baseURL, script string, workers int, verify bool, timeout time.Duration, retries int, jobs []engine.Job) ([]engine.Result, int, error) {
 	req := server.BatchRequest{
 		ScriptSpec: server.ScriptSpec{Script: script, Workers: workers},
 		Verify:     verify,
@@ -384,41 +408,37 @@ func runRemote(ctx context.Context, baseURL, script string, workers int, verify 
 	for _, j := range jobs {
 		var b strings.Builder
 		if err := j.M.WriteBENCH(&b); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		req.Jobs = append(req.Jobs, server.BatchJobRequest{Name: j.Name, Netlist: b.String()})
 	}
 	raw, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimSuffix(baseURL, "/")+"/v1/optimize/batch", bytes.NewReader(raw))
+	policy := retryPolicy{MaxRetries: retries, Base: 200 * time.Millisecond, Cap: 10 * time.Second}
+	resp, attempts, err := policy.post(ctx, http.DefaultClient,
+		strings.TrimSuffix(baseURL, "/")+"/v1/optimize/batch", "application/json", raw)
 	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(hreq)
-	if err != nil {
-		return nil, err
+		return nil, attempts, fmt.Errorf("after %d attempt(s): %w", attempts, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, attempts, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+			return nil, attempts, fmt.Errorf("server: %s (HTTP %d, %d attempts)", e.Error, resp.StatusCode, attempts)
 		}
-		return nil, fmt.Errorf("server returned HTTP %d", resp.StatusCode)
+		return nil, attempts, fmt.Errorf("server returned HTTP %d (%d attempts)", resp.StatusCode, attempts)
 	}
 	var br server.BatchResponse
 	if err := json.Unmarshal(body, &br); err != nil {
-		return nil, fmt.Errorf("decoding server response: %v", err)
+		return nil, attempts, fmt.Errorf("decoding server response: %v", err)
 	}
 	results := make([]engine.Result, len(br.Results))
 	for i, r := range br.Results {
@@ -427,7 +447,7 @@ func runRemote(ctx context.Context, baseURL, script string, workers int, verify 
 			results[i].Err = errors.New(r.Error)
 		}
 	}
-	return results, nil
+	return results, attempts, nil
 }
 
 // applyCutWidth maps a script name to its K = 5 variant when -k 5 asks

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retryPolicy retries the remote optimize exchange on transient,
+// idempotent failures only: connection errors (the request never reached
+// a handler), 503s (the server refused admission — saturated pool or the
+// shed watermark — and did no work), and other 5xx responses whose body
+// has not been consumed (optimization is pure, so replaying the request
+// cannot double any effect). 4xx responses are the client's own fault
+// and are never retried.
+//
+// Backoff is capped exponential with full jitter — attempt n sleeps a
+// uniform draw from [0, min(Cap, Base·2ⁿ)] — so a fleet of clients
+// hammering a recovering server decorrelates instead of thundering. A
+// Retry-After header on the failed response is honored as a floor on
+// the sleep: the server's own estimate of its backlog beats any local
+// guess.
+type retryPolicy struct {
+	MaxRetries int           // additional attempts after the first (0 = fail fast)
+	Base       time.Duration // first backoff step
+	Cap        time.Duration // backoff ceiling
+}
+
+// post issues the request, retrying per the policy, and reports how many
+// attempts were spent. On success (or any non-retryable status) the
+// response is returned with its body unread; when retries run out the
+// last 5xx response (or the last connection error) is handed back so the
+// caller can surface the server's own message.
+func (p retryPolicy) post(ctx context.Context, client *http.Client, url, contentType string, body []byte) (*http.Response, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, attempts, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := client.Do(req)
+		if err == nil && resp.StatusCode < 500 {
+			return resp, attempts, nil
+		}
+		if ctx.Err() != nil {
+			// A deadline or cancellation is not transient; don't burn the
+			// remaining attempts against a dead context.
+			if err == nil {
+				resp.Body.Close()
+			}
+			return nil, attempts, ctx.Err()
+		}
+		var retryAfter time.Duration
+		if err == nil {
+			if attempts > p.MaxRetries {
+				return resp, attempts, nil
+			}
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			// Drain so the keep-alive connection is reusable next attempt.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		} else if attempts > p.MaxRetries {
+			return nil, attempts, err
+		}
+		if serr := sleepCtx(ctx, p.backoff(attempts-1, retryAfter)); serr != nil {
+			return nil, attempts, serr
+		}
+	}
+}
+
+// backoff computes the sleep before retry number attempt (0-based):
+// capped exponential with full jitter, floored by the server's
+// Retry-After hint when one was given.
+func (p retryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	bound := p.Base
+	for i := 0; i < attempt && bound < p.Cap; i++ {
+		bound *= 2
+	}
+	if bound > p.Cap {
+		bound = p.Cap
+	}
+	d := bound
+	if bound > 0 {
+		d = time.Duration(rand.Int63n(int64(bound) + 1))
+	}
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form migserve emits); anything else — absent, malformed, an HTTP date —
+// degrades to zero, i.e. "no floor".
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx sleeps for d unless the context dies first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

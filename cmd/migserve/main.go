@@ -21,6 +21,18 @@
 // -synth-conflicts/-synth-budget/-synth-gates bound each 5-input class's
 // first-contact synthesis; request deadlines cancel in-flight ladders.
 //
+// The service degrades rather than dies: handler and per-job panics are
+// caught, counted and answered with a 500 naming the request ID; every
+// 503 (saturated pool or the admission-control watermark shedding
+// requests that cannot meet their deadline) carries a Retry-After hint;
+// and -breaker-failures arms a circuit breaker that pauses 5-input
+// exact synthesis after that many consecutive failed ladders, resolving
+// lookups as plain misses until -breaker-cooldown expires (results stay
+// correct — only the optional 5-cut replacements pause). -fault arms
+// named failpoints for chaos testing and must never reach production.
+// The full failure-mode table is in ARCHITECTURE.md ("Failure modes &
+// degraded states").
+//
 // Endpoints (see internal/server and the README's HTTP API section):
 //
 //	POST /v1/optimize        optimize one netlist
@@ -57,6 +69,7 @@ import (
 	"time"
 
 	"mighash/internal/db"
+	"mighash/internal/fault"
 	"mighash/internal/server"
 )
 
@@ -78,6 +91,9 @@ func main() {
 		synthConfl  = flag.Int64("synth-conflicts", 0, "per-class SAT conflict budget of 5-input exact synthesis (0 = default, <0 = unlimited)")
 		synthTime   = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none)")
 		synthGates  = flag.Int("synth-gates", 0, "ladder cap of 5-input exact synthesis (0 = default)")
+		brkFails    = flag.Int("breaker-failures", 0, "consecutive failed synthesis ladders that trip the exact5 circuit breaker (0 = breaker off)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long a tripped exact5 breaker stays open (0 = 30s default)")
+		faultSpec   = flag.String("fault", "", "DEV ONLY: arm failpoints, e.g. 'db/snapshot-rename=return;server/shed=0.1*return' (see internal/fault)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		traceDir    = flag.String("trace-dir", "", "write one Chrome trace-event JSON per optimization request into this directory")
 		slowLog     = flag.Duration("slow-log", 0, "log a structured JSON line for optimization requests slower than this (0 = off)")
@@ -85,6 +101,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *faultSpec != "" {
+		if err := fault.EnableSpec(*faultSpec); err != nil {
+			log.Fatalf("-fault: %v", err)
+		}
+		log.Printf("WARNING: fault injection armed (-fault %q) — this process will deliberately fail; never use in production", *faultSpec)
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			log.Fatalf("creating trace directory: %v", err)
@@ -102,9 +124,11 @@ func main() {
 		CacheSnapshotInterval: *cacheSnap,
 		CacheLimit:            *cacheLimit,
 		Synth5: db.OnDemandOptions{
-			MaxConflicts: *synthConfl,
-			Timeout:      *synthTime,
-			MaxGates:     *synthGates,
+			MaxConflicts:    *synthConfl,
+			Timeout:         *synthTime,
+			MaxGates:        *synthGates,
+			BreakerFailures: *brkFails,
+			BreakerCooldown: *brkCooldown,
 		},
 		TraceDir:    *traceDir,
 		SlowRequest: *slowLog,

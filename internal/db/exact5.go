@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mighash/internal/exact"
+	"mighash/internal/fault"
 	"mighash/internal/npn"
 	"mighash/internal/obs"
 	"mighash/internal/tt"
@@ -45,6 +46,22 @@ type OnDemandOptions struct {
 	// Timeout bounds each class's whole ladder in wall-clock time.
 	// Default 0 (no wall-clock bound — deterministic).
 	Timeout time.Duration
+	// BreakerFailures arms the synthesis circuit breaker: after this many
+	// consecutive failed ladders (budget-blown or fault-injected — a SAT
+	// engine in trouble, a disk of swap, an injected chaos fault) the
+	// store trips into a cooldown where lookups of unlearned classes
+	// resolve as plain misses without running a ladder. The K = 4 path
+	// still optimizes and results stay sound — a breaker-open miss just
+	// forgoes a possible 5-cut replacement, it never serves a wrong one.
+	// 0 disables the breaker (the default): like Timeout, the breaker
+	// trades the store's learn-everything determinism for bounded latency
+	// under pathological load, so it is opt-in for servers.
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// single probe ladder is allowed through. A successful probe closes
+	// the breaker and resumes learning; a failed one re-trips it for
+	// another cooldown. Default 30s when BreakerFailures > 0.
+	BreakerCooldown time.Duration
 }
 
 func (o OnDemandOptions) withDefaults() OnDemandOptions {
@@ -59,6 +76,12 @@ func (o OnDemandOptions) withDefaults() OnDemandOptions {
 	}
 	if o.MaxConflicts < 0 {
 		o.MaxConflicts = 0
+	}
+	if o.BreakerFailures < 0 {
+		o.BreakerFailures = 0
+	}
+	if o.BreakerFailures > 0 && o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 30 * time.Second
 	}
 	return o
 }
@@ -90,8 +113,25 @@ type OnDemand struct {
 	hits     atomic.Uint64 // lookups answered from memory (incl. negative)
 	misses   atomic.Uint64 // lookups that had to synthesize
 	synths   atomic.Uint64 // ladders run (== misses, minus in-flight joins)
-	failures atomic.Uint64 // ladders that blew the budget (negative-cached)
+	failures atomic.Uint64 // ladders that failed (budget-blown or injected)
+
+	// Circuit-breaker state (inert with BreakerFailures == 0). brkMu is
+	// taken only on the ladder path — never on the read-locked hit path —
+	// so the breaker costs learned-class lookups nothing.
+	brkMu        sync.Mutex
+	consecFails  int           // consecutive failed ladders; ≥ threshold = tripped
+	brkOpenUntil time.Time     // while tripped: when the next probe is allowed
+	brkProbe     bool          // a half-open probe ladder is in flight
+	brkTrips     atomic.Uint64 // times the breaker tripped (incl. re-trips)
+	brkSkips     atomic.Uint64 // lookups resolved as misses by an open breaker
 }
+
+// Breaker states reported by BreakerState.
+const (
+	BreakerClosed   = 0 // ladders run normally
+	BreakerHalfOpen = 1 // cooldown over; one probe ladder allowed
+	BreakerOpen     = 2 // cooling down; lookups resolve as plain misses
+)
 
 // canonMemo is one memoized semi-canonicalization: the class key and
 // the transform instantiating the queried function from its rep.
@@ -156,10 +196,88 @@ func (s *OnDemand) Misses() uint64 { return s.misses.Load() }
 // Synths returns the number of exact-synthesis ladders run.
 func (s *OnDemand) Synths() uint64 { return s.synths.Load() }
 
-// Failures returns the ladders that blew their budget and were
-// negative-cached (the ISSUE's "synth timeouts", whether the budget was
-// conflicts, wall-clock, or the gate cap).
+// Failures returns the ladders that failed: budget-blown (conflicts,
+// wall-clock, or the gate cap — negative-cached) plus fault-injected
+// failures (transient, retried once the breaker allows).
 func (s *OnDemand) Failures() uint64 { return s.failures.Load() }
+
+// BreakerState reports the synthesis circuit breaker's current state:
+// BreakerClosed, BreakerHalfOpen or BreakerOpen. Always BreakerClosed
+// when the breaker is disabled (OnDemandOptions.BreakerFailures == 0).
+func (s *OnDemand) BreakerState() int {
+	if s.opt.BreakerFailures == 0 {
+		return BreakerClosed
+	}
+	s.brkMu.Lock()
+	defer s.brkMu.Unlock()
+	if s.consecFails < s.opt.BreakerFailures {
+		return BreakerClosed
+	}
+	if time.Now().Before(s.brkOpenUntil) {
+		return BreakerOpen
+	}
+	return BreakerHalfOpen
+}
+
+// BreakerTrips returns how many times the breaker opened (including
+// re-trips after a failed half-open probe).
+func (s *OnDemand) BreakerTrips() uint64 { return s.brkTrips.Load() }
+
+// BreakerSkips returns the lookups an open breaker resolved as plain
+// misses without running a ladder.
+func (s *OnDemand) BreakerSkips() uint64 { return s.brkSkips.Load() }
+
+// breakerAcquire decides whether a ladder may run now. Closed: always.
+// Open: never (the caller resolves the lookup as a miss). Half-open
+// (cooldown over): exactly one probe ladder at a time.
+func (s *OnDemand) breakerAcquire() bool {
+	if s.opt.BreakerFailures == 0 {
+		return true
+	}
+	s.brkMu.Lock()
+	defer s.brkMu.Unlock()
+	if s.consecFails < s.opt.BreakerFailures {
+		return true
+	}
+	if time.Now().Before(s.brkOpenUntil) {
+		return false
+	}
+	if s.brkProbe {
+		return false
+	}
+	s.brkProbe = true
+	return true
+}
+
+// breakerReport folds one finished ladder into the breaker: a learned
+// class closes the breaker, a failure (budget-blown or injected) counts
+// toward the trip threshold and — at or past it — opens the breaker for
+// a cooldown. Cancelled ladders say nothing about the engine's health
+// and leave the failure streak untouched.
+func (s *OnDemand) breakerReport(learned, failed bool) {
+	if s.opt.BreakerFailures == 0 {
+		return
+	}
+	s.brkMu.Lock()
+	defer s.brkMu.Unlock()
+	s.brkProbe = false
+	switch {
+	case learned:
+		s.consecFails = 0
+	case failed:
+		s.consecFails++
+		if s.consecFails >= s.opt.BreakerFailures {
+			now := time.Now()
+			if now.After(s.brkOpenUntil) {
+				// Transition into (or back into) an open window; pure
+				// extensions of a window already open — concurrent ladders
+				// finishing after the trip — are not separate trips.
+				s.brkTrips.Add(1)
+			}
+			s.brkOpenUntil = now.Add(s.opt.BreakerCooldown)
+		}
+	}
+}
 
 func (s *OnDemand) String() string {
 	return fmt.Sprintf("exact5: %d classes learned, %d negative, %d synths (%d failed), %d hits / %d misses",
@@ -213,10 +331,19 @@ func (s *OnDemand) Lookup(ctx context.Context, f tt.TT) (*Entry, npn.Transform, 
 				return nil, npn.Transform{}, false
 			}
 		}
+		if !s.breakerAcquire() {
+			// Breaker open: the ladder engine is in trouble, so resolve as
+			// a plain miss — the K = 4 path still optimizes this cut, and
+			// the class stays unlearned, retried after the cooldown.
+			s.mu.Unlock()
+			s.brkSkips.Add(1)
+			return nil, npn.Transform{}, false
+		}
 		ch := make(chan struct{})
 		s.inflight[key] = ch
 		s.mu.Unlock()
-		e, negCache := s.synthesize(ctx, tt.New(5, uint64(key)))
+		e, negCache, failed := s.synthesize(ctx, tt.New(5, uint64(key)))
+		s.breakerReport(e != nil, failed)
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if e != nil {
@@ -234,18 +361,31 @@ func (s *OnDemand) Lookup(ctx context.Context, f tt.TT) (*Entry, npn.Transform, 
 }
 
 // synthesize runs one budgeted ladder for rep. It returns the learned
-// entry, or (nil, true) when the class should be negative-cached and
-// (nil, false) when the failure was the caller's cancellation.
+// entry, whether the class should be negative-cached, and whether the
+// ladder failed (feeding the circuit breaker): (e, false, false) on
+// success, (nil, true, true) when the budget blew, (nil, false, true)
+// for a fault-injected failure — transient, so not negative-cached —
+// and (nil, false, false) when the failure was the caller's
+// cancellation.
 //
 // The ladder is the heavy tail of the whole stack, so it gets its own
 // trace span carrying the class representative, the conflicts spent, and
 // the outcome — the attribution that turns "this request was slow" into
 // "class 169ae443 burned 10k conflicts and was negative-cached".
-func (s *OnDemand) synthesize(ctx context.Context, rep tt.TT) (*Entry, bool) {
+func (s *OnDemand) synthesize(ctx context.Context, rep tt.TT) (*Entry, bool, bool) {
 	s.synths.Add(1)
 	ctx, span := obs.Start(ctx, "exact5.ladder")
 	defer span.End()
 	span.SetStr("class", fmt.Sprintf("%08x", uint32(rep.Bits)))
+	// Failpoint "db/exact5-ladder": an injected ladder failure or delay.
+	// An injected failure is transient — the class was never proven hard,
+	// so it is not negative-cached (a restart must re-attempt it) — but
+	// it does count as a failed ladder toward the circuit breaker.
+	if err := fault.Hit("db/exact5-ladder"); err != nil {
+		s.failures.Add(1)
+		span.SetStr("outcome", "fault-injected")
+		return nil, false, true
+	}
 	start := time.Now()
 	m, ls, err := exact.MinimumStats(ctx, rep, exact.Options{
 		MaxGates:     s.opt.MaxGates,
@@ -259,11 +399,11 @@ func (s *OnDemand) synthesize(ctx context.Context, rep tt.TT) (*Entry, bool) {
 			// The caller went away mid-ladder; the class itself was
 			// never proven hard, so leave it retryable.
 			span.SetStr("outcome", "cancelled")
-			return nil, false
+			return nil, false, false
 		}
 		s.failures.Add(1)
 		span.SetStr("outcome", "negative-cached")
-		return nil, true
+		return nil, true, true
 	}
 	e, err := FromMIG(rep, m)
 	if err != nil {
@@ -271,12 +411,12 @@ func (s *OnDemand) synthesize(ctx context.Context, rep tt.TT) (*Entry, bool) {
 		// a budget failure rather than poisoning the store.
 		s.failures.Add(1)
 		span.SetStr("outcome", "negative-cached")
-		return nil, true
+		return nil, true, true
 	}
 	e.GenTime = time.Since(start)
 	span.SetStr("outcome", "learned")
 	span.SetInt("gates", int64(ls.Gates))
-	return &e, false
+	return &e, false, false
 }
 
 // add installs a pre-verified learned entry (snapshot restore). It

@@ -1,0 +1,184 @@
+package db
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mighash/internal/fault"
+	"mighash/internal/tt"
+)
+
+// and2of5 is x1∧x2 lifted to five variables — a third easy class,
+// NPN-distinct from and5 and majority5, synthesizable with one gate.
+func and2of5() tt.TT {
+	return tt.Var(5, 0).And(tt.Var(5, 1))
+}
+
+// waitBreakerState polls until the breaker reaches the wanted state;
+// transitions out of BreakerOpen are clock-driven, so tests wait rather
+// than assume a sleep was long enough.
+func waitBreakerState(t *testing.T, s *OnDemand, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.BreakerState() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("breaker stuck in state %d, want %d", s.BreakerState(), want)
+}
+
+// TestBreakerTripsOnInjectedFailures walks the full breaker lifecycle:
+// consecutive injected ladder failures trip it open, open lookups
+// resolve as plain misses without ladders (while learned classes keep
+// hitting), injected failures are never negative-cached, and after the
+// cooldown a successful half-open probe closes the breaker and resumes
+// learning.
+func TestBreakerTripsOnInjectedFailures(t *testing.T) {
+	defer fault.Reset()
+	ctx := context.Background()
+	s := NewOnDemand(OnDemandOptions{BreakerFailures: 2, BreakerCooldown: 30 * time.Millisecond})
+
+	// Learn one class while the engine is healthy.
+	learned := and2of5()
+	if _, _, ok := s.Lookup(ctx, learned); !ok {
+		t.Fatal("healthy lookup failed")
+	}
+
+	if err := fault.Enable("db/exact5-ladder", "return(engine down)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Lookup(ctx, and5()); ok {
+		t.Fatal("injected ladder failure reported ok")
+	}
+	if got := s.BreakerState(); got != BreakerClosed {
+		t.Fatalf("one failure below the threshold tripped the breaker (state %d)", got)
+	}
+	if _, _, ok := s.Lookup(ctx, majority5()); ok {
+		t.Fatal("injected ladder failure reported ok")
+	}
+	if got := s.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state after %d consecutive failures = %d, want BreakerOpen", 2, got)
+	}
+	if got := s.BreakerTrips(); got != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", got)
+	}
+	if got := s.NegativeLen(); got != 0 {
+		t.Fatalf("injected failures were negative-cached (%d classes)", got)
+	}
+	if got := s.Failures(); got != 2 {
+		t.Fatalf("Failures = %d, want 2", got)
+	}
+
+	// Open: an unlearned class is a plain miss, no ladder runs.
+	synths := s.Synths()
+	if _, _, ok := s.Lookup(ctx, and5()); ok {
+		t.Fatal("open breaker returned ok for an unlearned class")
+	}
+	if got := s.Synths(); got != synths {
+		t.Fatalf("open breaker ran a ladder (%d synths, was %d)", got, synths)
+	}
+	if got := s.BreakerSkips(); got == 0 {
+		t.Fatal("BreakerSkips = 0 after an open-breaker miss")
+	}
+	// ...while learned classes keep being served from memory.
+	if _, _, ok := s.Lookup(ctx, learned); !ok {
+		t.Fatal("open breaker dropped a learned class")
+	}
+
+	// Repair the engine; the cooldown expires into half-open and one
+	// probe ladder learns the class and closes the breaker.
+	fault.Disable("db/exact5-ladder")
+	waitBreakerState(t, s, BreakerHalfOpen)
+	e, tr, ok := s.Lookup(ctx, and5())
+	if !ok {
+		t.Fatal("half-open probe failed on a healthy engine")
+	}
+	if got := tr.Apply(e.Rep); got != and5() {
+		t.Fatalf("probe entry instantiates %v, want %v", got, and5())
+	}
+	if got := s.BreakerState(); got != BreakerClosed {
+		t.Fatalf("breaker state after a successful probe = %d, want BreakerClosed", got)
+	}
+}
+
+// TestBreakerFailedProbeRetrips: a half-open probe that fails re-opens
+// the breaker for another cooldown and counts as a second trip.
+func TestBreakerFailedProbeRetrips(t *testing.T) {
+	defer fault.Reset()
+	ctx := context.Background()
+	s := NewOnDemand(OnDemandOptions{BreakerFailures: 1, BreakerCooldown: 20 * time.Millisecond})
+	if err := fault.Enable("db/exact5-ladder", "return(still down)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Lookup(ctx, and5()); ok {
+		t.Fatal("injected ladder failure reported ok")
+	}
+	waitBreakerState(t, s, BreakerHalfOpen)
+	if _, _, ok := s.Lookup(ctx, majority5()); ok {
+		t.Fatal("failed probe reported ok")
+	}
+	if got := s.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state after a failed probe = %d, want BreakerOpen", got)
+	}
+	if got := s.BreakerTrips(); got != 2 {
+		t.Fatalf("BreakerTrips = %d, want 2", got)
+	}
+}
+
+// TestBreakerCountsBudgetBlownLadders: organic budget failures feed the
+// breaker exactly like injected ones — and, unlike injected ones, they
+// do negative-cache their class.
+func TestBreakerCountsBudgetBlownLadders(t *testing.T) {
+	ctx := context.Background()
+	// MaxGates 1 makes any class needing ≥ 2 gates (every function that
+	// touches all five inputs) a deterministic budget failure.
+	s := NewOnDemand(OnDemandOptions{MaxGates: 1, BreakerFailures: 2, BreakerCooldown: time.Minute})
+	if _, _, ok := s.Lookup(ctx, and5()); ok {
+		t.Fatal("5-input AND fit in one gate?")
+	}
+	if _, _, ok := s.Lookup(ctx, majority5()); ok {
+		t.Fatal("5-input majority fit in one gate?")
+	}
+	if got := s.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state after two budget-blown ladders = %d, want BreakerOpen", got)
+	}
+	if got := s.NegativeLen(); got != 2 {
+		t.Fatalf("budget-blown classes negative-cached = %d, want 2", got)
+	}
+}
+
+// TestBreakerDisabledByDefault: with BreakerFailures at its zero default
+// the breaker never engages — every miss runs its ladder even through a
+// streak of injected failures, preserving the store's learn-everything
+// determinism.
+func TestBreakerDisabledByDefault(t *testing.T) {
+	defer fault.Reset()
+	ctx := context.Background()
+	s := NewOnDemand(OnDemandOptions{})
+	if err := fault.Enable("db/exact5-ladder", "return(engine down)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, ok := s.Lookup(ctx, and5()); ok {
+			t.Fatal("injected ladder failure reported ok")
+		}
+	}
+	if got := s.BreakerState(); got != BreakerClosed {
+		t.Fatalf("disabled breaker left Closed state (%d)", got)
+	}
+	if got := s.BreakerSkips(); got != 0 {
+		t.Fatalf("disabled breaker skipped %d lookups", got)
+	}
+	// Injected failures are transient: not negative-cached, so each retry
+	// honestly re-ran the ladder.
+	if got := s.Synths(); got != 3 {
+		t.Fatalf("Synths = %d, want 3", got)
+	}
+	fault.Disable("db/exact5-ladder")
+	if _, _, ok := s.Lookup(ctx, and5()); !ok {
+		t.Fatal("lookup after clearing the fault failed")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"mighash/internal/fault"
 	"mighash/internal/mig"
 	"mighash/internal/npn"
 	"mighash/internal/tt"
@@ -486,6 +487,13 @@ func SaveSnapshotFile(path string, c *Cache, s *OnDemand) (int, error) {
 	if err := f.Chmod(mode); err != nil {
 		return fail(err)
 	}
+	// Failpoint "db/snapshot-write": a write failure (EIO, full disk)
+	// after the temp file exists but before its content is complete. The
+	// partial temp file must be removed and the live snapshot untouched.
+	if err := fault.Hit("db/snapshot-write"); err != nil {
+		io.WriteString(f, snapshotMagic) // leave a genuinely partial write behind
+		return fail(err)
+	}
 	n, err := WriteSnapshot(f, c, s)
 	if err != nil {
 		return fail(err)
@@ -494,6 +502,13 @@ func SaveSnapshotFile(path string, c *Cache, s *OnDemand) (int, error) {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	// Failpoint "db/snapshot-rename": a crash or error between the fully
+	// written temp file and the atomic rename — the last instant where
+	// the previous snapshot must survive and no *.tmp* may leak.
+	if err := fault.Hit("db/snapshot-rename"); err != nil {
 		os.Remove(tmp)
 		return 0, err
 	}
@@ -520,5 +535,11 @@ func LoadSnapshotFile(path string, d *DB, c *Cache, s *OnDemand) (int, error) {
 		return 0, err
 	}
 	defer f.Close()
+	// Failpoint "db/snapshot-load": a read failure on a healthy file
+	// (bad sector, truncated NFS read). Callers must degrade to a cold
+	// cache exactly as they do for ErrSnapshot corruption.
+	if err := fault.Hit("db/snapshot-load"); err != nil {
+		return 0, err
+	}
 	return ReadSnapshot(f, d, c, s)
 }

@@ -7,12 +7,21 @@ import (
 	"io/fs"
 	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"mighash/internal/db"
+	"mighash/internal/fault"
 	"mighash/internal/mig"
 	"mighash/internal/obs"
 )
+
+// ErrJobPanic is the root of every Result.Err produced by a panicking
+// job: a pass, a custom pipeline stage or injected chaos unwinding a
+// worker is caught at the job boundary and reported in-band, so one
+// poisoned graph fails its own job instead of killing the batch (and,
+// one layer up, the server process). Match with errors.Is.
+var ErrJobPanic = errors.New("engine: job panicked")
 
 // Job is one unit of batch work: a named MIG to optimize. Jobs must not
 // share a *MIG unless every job only reads it (pipelines never modify
@@ -146,7 +155,10 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 				}
 				jctx, jspan := obs.Start(ctx, "job")
 				jspan.SetStr("name", jobs[i].Name)
-				m, st, err := pj.RunContext(jctx, jobs[i].M)
+				m, st, err := runJob(jctx, &pj, jobs[i])
+				if errors.Is(err, ErrJobPanic) {
+					jspan.SetStr("outcome", "panicked")
+				}
 				jspan.End()
 				results[i].M, results[i].Stats, results[i].Err = m, st, err
 			}
@@ -176,6 +188,31 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 		}
 	}
 	return results, nil
+}
+
+// runJob executes one job's pipeline with the batch's panic boundary: a
+// panic anywhere under the pipeline — a pass, the rewriter (which
+// re-raises its worker-goroutine panics on the job goroutine), injected
+// chaos — becomes a Result.Err wrapping ErrJobPanic, carrying the panic
+// value and a bounded stack. Sibling jobs and their bit-identical
+// results are unaffected: recovery happens strictly outside the
+// pipeline, so it cannot alter what a non-panicking run computes.
+func runJob(ctx context.Context, p *Pipeline, j Job) (m *mig.MIG, st PipelineStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if len(stack) > 4<<10 {
+				stack = stack[:4<<10]
+			}
+			m, st, err = nil, PipelineStats{}, fmt.Errorf("%w: %v\n%s", ErrJobPanic, r, stack)
+		}
+	}()
+	// Failpoint "engine/job": per-job chaos. A return spec fails the job
+	// in-band; a panic spec exercises the recovery boundary above.
+	if ferr := fault.Hit("engine/job"); ferr != nil {
+		return nil, PipelineStats{}, ferr
+	}
+	return p.RunContext(ctx, j.M)
 }
 
 // warmStart restores the snapshot at path into cache and store,

@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledHitIsNilAndAllocationFree(t *testing.T) {
+	Reset()
+	if err := Hit("nobody/enabled-this"); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+	// The hot-path contract: with no failpoint enabled anywhere, Hit is
+	// an atomic load — no allocation, no map lookup, no lock.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		Hit("db/snapshot-write")
+	}); allocs != 0 {
+		t.Fatalf("disabled Hit allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestUnknownNameIsNoOpWhileOthersEnabled(t *testing.T) {
+	defer Reset()
+	if err := Enable("some/point", "return(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("other/point"); err != nil {
+		t.Fatalf("unrelated failpoint fired: %v", err)
+	}
+	if err := Hit("some/point"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("enabled failpoint returned %v, want ErrInjected", err)
+	}
+}
+
+func TestReturnDisableCycle(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/ret", "return(disk full)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit("t/ret")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "disk full") || !strings.Contains(err.Error(), "t/ret") {
+		t.Fatalf("error %q should name the message and the failpoint", err)
+	}
+	Disable("t/ret")
+	if err := Hit("t/ret"); err != nil {
+		t.Fatalf("after Disable, err = %v", err)
+	}
+}
+
+func TestCountAndSkip(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/count", "skip(2)*count(3)*return"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Hit("t/count") != nil {
+			fired++
+			if i < 2 {
+				t.Fatalf("fired during the skip window (hit %d)", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if got := Hits("t/count"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestDelayOnlyPoint(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/delay", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("t/delay"); err != nil {
+		t.Fatalf("delay-only point returned %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want ≥ 30ms", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/panic", "panic(kaboom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Hit did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "kaboom") || !strings.Contains(s, "t/panic") {
+			t.Fatalf("panic value %v should name the message and the failpoint", r)
+		}
+		if got := Hits("t/panic"); got != 1 {
+			t.Fatalf("Hits = %d, want 1", got)
+		}
+	}()
+	Hit("t/panic")
+}
+
+func TestProbabilityZeroPointNineNineFiresEventually(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/prob", "0.99*return"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 1000; i++ {
+		if Hit("t/prob") != nil {
+			fired++
+		}
+	}
+	// P(< 900 of 1000 at p = 0.99) is astronomically small; this is a
+	// sanity bound, not a statistical test.
+	if fired < 900 {
+		t.Fatalf("p=0.99 point fired only %d/1000 times", fired)
+	}
+}
+
+func TestEnableSpecMultiplePairs(t *testing.T) {
+	defer Reset()
+	err := EnableSpec("a/one=return(x); b/two=count(1)*return ;;c/three=delay(1ms)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a/one", "b/two"} {
+		if Hit(name) == nil {
+			t.Errorf("%s did not fire", name)
+		}
+	}
+	if err := Hit("c/three"); err != nil {
+		t.Errorf("delay-only c/three returned %v", err)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"", "bogus", "return(x)*panic", "count(x)*return", "1.5*return",
+		"delay(notaduration)", "return(x", "skip(-1)*return",
+	} {
+		if err := Enable("t/bad", spec); err == nil {
+			t.Errorf("spec %q was accepted", spec)
+		}
+	}
+	if err := EnableSpec("missing-equals-sign"); err == nil {
+		t.Error("malformed EnableSpec pair was accepted")
+	}
+	if err := Enable("", "return"); err == nil {
+		t.Error("empty failpoint name was accepted")
+	}
+}
+
+func TestReEnableReplacesSpecAndState(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/re", "count(1)*return"); err != nil {
+		t.Fatal(err)
+	}
+	Hit("t/re") // exhausts the count
+	if Hit("t/re") != nil {
+		t.Fatal("exhausted point still fires")
+	}
+	if err := Enable("t/re", "count(1)*return"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit("t/re") == nil {
+		t.Fatal("re-enabled point did not fire")
+	}
+}
+
+func BenchmarkHitDisabled(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hit("db/snapshot-write")
+	}
+}

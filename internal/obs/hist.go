@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,35 @@ func (h *Histogram) Count() int64 {
 		return 0
 	}
 	return h.count.Load()
+}
+
+// Quantile returns a conservative estimate of the q-th quantile
+// (0 ≤ q ≤ 1): the upper bound of the bucket holding the ⌈q·count⌉-th
+// observation. Rounding to a bucket bound overestimates, which is the
+// right bias for its consumers — admission control and Retry-After
+// hints, where guessing low sheds too little and retries too hot. An
+// empty (or nil) histogram reports 0; observations in the +Inf overflow
+// bucket report the last finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return b
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // WritePrometheus renders the histogram in Prometheus text exposition

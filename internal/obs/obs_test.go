@@ -309,6 +309,39 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(50 * time.Millisecond)  // bucket 2
+	// Quantiles resolve to bucket upper bounds, rounding up.
+	if got := h.Quantile(0.25); got != time.Millisecond {
+		t.Errorf("Quantile(0.25) = %v, want 1ms", got)
+	}
+	if got := h.Quantile(0.5); got != 10*time.Millisecond {
+		t.Errorf("Quantile(0.5) = %v, want 10ms", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want 100ms", got)
+	}
+	// Observations past the last bound report the last finite bound.
+	h.Observe(time.Second)
+	h.Observe(time.Second)
+	h.Observe(time.Second)
+	h.Observe(time.Second)
+	if got := h.Quantile(0.99); got != 100*time.Millisecond {
+		t.Errorf("Quantile(0.99) with an overflow tail = %v, want the last bound", got)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	h := NewHistogram()
 	var wg sync.WaitGroup

@@ -2,10 +2,13 @@ package rewrite
 
 import (
 	"cmp"
+	"fmt"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
 
+	"mighash/internal/fault"
 	"mighash/internal/mig"
 )
 
@@ -66,15 +69,36 @@ func (r *rewriter) evaluateAll(workers int) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// recover only catches same-goroutine panics, so a worker unwinding
+	// here would kill the process no matter what the engine's job-level
+	// boundary does. Capture the first panic (value and stack) and re-raise
+	// it on the coordinating goroutine after every worker has parked, where
+	// the caller's recover can turn it into a per-job error.
+	var (
+		panicOnce  sync.Once
+		panicVal   any
+		panicStack []byte
+	)
 	for w := 0; w < workers; w++ {
 		st := &ws.eval[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panicOnce.Do(func() { panicVal, panicStack = rec, debug.Stack() })
+				}
+			}()
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= regions {
 					return
+				}
+				// Failpoint "rewrite/ffr-region": chaos inside a worker
+				// goroutine, one eligible hit per claimed region — the only
+				// way to prove the cross-goroutine re-raise above.
+				if err := fault.Hit("rewrite/ffr-region"); err != nil {
+					panic(err)
 				}
 				for _, v := range perm[starts[k]:starts[k+1]] {
 					if best, ok := r.bestCut(v, st); ok {
@@ -86,4 +110,7 @@ func (r *rewriter) evaluateAll(workers int) {
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(fmt.Sprintf("rewrite: evaluation worker panicked: %v\n%s", panicVal, panicStack))
+	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -30,6 +31,10 @@ type metrics struct {
 	// pool is full; queueDepth tells you how far behind it is.
 	queueDepth atomic.Int64
 
+	// shed counts requests rejected by the admission-control watermark
+	// before they joined the slot queue (a subset of error_responses).
+	shed atomic.Int64
+
 	jobsOK     atomic.Int64 // jobs that returned an optimized netlist
 	jobsFailed atomic.Int64 // jobs that ended in a per-job error
 	gatesIn    atomic.Int64 // summed input sizes of completed jobs
@@ -38,11 +43,21 @@ type metrics struct {
 	cacheHits  atomic.Int64 // NPN cut-cache hits, summed over jobs
 	cacheMiss  atomic.Int64 // NPN cut-cache misses, summed over jobs
 
+	// Panic isolation: a handler panic is caught at the dispatch boundary
+	// (500 naming the request ID), a job panic at the engine's per-job
+	// boundary (in-band job error). Both should be flatlined at zero;
+	// either climbing is a bug report with a stack already in the log.
+	handlerPanics atomic.Int64
+	jobPanics     atomic.Int64
+
 	// Cache-persistence counters (all zero without Config.CacheFile).
 	cacheRestored   atomic.Int64 // entries warm-started from the snapshot
 	snapshots       atomic.Int64 // snapshot attempts (periodic + Close)
 	snapshotErrors  atomic.Int64 // snapshot attempts that failed
 	snapshotEntries atomic.Int64 // entries in the last successful snapshot
+	// snapshotConsecErr is a gauge: failures since the last success. See
+	// snapshotCache for why it exists next to the monotonic error count.
+	snapshotConsecErr atomic.Int64
 
 	// Duration histograms (created by New; all use the default buckets).
 	reqHist    *obs.Histogram // whole optimize/batch requests
@@ -56,6 +71,9 @@ func (m *metrics) observe(results []engine.Result) {
 	for _, r := range results {
 		if r.Err != nil {
 			m.jobsFailed.Add(1)
+			if errors.Is(r.Err, engine.ErrJobPanic) {
+				m.jobPanics.Add(1)
+			}
 			continue
 		}
 		m.jobsOK.Add(1)
@@ -77,6 +95,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"migserve_error_responses_total":   m.errors.Load(),
 		"migserve_inflight_jobs":           m.inflight.Load(),
 		"migserve_slot_queue_depth":        m.queueDepth.Load(),
+		"migserve_shed_total":              m.shed.Load(),
+		"migserve_handler_panics_total":    m.handlerPanics.Load(),
+		"migserve_job_panics_total":        m.jobPanics.Load(),
 		"migserve_jobs_completed_total":    m.jobsOK.Load(),
 		"migserve_jobs_failed_total":       m.jobsFailed.Load(),
 		"migserve_input_gates_total":       m.gatesIn.Load(),
@@ -96,12 +117,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		vals["migserve_cache_snapshot_total"] = m.snapshots.Load()
 		vals["migserve_cache_snapshot_errors_total"] = m.snapshotErrors.Load()
 		vals["migserve_cache_snapshot_entries"] = m.snapshotEntries.Load()
+		vals["migserve_cache_snapshot_consecutive_errors"] = m.snapshotConsecErr.Load()
 	}
 	// The on-demand 5-input store: learned classes (gauge), ladders run,
-	// and ladders that blew their budget and were negative-cached.
+	// ladders that failed, and the synthesis circuit breaker (state is a
+	// gauge: 0 closed, 1 half-open, 2 open; pinned 0 when disabled).
 	vals["migserve_exact5_entries"] = int64(s.exact5.Len())
 	vals["migserve_exact5_synth_total"] = int64(s.exact5.Synths())
 	vals["migserve_exact5_synth_timeouts"] = int64(s.exact5.Failures())
+	vals["migserve_exact5_breaker_state"] = int64(s.exact5.BreakerState())
+	vals["migserve_exact5_breaker_trips_total"] = int64(s.exact5.BreakerTrips())
+	vals["migserve_exact5_breaker_skips_total"] = int64(s.exact5.BreakerSkips())
 	names := make([]string, 0, len(vals))
 	for n := range vals {
 		names = append(names, n)

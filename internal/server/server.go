@@ -7,15 +7,19 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"math"
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"mighash/internal/db"
 	"mighash/internal/engine"
+	"mighash/internal/fault"
 	"mighash/internal/mig"
 	"mighash/internal/obs"
 )
@@ -213,14 +217,21 @@ func (s *Server) snapshotLoop() {
 }
 
 // snapshotCache writes one snapshot and updates the snapshot metrics.
+// Failures degrade, never escalate: the in-memory cache keeps serving
+// and the next tick retries. The consecutive-errors gauge is the alert
+// signal separating a transient blip (spikes to 1, back to 0) from a
+// persistently broken snapshot path (climbs monotonically — a restarted
+// process would start cold).
 func (s *Server) snapshotCache() error {
 	s.metrics.snapshots.Add(1)
 	n, err := db.SaveSnapshotFile(s.cfg.CacheFile, s.cache, s.exact5)
 	if err != nil {
 		s.metrics.snapshotErrors.Add(1)
+		s.metrics.snapshotConsecErr.Add(1)
 		log.Printf("server: cache snapshot to %s failed: %v", s.cfg.CacheFile, err)
 		return err
 	}
+	s.metrics.snapshotConsecErr.Store(0)
 	s.metrics.snapshotEntries.Store(int64(n))
 	return nil
 }
@@ -264,7 +275,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	span.SetStr("path", r.URL.Path)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
-	s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	s.dispatch(rec, r.WithContext(ctx), id)
 	elapsed := time.Since(start)
 	span.SetInt("status", int64(rec.status))
 	span.End()
@@ -288,6 +299,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		})
 		log.Printf("server: %s", line)
 	}
+}
+
+// dispatch runs the mux with the process's last panic boundary under it:
+// a handler panic — a bug the engine's per-job recovery did not own, or
+// injected chaos — is counted, logged with the request ID and a stack,
+// and answered with a 500 naming that ID, instead of tearing down the
+// listener's goroutine (and with http.Server's default recovery, silently
+// dropping the connection). The recovery lands before ServeHTTP's
+// post-processing, so the request still feeds the duration histogram,
+// trace file and slow log like any other error response.
+func (s *Server) dispatch(rec *statusRecorder, r *http.Request, id string) {
+	defer func() {
+		rv := recover()
+		if rv == nil {
+			return
+		}
+		s.metrics.handlerPanics.Add(1)
+		stack := debug.Stack()
+		if len(stack) > 8<<10 {
+			stack = stack[:8<<10]
+		}
+		log.Printf("server: panic serving %s %s (request %s): %v\n%s", r.Method, r.URL.Path, id, rv, stack)
+		if !rec.wrote {
+			s.writeError(rec, http.StatusInternalServerError,
+				"internal error; the failure is logged under request id %s", id)
+			return
+		}
+		// The response was already underway (headers gone, possibly
+		// mid-stream); nothing coherent can be written, but the abort must
+		// not escape the error counter just because the status said 200.
+		if rec.status < 400 {
+			s.metrics.errors.Add(1)
+		}
+	}()
+	// Failpoint "server/handler": a panic spec here exercises the boundary
+	// above exactly as a real handler bug would.
+	if err := fault.Hit("server/handler"); err != nil {
+		panic(err)
+	}
+	s.mux.ServeHTTP(rec, r)
 }
 
 // slowRequestLog is the schema of one slow-request log line: a single
@@ -321,16 +372,25 @@ func (s *Server) observeSpan(sp *obs.Span) {
 }
 
 // statusRecorder captures the response status for the request span and
-// the slow log. Flush must pass through — the streaming endpoints flush
-// after every NDJSON line.
+// the slow log, and whether anything was written at all — the panic
+// boundary can only substitute a 500 while the response is untouched.
+// Flush must pass through — the streaming endpoints flush after every
+// NDJSON line.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
 }
 
 func (r *statusRecorder) Flush() {
@@ -645,6 +705,11 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 
 	ctx, cancel := s.deadline(rctx, req.TimeoutMS)
 	defer cancel()
+	if s.shouldShed(ctx) {
+		s.metrics.shed.Add(1)
+		s.writeUnavailable(w, "server overloaded: the queue ahead of this request exceeds its deadline")
+		return
+	}
 	_, waitSpan := obs.Start(ctx, "queue-wait")
 	s.metrics.queueDepth.Add(1)
 	waitStart := time.Now()
@@ -653,8 +718,8 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 	s.metrics.slotWait.Observe(time.Since(waitStart))
 	waitSpan.End()
 	if err != nil {
-		s.writeError(w, http.StatusServiceUnavailable,
-			"no optimization slot became free before the request deadline: %v", err)
+		s.writeUnavailable(w, fmt.Sprintf(
+			"no optimization slot became free before the request deadline: %v", err))
 		return
 	}
 	defer s.release()
@@ -747,6 +812,56 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 		}
 		s.writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// shedMinSamples is how many completed requests the duration histogram
+// must hold before the shed predictor trusts its median: below it, a few
+// unlucky early samples could wrongly shed a healthy server.
+const shedMinSamples = 8
+
+// shouldShed is the admission-control watermark, evaluated before the
+// request joins the slot queue: when the work already queued ahead of it
+// (queue depth × the median request duration) cannot drain before this
+// request's deadline, waiting would only burn a queue position to earn a
+// 503 at the deadline anyway — reject early, while the client's retry
+// budget is still worth something.
+func (s *Server) shouldShed(ctx context.Context) bool {
+	// Failpoint "server/shed": force the overload verdict so the 503 +
+	// Retry-After + client-retry contract is testable without
+	// manufacturing real load.
+	if err := fault.Hit("server/shed"); err != nil {
+		return true
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return false
+	}
+	depth := s.metrics.queueDepth.Load()
+	if depth <= 0 || s.metrics.reqHist.Count() < shedMinSamples {
+		return false
+	}
+	return time.Duration(depth)*s.metrics.reqHist.Quantile(0.5) > time.Until(deadline)
+}
+
+// writeUnavailable writes a 503 with the Retry-After hint every 503
+// carries: the median recent slot wait (rounded up to whole seconds,
+// clamped to [1s, 60s]) — the service's best estimate of when a retry
+// will actually find capacity. The retry contract is documented in the
+// README's HTTP API section; cmd/migpipe's client honors the hint.
+func (s *Server) writeUnavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.writeError(w, http.StatusServiceUnavailable, "%s", msg)
+}
+
+func (s *Server) retryAfterSeconds() int {
+	secs := int(math.Ceil(s.metrics.slotWait.Quantile(0.5).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // buildResponse converts one engine result into its wire form, rendering

@@ -42,7 +42,7 @@ func TestResponseAccountingAudit(t *testing.T) {
 		}},
 		{"batch 2xx", 200, 0, func(t *testing.T) *http.Response {
 			return postJSON(t, hs.URL+"/v1/optimize/batch", BatchRequest{
-				Jobs: []BatchJobRequest{{Netlist: fullAdderBench}, {Netlist: fullAdderBench}},
+				Jobs:       []BatchJobRequest{{Netlist: fullAdderBench}, {Netlist: fullAdderBench}},
 				ScriptSpec: ScriptSpec{Script: "quick"}})
 		}},
 		{"stream 2xx", 200, 0, func(t *testing.T) *http.Response {
