@@ -6,7 +6,8 @@
 //
 //	migpipe -script resyn                     # all eight benchmarks, NumCPU workers
 //	migpipe -script size -workers 1 -json     # serial, machine-readable stats
-//	migpipe -script resyn -benchmarks Sine,Max -verify
+//	migpipe -script resyn -benchmarks Sine,Max -verify sat
+//	migpipe -script resyn -verify sim -json       # differential harness, machine-readable
 //	migpipe -script resyn -cachefile npn.cache   # warm-start reruns from disk
 //	migpipe -script BF -in circuit.bench -split   # one job per output cone
 //	migpipe -script resyn -in big.bench -workers 8  # one graph: FFR-parallel rewriting
@@ -19,6 +20,16 @@
 // With a single job the -workers budget moves from the batch pool to the
 // pipeline's intra-graph rewriter (best-cut evaluation over independent
 // fanout-free regions); results are bit-identical at any worker count.
+//
+// -verify selects a rung of the verification ladder (ARCHITECTURE.md,
+// "Verification"): "sat" proves every final result equivalent to its
+// input with the counterexample-guided SAT ladder; "sim" installs the
+// differential harness — every pass of every iteration is re-simulated
+// word-parallel against its input graph, refute-only, and the run ends
+// with a calibration sweep proving the harness catches ground-truth
+// inequivalent mutants; "sim+sat" does both. The -json report carries
+// the harness statistics in its "verify" block (the sim-verify CI job
+// uploads them as BENCH_sim.json).
 //
 // With -cachefile the jobs share one NPN cut-cache that is warm-started
 // from the snapshot at that path (when it exists) and saved back after
@@ -75,6 +86,7 @@ import (
 	"mighash/internal/mig"
 	"mighash/internal/obs"
 	"mighash/internal/server"
+	"mighash/internal/sim/diff"
 )
 
 // jsonResult is engine.Result with the error stringified for encoding.
@@ -116,7 +128,38 @@ type jsonReport struct {
 	// were needed; omitted locally). The chaos-smoke CI asserts this
 	// climbs when the server sheds with 503 + Retry-After.
 	Attempts int          `json:"attempts,omitempty"`
-	Results  []jsonResult `json:"results"`
+	// Verify carries the verification-ladder statistics of a local run
+	// with -verify; omitted otherwise (remote runs verify server-side).
+	Verify  *jsonVerify  `json:"verify,omitempty"`
+	Results []jsonResult `json:"results"`
+}
+
+// jsonVerify is the "verify" block of the -json report: what the
+// verification ladder did and how fast. The sim-verify CI job uploads
+// this (as BENCH_sim.json) and migtrend renders it in the step summary.
+type jsonVerify struct {
+	// Mode echoes the -verify flag ("sat", "sim" or "sim+sat").
+	Mode string `json:"mode"`
+	// PassChecks/Patterns/Failures aggregate the differential harness:
+	// graph pairs compared (one per executed pass, plus one final
+	// input-vs-result check per job), input patterns swept, and checks
+	// that refuted equivalence. Zero under plain -verify sat.
+	PassChecks        int64   `json:"pass_checks"`
+	Patterns          int64   `json:"patterns"`
+	PatternsPerSecond float64 `json:"patterns_per_second"`
+	Failures          int64   `json:"failures"`
+	// CalibrationRefuted/CalibrationTotal report the self-test: how many
+	// ground-truth-inequivalent mutants a dedicated harness refuted. A
+	// shortfall means the pattern budget is too small to trust the zeros
+	// above.
+	CalibrationRefuted int `json:"calibration_refuted"`
+	CalibrationTotal   int `json:"calibration_total"`
+	// SimElapsed/SATElapsed split the verification wall clock by rung.
+	SimElapsed time.Duration `json:"sim_elapsed_ns"`
+	SATElapsed time.Duration `json:"sat_elapsed_ns"`
+	// SATProofs counts the final results proven equivalent by the SAT
+	// rung (modes "sat" and "sim+sat").
+	SATProofs int `json:"sat_proofs"`
 }
 
 func main() {
@@ -132,7 +175,7 @@ func main() {
 		prepare    = flag.Bool("prepare", true, "depth-optimize benchmark starting points first (Sec. V-C)")
 		shared     = flag.Bool("sharedcache", false, "share one NPN cut-cache across all workers")
 		cacheFile  = flag.String("cachefile", "", "warm-start the shared NPN cache from this snapshot and save it back after the run")
-		verify     = flag.Bool("verify", false, "SAT-verify every optimized graph against its input")
+		verify     = flag.String("verify", "", `verification ladder rung: "sat" (prove final results), "sim" (differential harness: re-simulate every pass, refute-only), or "sim+sat"`)
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON on stdout")
 		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		url        = flag.String("url", "", "optimize remotely: base URL of a running migserve")
@@ -149,6 +192,10 @@ func main() {
 		return
 	}
 	scriptName, err := applyCutWidth(*script, *cutWidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simVerify, satVerify, err := verifyModes(*verify)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -169,6 +216,14 @@ func main() {
 		if p.Workers = *workers; p.Workers <= 0 {
 			p.Workers = runtime.NumCPU()
 		}
+	}
+	var harness *diff.Harness
+	if simVerify && *url == "" {
+		// The differential harness re-checks every pass of every iteration
+		// of every job against its input graph; one harness spans the whole
+		// batch so counterexamples sharpen later checks.
+		harness = diff.New(diff.Options{})
+		p.PassCheck = harness.PassCheck
 	}
 
 	ctx := context.Background()
@@ -231,19 +286,64 @@ func main() {
 			failed = true
 		}
 	}
-	if *verify {
-		for i, r := range results {
-			if r.Err != nil || r.M == nil {
-				continue
+	var verifyStats *jsonVerify
+	if *verify != "" && *url == "" {
+		verifyStats = &jsonVerify{Mode: *verify}
+		if simVerify {
+			// Per-pass checks already chained before→after across the run;
+			// the direct input-vs-result check closes the chain over the
+			// pipeline's best-graph selection too.
+			simStart := time.Now()
+			for i, r := range results {
+				if r.Err != nil || r.M == nil {
+					continue
+				}
+				if err := harness.Check(jobs[i].M, r.M); err != nil {
+					log.Printf("%s: MISCOMPARE: %v", r.Name, err)
+					failed = true
+				}
 			}
-			eq, ce, err := mig.Equivalent(jobs[i].M, r.M, 0)
-			if err != nil {
-				log.Fatalf("%s: equivalence check failed to run: %v", r.Name, err)
+			// Self-calibration on a dedicated harness, so its deliberate
+			// failures do not pollute the run's counters: the harness must
+			// refute ground-truth-inequivalent mutants of every job, or the
+			// zero-failure report above is not worth much.
+			calib := diff.New(diff.Options{})
+			const mutantsPerJob = 4
+			for _, j := range jobs {
+				n := calib.Calibrate(j.M, mutantsPerJob)
+				verifyStats.CalibrationRefuted += n
+				verifyStats.CalibrationTotal += mutantsPerJob
+				if n < mutantsPerJob {
+					log.Printf("%s: calibration refuted only %d/%d ground-truth mutants (raise the pattern budget)",
+						j.Name, n, mutantsPerJob)
+					failed = true
+				}
 			}
-			if !eq {
-				log.Printf("%s: MISCOMPARE, counterexample %v", r.Name, ce)
-				failed = true
+			st := harness.Stats()
+			verifyStats.PassChecks = st.Checks
+			verifyStats.Patterns = st.Patterns
+			verifyStats.PatternsPerSecond = st.PatternsPerSecond()
+			verifyStats.Failures = st.Failures
+			verifyStats.SimElapsed = time.Since(simStart)
+		}
+		if satVerify {
+			satStart := time.Now()
+			for i, r := range results {
+				if r.Err != nil || r.M == nil {
+					continue
+				}
+				eq, ce, err := mig.Equivalent(jobs[i].M, r.M, 0)
+				if err != nil {
+					log.Fatalf("%s: equivalence check failed to run: %v", r.Name, err)
+				}
+				if !eq {
+					log.Printf("%s: MISCOMPARE, counterexample %v", r.Name, ce)
+					failed = true
+				} else {
+					verifyStats.SATProofs++
+				}
 			}
+			verifyStats.SATElapsed = time.Since(satStart)
 		}
 	}
 
@@ -273,6 +373,7 @@ func main() {
 			Exact5Synths:   int(exact5.Synths()),
 			Exact5Timeouts: int(exact5.Failures()),
 			Attempts:       attempts,
+			Verify:         verifyStats,
 		}
 		if total := cacheHits + cacheMisses; total > 0 {
 			rep.CacheHitRate = float64(cacheHits) / float64(total)
@@ -313,6 +414,18 @@ func main() {
 		}
 		if exact5.Len()+exact5.NegativeLen() > 0 || exact5.Synths() > 0 {
 			fmt.Println(exact5)
+		}
+		if v := verifyStats; v != nil {
+			fmt.Printf("verify (%s):", v.Mode)
+			if simVerify {
+				fmt.Printf(" %d sim checks, %d patterns (%.0f/s), %d failures, calibration %d/%d in %v;",
+					v.PassChecks, v.Patterns, v.PatternsPerSecond,
+					v.Failures, v.CalibrationRefuted, v.CalibrationTotal, v.SimElapsed.Round(time.Millisecond))
+			}
+			if satVerify {
+				fmt.Printf(" %d SAT proofs in %v", v.SATProofs, v.SATElapsed.Round(time.Millisecond))
+			}
+			fmt.Println()
 		}
 	}
 	if failed {
@@ -397,10 +510,11 @@ func buildJobs(in string, split bool, benchmarks string, prepare bool) ([]engine
 // retries extra times with capped exponential backoff and full jitter
 // (see retryPolicy); the attempt count spent is reported back for the
 // -json attempts fields.
-func runRemote(ctx context.Context, baseURL, script string, workers int, verify bool, timeout time.Duration, retries int, jobs []engine.Job) ([]engine.Result, int, error) {
+func runRemote(ctx context.Context, baseURL, script string, workers int, verify string, timeout time.Duration, retries int, jobs []engine.Job) ([]engine.Result, int, error) {
 	req := server.BatchRequest{
 		ScriptSpec: server.ScriptSpec{Script: script, Workers: workers},
-		Verify:     verify,
+		Verify:     verify != "",
+		VerifyMode: verify,
 	}
 	if timeout > 0 {
 		req.TimeoutMS = timeout.Milliseconds()
@@ -470,6 +584,22 @@ func applyCutWidth(script string, k int) (string, error) {
 	default:
 		return "", fmt.Errorf("unsupported cut width %d (want 4 or 5)", k)
 	}
+}
+
+// verifyModes parses the -verify flag into its two ladder rungs.
+func verifyModes(mode string) (simV, satV bool, err error) {
+	switch mode {
+	case "":
+	case "sat":
+		satV = true
+	case "sim":
+		simV = true
+	case "sim+sat", "sat+sim":
+		simV, satV = true, true
+	default:
+		err = fmt.Errorf(`-verify wants "sat", "sim" or "sim+sat", got %q`, mode)
+	}
+	return simV, satV, err
 }
 
 func effectiveWorkers(requested, jobs int) int {

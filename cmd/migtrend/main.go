@@ -50,6 +50,18 @@ type report struct {
 	Exact5Synths   int `json:"exact5_synths"`
 	Exact5Entries  int `json:"exact5_entries"`
 	Exact5Timeouts int `json:"exact5_timeouts"`
+	Verify         *struct {
+		Mode               string        `json:"mode"`
+		PassChecks         int64         `json:"pass_checks"`
+		Patterns           int64         `json:"patterns"`
+		PatternsPerSecond  float64       `json:"patterns_per_second"`
+		Failures           int64         `json:"failures"`
+		CalibrationRefuted int           `json:"calibration_refuted"`
+		CalibrationTotal   int           `json:"calibration_total"`
+		SimElapsed         time.Duration `json:"sim_elapsed_ns"`
+		SATElapsed         time.Duration `json:"sat_elapsed_ns"`
+		SATProofs          int           `json:"sat_proofs"`
+	} `json:"verify"`
 }
 
 type column struct {
@@ -222,9 +234,33 @@ func render(w *os.File, cols []column) {
 			fmt.Fprintf(w, "; exact5: %d classes learned, %d ladders (%d budget-blown)",
 				c.rep.Exact5Entries, c.rep.Exact5Synths, c.rep.Exact5Timeouts)
 		}
+		if v := c.rep.Verify; v != nil {
+			fmt.Fprintf(w, "; verify %s:", v.Mode)
+			if v.PassChecks > 0 {
+				fmt.Fprintf(w, " %d sim checks, %s patterns (%s/s), %d failures, calibration %d/%d in %v;",
+					v.PassChecks, humanCount(v.Patterns), humanCount(int64(v.PatternsPerSecond)),
+					v.Failures, v.CalibrationRefuted, v.CalibrationTotal, v.SimElapsed.Round(time.Millisecond))
+			}
+			if v.SATProofs > 0 || v.SATElapsed > 0 {
+				fmt.Fprintf(w, " %d SAT proofs in %v", v.SATProofs, v.SATElapsed.Round(time.Millisecond))
+			}
+		}
 		fmt.Fprintln(w)
 	}
 	renderPassTotals(w, cols)
+}
+
+// humanCount renders a counter with a k/M suffix so the verify bullet
+// stays one readable line at CI pattern volumes.
+func humanCount(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprint(n)
+	}
 }
 
 // renderPassTotals answers "where did the time go": per-pass wall-clock

@@ -76,6 +76,16 @@ type Pipeline struct {
 	// is how a single large MIG saturates the machine without the logic
 	// duplication of SplitOutputs.
 	Workers int
+	// PassCheck, when non-nil, is invoked synchronously after every
+	// executed pass with the pass name, the 1-based iteration, and the
+	// graphs before and after the pass. A non-nil error aborts the run
+	// with that error — this is the differential-verification hook: the
+	// sim harness (internal/sim/diff) re-checks each pass against its
+	// input cheaply enough to leave enabled in CI. Like Progress, one
+	// callback can be invoked concurrently from different runs sharing a
+	// pipeline, so it must be safe for concurrent use (the diff harness
+	// is).
+	PassCheck func(pass string, iteration int, before, after *mig.MIG) error
 	// Progress, when non-nil, is invoked synchronously after every
 	// executed pass with that pass's statistics, before the next pass
 	// starts. This is the hook behind streaming per-pass stats (the HTTP
@@ -297,6 +307,11 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 					return err
 				}
 				next, ps := p.runPass(st.Iterations, pass, cur, ienv)
+				if p.PassCheck != nil {
+					if err := p.PassCheck(ps.Name, st.Iterations, cur, next); err != nil {
+						return err
+					}
+				}
 				st.Passes = append(st.Passes, ps)
 				st.CacheHits += ps.CacheHits
 				st.CacheMisses += ps.CacheMisses

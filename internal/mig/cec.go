@@ -5,11 +5,19 @@ import (
 	"time"
 
 	"mighash/internal/sat"
+	"mighash/internal/sim"
 )
 
-// Combinational equivalence checking of two MIGs by building a miter and
-// handing it to the CDCL solver. This is how rewriting passes are verified
-// on circuits too wide for exhaustive simulation.
+// Combinational equivalence checking of two MIGs as a two-rung ladder:
+// word-parallel simulation first — a few thousand patterns refute almost
+// every inequivalent pair in microseconds — and the SAT miter only for
+// pairs simulation cannot tell apart. SAT counterexamples flow back into
+// the pattern pool (counterexample-guided), so a distinguishing input
+// found once is the first probe tried against every later pair.
+
+// DefaultSimPatterns is the prefilter budget of Equivalent: patterns are
+// packed 64 per word, so the default costs 32 words per node and sweep.
+const DefaultSimPatterns = 2048
 
 // tseitin encodes every reachable gate of m into s, returning one SAT
 // literal per primary output. piVars supplies the SAT variable of each
@@ -42,20 +50,95 @@ func tseitin(s *sat.Solver, m *MIG, piVars []int) []sat.Lit {
 	return outs
 }
 
+// EquivOptions tunes EquivalentOpt.
+type EquivOptions struct {
+	// Timeout bounds the SAT solver; zero means none. The simulation
+	// prefilter is not budgeted — it is microseconds at any setting.
+	Timeout time.Duration
+	// SimPatterns is the prefilter budget, rounded up to a multiple of
+	// 64. Zero means DefaultSimPatterns; negative disables the prefilter
+	// (pure SAT, the pre-ladder behavior).
+	SimPatterns int
+	// Seed makes the random tail of the pattern ladder reproducible.
+	// Ignored when Pool is set (the pool owns its seed).
+	Seed uint64
+	// Pool, when non-nil, supplies the patterns and accumulates
+	// counterexamples across calls: SAT models and simulation refutations
+	// are Added so later checks replay them first. A nil Pool gets a
+	// private per-call pool seeded with Seed.
+	Pool *sim.Pool
+	// NoSAT makes the check refute-only: pairs the prefilter cannot tell
+	// apart count as equivalent without a proof (EquivStats.Proven stays
+	// false). This is the differential-verification mode — cheap enough
+	// to run after every pass of every pipeline.
+	NoSAT bool
+}
+
+// EquivStats reports how an equivalence check was decided.
+type EquivStats struct {
+	// SimPatterns is the number of patterns actually simulated.
+	SimPatterns int
+	// SimRefuted is set when the prefilter found a distinguishing
+	// pattern — the SAT solver never ran.
+	SimRefuted bool
+	// SATRan is set when the SAT miter was built and solved.
+	SATRan bool
+	// Proven is set when the verdict is a proof (SAT UNSAT for
+	// equivalence, any concrete counterexample for inequivalence) rather
+	// than "simulation found nothing" under NoSAT.
+	Proven bool
+}
+
 // Equivalent checks whether a and b compute the same functions output by
-// output. It returns an error when the interfaces mismatch or the solver
-// budget (timeout; zero means none) expires; a non-nil counterexample
-// describes the first differing output.
+// output, running the simulation prefilter with default budgets before
+// the SAT miter. It returns an error when the interfaces mismatch or the
+// solver budget (timeout; zero means none) expires; a non-nil
+// counterexample carries the full distinguishing input assignment and
+// every differing output.
 func Equivalent(a, b *MIG, timeout time.Duration) (bool, *Counterexample, error) {
+	eq, ce, _, err := EquivalentOpt(a, b, EquivOptions{Timeout: timeout})
+	return eq, ce, err
+}
+
+// EquivalentOpt is Equivalent with the verification ladder exposed: the
+// prefilter budget and pattern pool, the refute-only mode, and statistics
+// reporting which rung decided the answer.
+func EquivalentOpt(a, b *MIG, opt EquivOptions) (bool, *Counterexample, EquivStats, error) {
+	var st EquivStats
 	if a.NumPIs() != b.NumPIs() {
-		return false, nil, fmt.Errorf("mig: input count mismatch: %d vs %d", a.NumPIs(), b.NumPIs())
+		return false, nil, st, fmt.Errorf("mig: input count mismatch: %d vs %d", a.NumPIs(), b.NumPIs())
 	}
 	if a.NumPOs() != b.NumPOs() {
-		return false, nil, fmt.Errorf("mig: output count mismatch: %d vs %d", a.NumPOs(), b.NumPOs())
+		return false, nil, st, fmt.Errorf("mig: output count mismatch: %d vs %d", a.NumPOs(), b.NumPOs())
 	}
+	pool := opt.Pool
+	if opt.SimPatterns >= 0 {
+		patterns := opt.SimPatterns
+		if patterns == 0 {
+			patterns = DefaultSimPatterns
+		}
+		w := (patterns + 63) / 64
+		if pool == nil {
+			pool = sim.NewPool(a.NumPIs(), opt.Seed)
+		}
+		if ce, n := simRefute(a, b, pool, w, nil); ce != nil {
+			st.SimPatterns = n
+			st.SimRefuted, st.Proven = true, true
+			return false, ce, st, nil
+		} else {
+			st.SimPatterns = n
+		}
+	}
+	if opt.NoSAT {
+		// Refute-only: simulation found nothing; report equivalent without
+		// a proof (Proven stays false).
+		return true, nil, st, nil
+	}
+
+	st.SATRan = true
 	s := sat.New()
-	if timeout > 0 {
-		s.Deadline = time.Now().Add(timeout)
+	if opt.Timeout > 0 {
+		s.Deadline = time.Now().Add(opt.Timeout)
 	}
 	piVars := make([]int, a.NumPIs())
 	for i := range piVars {
@@ -77,30 +160,99 @@ func Equivalent(a, b *MIG, timeout time.Duration) (bool, *Counterexample, error)
 	s.AddClause(diff...)
 	switch s.Solve() {
 	case sat.Unsat:
-		return true, nil, nil
+		st.Proven = true
+		return true, nil, st, nil
 	case sat.Sat:
+		st.Proven = true
 		ce := &Counterexample{Inputs: make([]bool, len(piVars))}
 		for i, v := range piVars {
 			ce.Inputs[i] = s.Value(v)
 		}
-		for i, d := range diff {
-			if s.ValueLit(d) {
-				ce.Output = i
-				break
+		// Replaying the model through the simulator yields every output it
+		// distinguishes — the solver's difference literals only certify at
+		// least one — and regression-checks the extraction itself.
+		ce.Outputs = diffOutputs(a, b, ce.Inputs)
+		if len(ce.Outputs) == 0 {
+			// The replay disagreeing with the solver would mean a solver or
+			// encoding bug; fall back to the certified literals rather than
+			// report an empty counterexample.
+			for i, d := range diff {
+				if s.ValueLit(d) {
+					ce.Outputs = append(ce.Outputs, i)
+				}
 			}
 		}
-		return false, ce, nil
+		if len(ce.Outputs) > 0 {
+			ce.Output = ce.Outputs[0]
+		}
+		if pool != nil {
+			// Counterexample-guided: the next check over this pool replays
+			// the distinguishing input before anything else.
+			pool.Add(ce.Inputs)
+		}
+		return false, ce, st, nil
 	default:
-		return false, nil, fmt.Errorf("mig: equivalence check timed out after %v", timeout)
+		return false, nil, st, fmt.Errorf("mig: equivalence check timed out after %v", opt.Timeout)
 	}
+}
+
+// simRefute sweeps both graphs over 64·w pool patterns and extracts a
+// counterexample from the earliest differing pattern, or nil when the
+// batch cannot tell the graphs apart. ws may be nil for a private
+// workspace; n reports the patterns simulated.
+func simRefute(a, b *MIG, pool *sim.Pool, w int, ws *sim.Workspace) (ce *Counterexample, n int) {
+	if ws == nil {
+		ws = sim.NewWorkspace()
+	}
+	ca, cb := a.SimCircuit(), b.SimCircuit()
+	inputs := ws.Inputs(ca.NumPIs, w)
+	pool.Fill(inputs, w)
+	// One workspace serves both sweeps; outputs are snapshotted into
+	// per-call slices only when they differ.
+	outA := make([]uint64, ca.NumPOs()*w)
+	outB := make([]uint64, cb.NumPOs()*w)
+	ca.Run(ws, inputs, w, outA)
+	cb.Run(ws, inputs, w, outB)
+	n = 64 * w
+	q, _, differs := sim.Diff(outA, outB, w)
+	if !differs {
+		return nil, n
+	}
+	ce = &Counterexample{
+		Inputs:  sim.Assignment(inputs, w, ca.NumPIs, q),
+		Outputs: sim.DiffOutputs(outA, outB, w, q),
+	}
+	ce.Output = ce.Outputs[0]
+	pool.Add(ce.Inputs)
+	return ce, n
+}
+
+// diffOutputs evaluates both graphs on one assignment and returns every
+// differing output index.
+func diffOutputs(a, b *MIG, inputs []bool) []int {
+	ra, rb := a.EvalBits(inputs), b.EvalBits(inputs)
+	var outs []int
+	for i := range ra {
+		if ra[i] != rb[i] {
+			outs = append(outs, i)
+		}
+	}
+	return outs
 }
 
 // Counterexample is an input assignment on which two MIGs disagree.
 type Counterexample struct {
+	// Inputs is the full primary-input assignment, one value per PI.
 	Inputs []bool
-	Output int // index of a differing primary output
+	// Outputs lists every primary output differing under Inputs, in
+	// order; Output repeats the first for compatibility.
+	Outputs []int
+	Output  int
 }
 
 func (c *Counterexample) String() string {
+	if len(c.Outputs) > 1 {
+		return fmt.Sprintf("outputs %v differ on inputs %v", c.Outputs, c.Inputs)
+	}
 	return fmt.Sprintf("output %d differs on inputs %v", c.Output, c.Inputs)
 }

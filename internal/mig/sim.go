@@ -3,6 +3,7 @@ package mig
 import (
 	"fmt"
 
+	"mighash/internal/sim"
 	"mighash/internal/tt"
 )
 
@@ -88,6 +89,27 @@ func (m *MIG) EvalBits(assignment []bool) []bool {
 		out[i] = w&1 == 1
 	}
 	return out
+}
+
+// SimCircuit compiles the MIG into the flattened form of the word-parallel
+// simulation engine. Literal encodings are identical, so compilation is one
+// copy pass; the result is immutable and safe for concurrent sweeps. Dead
+// gates are carried along — Run's cost is proportional to NumNodes, and
+// callers that care compact first.
+func (m *MIG) SimCircuit() *sim.Circuit {
+	c := &sim.Circuit{
+		NumPIs:  m.numPI,
+		Fanin:   make([][3]sim.Lit, len(m.fanin)-1-m.numPI),
+		Outputs: make([]sim.Lit, len(m.outputs)),
+	}
+	for id := m.numPI + 1; id < len(m.fanin); id++ {
+		f := m.fanin[id]
+		c.Fanin[id-m.numPI-1] = [3]sim.Lit{sim.Lit(f[0]), sim.Lit(f[1]), sim.Lit(f[2])}
+	}
+	for i, o := range m.outputs {
+		c.Outputs[i] = sim.Lit(o)
+	}
+	return c
 }
 
 // ConeTT computes the local function of root in terms of the given leaves:

@@ -1,0 +1,110 @@
+package npn
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"mighash/internal/tt"
+)
+
+// TestApplyMatchesSlow pins the word-parallel Transform.Apply to the
+// per-assignment reference over every 4-variable transform and random
+// 5- and 6-variable ones.
+func TestApplyMatchesSlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tr := range All(4) {
+		f := tt.New(4, rng.Uint64())
+		if got, want := tr.Apply(f), tr.applySlow(f); got != want {
+			t.Fatalf("%v applied to %v: fast=%v, reference=%v", tr, f, got, want)
+		}
+	}
+	for n := 5; n <= tt.MaxVars; n++ {
+		for trial := 0; trial < 500; trial++ {
+			tr := Transform{N: n, NegOut: rng.Intn(2) == 1, Flip: uint8(rng.Intn(1 << n))}
+			copy(tr.Perm[:], rng.Perm(n))
+			f := tt.New(n, rng.Uint64())
+			if got, want := tr.Apply(f), tr.applySlow(f); got != want {
+				t.Fatalf("%v applied to %v: fast=%v, reference=%v", tr, f, got, want)
+			}
+		}
+	}
+}
+
+// TestSignature5DerivedComplement pins the arithmetic complement
+// signature against recomputation on the complemented table.
+func TestSignature5DerivedComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 1000; trial++ {
+		f := tt.New(5, rng.Uint64())
+		ones, c1 := signature5(f)
+		nOnes, nC1 := signature5(f.Not())
+		if nOnes != 32-ones {
+			t.Fatalf("f=%v: complement ones %d, derived %d", f, nOnes, 32-ones)
+		}
+		for j := 0; j < 5; j++ {
+			if nC1[j] != 16-c1[j] {
+				t.Fatalf("f=%v var %d: complement c1 %d, derived %d", f, j, nC1[j], 16-c1[j])
+			}
+		}
+	}
+}
+
+func BenchmarkTransformApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	tr := Transform{N: 5, NegOut: true, Flip: 0b10110}
+	copy(tr.Perm[:], rng.Perm(5))
+	f := tt.New(5, rng.Uint64())
+	b.Run("words", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f = tr.Apply(f)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f = tr.applySlow(f)
+		}
+	})
+}
+
+func BenchmarkSignature5(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	f := tt.New(5, rng.Uint64())
+	b.Run("derived", func(b *testing.B) {
+		// One pass plus the arithmetic complement — what canon5Transforms
+		// runs per polarity pair.
+		var sink int
+		for i := 0; i < b.N; i++ {
+			ones, c1 := signature5(f)
+			sink += 32 - ones
+			for j := range c1 {
+				sink += 16 - c1[j]
+			}
+		}
+		_ = sink
+	})
+	b.Run("recompute", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			_, _ = signature5(f)
+			g := f.Not()
+			sink += bits.OnesCount64(g.Bits)
+			for j := 0; j < 5; j++ {
+				sink += bits.OnesCount64(g.Bits & tt.Var(5, j).Bits)
+			}
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkCanonize5(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	fs := make([]tt.TT, 256)
+	for i := range fs {
+		fs[i] = tt.New(5, rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Canonize5(fs[i%len(fs)])
+	}
+}

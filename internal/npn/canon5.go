@@ -71,25 +71,48 @@ func IsCanonical5(f tt.TT) bool {
 	return rep == f
 }
 
+// signature5 computes the cofactor signature of f in one word-parallel
+// pass: the total ones count and, per variable, the minterms with that
+// variable set (six popcounts over masked words, no per-assignment
+// loop). The complement polarity's signature needs no second pass — it
+// derives arithmetically, ones' = 32 − ones and c1'[j] = 16 − c1[j],
+// because complementing the output turns every minterm into a non-
+// minterm and each variable is set in exactly half of all 32
+// assignments.
+func signature5(f tt.TT) (ones int, c1 [5]int) {
+	ones = bits.OnesCount64(f.Bits)
+	for j := 0; j < 5; j++ {
+		c1[j] = bits.OnesCount64(f.Bits & tt.Var(5, j).Bits)
+	}
+	return ones, c1
+}
+
 // canon5Transforms returns every transform whose image of f satisfies
 // the normalization invariants, or ok=false when signature ties would
 // blow the set past canon5FallbackLimit.
 func canon5Transforms(f tt.TT) ([]Transform, bool) {
+	posOnes, posC1 := signature5(f)
 	var out []Transform
 	for _, neg := range [2]bool{false, true} {
-		g := f.NotIf(neg)
-		ones := g.CountOnes()
+		ones, c1 := posOnes, posC1
+		if neg {
+			// Derived complement signature (see signature5) — the second
+			// polarity costs six subtractions instead of six popcounts.
+			ones = 32 - ones
+			for j := range c1 {
+				c1[j] = 16 - c1[j]
+			}
+		}
 		if ones*2 > 32 {
 			continue // output polarity invariant violated
 		}
-		// c1[j]: minterms of g with x_j = 1. Flipping x_j swaps it with
-		// c0[j] = ones − c1[j]; permutations move it between positions;
-		// nothing else touches it.
-		var c1, key [5]int
+		// c1[j]: minterms of g = f⊕neg with x_j = 1. Flipping x_j swaps it
+		// with c0[j] = ones − c1[j]; permutations move it between
+		// positions; nothing else touches it.
+		var key [5]int
 		flipBoth := 0 // bitmask of variables free to flip either way
 		var flip uint8
 		for j := 0; j < 5; j++ {
-			c1[j] = bits.OnesCount64(g.Bits & tt.Var(5, j).Bits)
 			c0 := ones - c1[j]
 			switch {
 			case c1[j] > c0:

@@ -28,10 +28,33 @@ func Identity(n int) Transform {
 
 // Apply computes the truth table of Apply(T, f) as defined in the package
 // comment. f must have T.N variables.
+//
+// The computation is word-parallel: input complements are branch-gated
+// FlipVar masks and the permutation runs through tt.Permute's
+// transposition decomposition, so no per-assignment scan remains on the
+// canonization hot path (applySlow pins the reference semantics).
 func (t Transform) Apply(f tt.TT) tt.TT {
 	if f.N != t.N {
 		panic(fmt.Sprintf("npn: transform over %d variables applied to %d-variable function", t.N, f.N))
 	}
+	g := f
+	for j := 0; j < t.N; j++ {
+		if t.Flip>>uint(j)&1 == 1 {
+			g = g.FlipVar(j)
+		}
+	}
+	// g-variable j must read result-variable Perm[j]; Permute wants the
+	// opposite indexing (position i names its source), hence the inverse.
+	var inv [tt.MaxVars]int
+	for j := 0; j < t.N; j++ {
+		inv[t.Perm[j]] = j
+	}
+	return g.Permute(inv[:t.N]).NotIf(t.NegOut)
+}
+
+// applySlow is the per-assignment reference implementation Apply is
+// verified against (and benchmarked over).
+func (t Transform) applySlow(f tt.TT) tt.TT {
 	var out uint64
 	n := uint(t.N)
 	for x := uint(0); x < uint(1)<<n; x++ {

@@ -22,6 +22,7 @@ import (
 	"mighash/internal/fault"
 	"mighash/internal/mig"
 	"mighash/internal/obs"
+	"mighash/internal/sim/diff"
 )
 
 // Config tunes a Server. The zero value is usable: every limit falls back
@@ -415,11 +416,18 @@ type OptimizeRequest struct {
 	// milliseconds; it is clamped to the server's MaxTimeout. Zero asks
 	// for the server's DefaultTimeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Verify re-proves input/output equivalence with the built-in SAT
-	// checker before responding. Costly on large circuits; the check runs
-	// under the request's remaining deadline and fails the job when the
-	// budget runs out.
+	// Verify re-checks input/output equivalence before responding, in the
+	// mode named by VerifyMode (default "sim+sat"). Costly on large
+	// circuits; the check runs under the request's remaining deadline and
+	// fails the job when the budget runs out.
 	Verify bool `json:"verify,omitempty"`
+	// VerifyMode picks the verification-ladder rung (implies Verify):
+	// "sat" proves equivalence with a pure SAT miter, "sim" re-simulates
+	// every executed pass and the final result word-parallel (refute-only:
+	// a clean run sets SimClean, never Verified), and "sim+sat" — the
+	// default when only Verify is set — runs the simulation prefilter and
+	// harness first and proves sim-clean results with SAT.
+	VerifyMode string `json:"verify_mode,omitempty"`
 	// Stream switches the response to application/x-ndjson: one "pass"
 	// event per executed pass as it happens, then one "result" event.
 	Stream bool `json:"stream,omitempty"`
@@ -448,7 +456,25 @@ type BatchRequest struct {
 	ScriptSpec
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	Verify    bool  `json:"verify,omitempty"`
-	Stream    bool  `json:"stream,omitempty"`
+	// VerifyMode is the verification-ladder rung; see OptimizeRequest.
+	VerifyMode string `json:"verify_mode,omitempty"`
+	Stream     bool   `json:"stream,omitempty"`
+}
+
+// verifyMode resolves the request's verification mode: VerifyMode wins,
+// a bare Verify=true means the full "sim+sat" ladder, and anything
+// unrecognized is a client error.
+func (r *BatchRequest) verifyMode() (string, error) {
+	switch r.VerifyMode {
+	case "":
+		if r.Verify {
+			return "sim+sat", nil
+		}
+		return "", nil
+	case "sat", "sim", "sim+sat":
+		return r.VerifyMode, nil
+	}
+	return "", fmt.Errorf(`unknown verify_mode %q (want "sat", "sim" or "sim+sat")`, r.VerifyMode)
 }
 
 // BatchJobRequest is one netlist of a batch request.
@@ -464,9 +490,14 @@ type OptimizeResponse struct {
 	Name    string               `json:"name,omitempty"`
 	Netlist string               `json:"netlist,omitempty"`
 	Stats   engine.PipelineStats `json:"stats"`
-	// Verified reports the SAT equivalence check; only present when the
-	// request asked for verification.
+	// Verified reports a SAT-proven equivalence check; only present when
+	// the request asked for verification and the result was proven
+	// (verify_mode "sat" or "sim+sat").
 	Verified *bool `json:"verified,omitempty"`
+	// SimClean reports a refute-only simulation check that found no
+	// difference (verify_mode "sim"): evidence, not proof — the SAT rung
+	// never ran, so Verified stays absent.
+	SimClean *bool `json:"sim_clean,omitempty"`
 	// Error is the per-job failure. Jobs fail independently once
 	// optimization starts (an engine error on one job leaves the others'
 	// results intact); request validation is fail-fast instead — any
@@ -657,6 +688,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		ScriptSpec: req.ScriptSpec,
 		TimeoutMS:  req.TimeoutMS,
 		Verify:     req.Verify,
+		VerifyMode: req.VerifyMode,
 		Stream:     req.Stream,
 	}
 	s.run(w, r, br, false)
@@ -685,6 +717,17 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, req BatchRequest, b
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	vmode, err := req.verifyMode()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if vmode == "sim" || vmode == "sim+sat" {
+		// The differential harness re-checks every executed pass against
+		// its input graph; an offending pass fails its job with the pass
+		// name and counterexample in-band.
+		p.PassCheck = diff.New(diff.Options{}).PassCheck
 	}
 	jobs := make([]engine.Job, len(req.Jobs))
 	for i, j := range req.Jobs {
@@ -881,18 +924,25 @@ func (s *Server) buildResponse(ctx context.Context, req BatchRequest, i int, in 
 		return resp
 	}
 	resp.Netlist = netlist
-	if req.Verify {
+	if vmode, _ := req.verifyMode(); vmode != "" {
 		_, vspan := obs.Start(ctx, "verify")
 		defer vspan.End()
 		vspan.SetStr("job", res.Name)
-		budget := time.Duration(0)
+		vspan.SetStr("mode", vmode)
+		opt := mig.EquivOptions{}
+		switch vmode {
+		case "sat":
+			opt.SimPatterns = -1 // pure SAT miter, no prefilter
+		case "sim":
+			opt.NoSAT = true // refute-only: clean means SimClean, not Verified
+		}
 		if deadline, ok := ctx.Deadline(); ok {
-			if budget = time.Until(deadline); budget <= 0 {
+			if opt.Timeout = time.Until(deadline); opt.Timeout <= 0 {
 				resp.Error = "request deadline expired before the equivalence check could run"
 				return resp
 			}
 		}
-		eq, ce, err := mig.Equivalent(in, res.M, budget)
+		eq, ce, st, err := mig.EquivalentOpt(in, res.M, opt)
 		if err != nil {
 			resp.Error = fmt.Sprintf("equivalence check failed to run: %v", err)
 			return resp
@@ -901,7 +951,11 @@ func (s *Server) buildResponse(ctx context.Context, req BatchRequest, i int, in 
 			resp.Error = fmt.Sprintf("optimized netlist miscompares on input %v", ce)
 			return resp
 		}
-		resp.Verified = &eq
+		if st.Proven {
+			resp.Verified = &eq
+		} else {
+			resp.SimClean = &eq
+		}
 	}
 	return resp
 }

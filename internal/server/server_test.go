@@ -135,6 +135,46 @@ func TestOptimizeVerify(t *testing.T) {
 	if out.Verified == nil || !*out.Verified {
 		t.Errorf("verified = %v, want true", out.Verified)
 	}
+	if out.SimClean != nil {
+		t.Errorf("sim_clean = %v on a SAT-proven result, want absent", *out.SimClean)
+	}
+}
+
+// TestOptimizeVerifyModes covers the verify_mode ladder: "sim" is
+// refute-only (SimClean, never Verified), "sat" and "sim+sat" prove
+// (Verified), and an unknown mode is a client error.
+func TestOptimizeVerifyModes(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, mode := range []string{"sat", "sim", "sim+sat"} {
+		resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+			Netlist:    fullAdderBench,
+			ScriptSpec: ScriptSpec{Script: "size"},
+			VerifyMode: mode,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s: status = %d, want 200", mode, resp.StatusCode)
+		}
+		out := decodeBody[OptimizeResponse](t, resp)
+		if mode == "sim" {
+			if out.Verified != nil {
+				t.Errorf("mode sim: verified = %v, want absent (refute-only)", *out.Verified)
+			}
+			if out.SimClean == nil || !*out.SimClean {
+				t.Errorf("mode sim: sim_clean = %v, want true", out.SimClean)
+			}
+		} else {
+			if out.Verified == nil || !*out.Verified {
+				t.Errorf("mode %s: verified = %v, want true", mode, out.Verified)
+			}
+		}
+	}
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist:    fullAdderBench,
+		VerifyMode: "telepathy",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown verify_mode: status = %d, want 400", resp.StatusCode)
+	}
 }
 
 func TestBatchOrderAndMIGFormat(t *testing.T) {

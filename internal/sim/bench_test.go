@@ -1,0 +1,105 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"mighash/internal/circuits"
+	"mighash/internal/mig"
+	"mighash/internal/sim"
+)
+
+// sweepPatterns is the batch size the sweep benchmarks and the speedup
+// gate share: mig.Equivalent's default prefilter budget.
+const sweepPatterns = 2048
+
+func benchCircuit(b testing.TB) *mig.MIG {
+	spec, ok := circuits.ByName("Sine")
+	if !ok {
+		b.Fatal("suite circuit Sine missing")
+	}
+	return spec.Build()
+}
+
+// BenchmarkSimSweep measures the word-parallel engine sweeping the whole
+// prefilter batch. Compare with BenchmarkSimSweepScalarEval: the ratio is
+// the prefilter's speedup over evaluating one pattern at a time.
+func BenchmarkSimSweep(b *testing.B) {
+	m := benchCircuit(b)
+	c := m.SimCircuit()
+	ws := sim.NewWorkspace()
+	const w = sweepPatterns / 64
+	pool := sim.NewPool(c.NumPIs, 1)
+	inputs := ws.Inputs(c.NumPIs, w)
+	pool.Fill(inputs, w)
+	out := ws.Outputs(c.NumPOs(), w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(ws, inputs, w, out)
+	}
+	b.ReportMetric(float64(sweepPatterns)*float64(b.N)/b.Elapsed().Seconds(), "patterns/s")
+}
+
+// BenchmarkSimSweepScalarEval is the per-pattern baseline: the same batch
+// evaluated one assignment at a time through mig.EvalBits, the way a
+// check had to be done before the word-parallel engine existed.
+func BenchmarkSimSweepScalarEval(b *testing.B) {
+	m := benchCircuit(b)
+	n := m.NumPIs()
+	const w = sweepPatterns / 64
+	inputs := make([]uint64, n*w)
+	sim.NewPool(n, 1).Fill(inputs, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := 0; q < sweepPatterns; q++ {
+			m.EvalBits(sim.Assignment(inputs, w, n, q))
+		}
+	}
+	b.ReportMetric(float64(sweepPatterns)*float64(b.N)/b.Elapsed().Seconds(), "patterns/s")
+}
+
+// TestSimSweepSpeedup gates the tentpole's acceptance criterion: the
+// word-parallel sweep must be at least 10× faster than per-pattern
+// evaluation on a suite circuit. The expected ratio is well over 40×, so
+// the 10× bar leaves a wide margin for noisy CI machines; the median of
+// three trials smooths scheduler hiccups.
+func TestSimSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	m := benchCircuit(t)
+	c := m.SimCircuit()
+	ws := sim.NewWorkspace()
+	n := c.NumPIs
+	const w = sweepPatterns / 64
+	inputs := ws.Inputs(n, w)
+	sim.NewPool(n, 1).Fill(inputs, w)
+	out := ws.Outputs(c.NumPOs(), w)
+	c.Run(ws, inputs, w, out) // warm buffers
+
+	median := func(f func()) time.Duration {
+		var ds []time.Duration
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f()
+			ds = append(ds, time.Since(start))
+		}
+		for i := range ds { // 3-element insertion sort
+			for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+		return ds[1]
+	}
+	parallel := median(func() { c.Run(ws, inputs, w, out) })
+	scalar := median(func() {
+		for q := 0; q < sweepPatterns; q++ {
+			m.EvalBits(sim.Assignment(inputs, w, n, q))
+		}
+	})
+	ratio := float64(scalar) / float64(parallel)
+	t.Logf("word-parallel %v vs scalar %v: %.1fx", parallel, scalar, ratio)
+	if ratio < 10 {
+		t.Errorf("word-parallel sweep only %.1fx faster than per-pattern eval, want >=10x", ratio)
+	}
+}

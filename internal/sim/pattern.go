@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool generates the deterministic input patterns of a simulation sweep
+// and accumulates the counterexamples that sharpen it. Every Fill lays
+// out the same ladder:
+//
+//	pattern 0            all inputs 0
+//	pattern 1            all inputs 1
+//	next len(ces)        recorded counterexamples, oldest first
+//	next NumPIs          walking one-hot (input i set, rest clear)
+//	next NumPIs          walking one-cold (input i clear, rest set)
+//	remainder            splitmix64 pseudo-random, seeded per (seed, input, word)
+//
+// Structural patterns that do not fit the batch are dropped from the
+// back, so the constant and counterexample patterns always survive.
+// The random tail of word w of input i depends only on (seed, i, w) —
+// growing the batch keeps every earlier pattern bit-identical.
+//
+// A Pool is safe for concurrent use. Add records an input assignment —
+// typically the model of a SAT counterexample — so every later Fill
+// replays it first (counterexample-guided: an input that once
+// distinguished two graphs is the cheapest probe against the next pair).
+type Pool struct {
+	n    int
+	seed uint64
+
+	mu  sync.Mutex
+	ces [][]bool
+}
+
+// NewPool returns a pattern pool for circuits with numPIs inputs. Two
+// pools with the same seed generate identical patterns.
+func NewPool(numPIs int, seed uint64) *Pool {
+	if numPIs < 0 {
+		panic("sim: negative input count")
+	}
+	return &Pool{n: numPIs, seed: seed}
+}
+
+// NumPIs returns the input count the pool generates patterns for.
+func (p *Pool) NumPIs() int { return p.n }
+
+// Add records a counterexample assignment for every later Fill. The
+// slice is copied. Assignments of the wrong width are rejected (an
+// interface mismatch would silently desynchronize the pattern ladder).
+func (p *Pool) Add(assignment []bool) {
+	if len(assignment) != p.n {
+		panic(fmt.Sprintf("sim: counterexample over %d inputs added to a %d-input pool", len(assignment), p.n))
+	}
+	p.mu.Lock()
+	p.ces = append(p.ces, append([]bool(nil), assignment...))
+	p.mu.Unlock()
+}
+
+// Counterexamples returns how many assignments have been recorded.
+func (p *Pool) Counterexamples() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ces)
+}
+
+// Fill writes NumPIs·w pattern words in Run's layout (input i occupies
+// words [i·w, (i+1)·w)). See the type comment for the pattern ladder.
+func (p *Pool) Fill(words []uint64, w int) {
+	if len(words) != p.n*w {
+		panic(fmt.Sprintf("sim: Fill needs %d words (%d PIs × %d), got %d", p.n*w, p.n, w, len(words)))
+	}
+	// Random base layer: every word gets its own splitmix64 output so the
+	// pattern stream is position-stable under batch growth.
+	for i := 0; i < p.n; i++ {
+		row := words[i*w : (i+1)*w]
+		for k := range row {
+			row[k] = splitmix64(p.seed ^ mix(uint64(i), uint64(k)))
+		}
+	}
+	patterns := 64 * w
+	set := func(q, input int, v bool) {
+		word, bit := q/64, uint(q%64)
+		if v {
+			words[input*w+word] |= 1 << bit
+		} else {
+			words[input*w+word] &^= 1 << bit
+		}
+	}
+	q := 0
+	stamp := func(f func(input int) bool) bool {
+		if q >= patterns {
+			return false
+		}
+		for i := 0; i < p.n; i++ {
+			set(q, i, f(i))
+		}
+		q++
+		return true
+	}
+	stamp(func(int) bool { return false })
+	stamp(func(int) bool { return true })
+	p.mu.Lock()
+	ces := p.ces
+	p.mu.Unlock()
+	for _, ce := range ces {
+		if !stamp(func(i int) bool { return ce[i] }) {
+			return
+		}
+	}
+	for hot := 0; hot < p.n; hot++ {
+		if !stamp(func(i int) bool { return i == hot }) {
+			return
+		}
+	}
+	for cold := 0; cold < p.n; cold++ {
+		if !stamp(func(i int) bool { return i != cold }) {
+			return
+		}
+	}
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche
+// mixer whose successive seeds yield statistically independent words.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mix folds an (input, word) coordinate into one seed offset.
+func mix(i, k uint64) uint64 {
+	return splitmix64(i*0x9E3779B97F4A7C15 + k + 1)
+}

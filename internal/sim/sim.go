@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Lit is a signal of a flattened circuit: a node ID with a complement bit
+// in the lowest position — the same encoding as mig.Lit, so compiling an
+// MIG is a straight copy.
+type Lit uint32
+
+// MakeLit returns the literal for node id, complemented if comp is set.
+func MakeLit(id uint32, comp bool) Lit {
+	l := Lit(id) << 1
+	if comp {
+		l |= 1
+	}
+	return l
+}
+
+// ID returns the node the literal points to.
+func (l Lit) ID() uint32 { return uint32(l >> 1) }
+
+// Comp reports whether the literal is complemented.
+func (l Lit) Comp() bool { return l&1 == 1 }
+
+// Circuit is a flattened majority netlist ready for word-parallel
+// evaluation. Node 0 is the constant-0 terminal, nodes 1..NumPIs are the
+// primary inputs, and gate i of Fanin is node NumPIs+1+i; fanins always
+// point at lower node IDs (topological order), which is what lets Run
+// evaluate in one ascending sweep. A Circuit is immutable after
+// construction and safe for concurrent use.
+type Circuit struct {
+	NumPIs  int
+	Fanin   [][3]Lit
+	Outputs []Lit
+}
+
+// NumNodes returns the node count including the constant and the inputs.
+func (c *Circuit) NumNodes() int { return 1 + c.NumPIs + len(c.Fanin) }
+
+// NumPOs returns the number of primary outputs.
+func (c *Circuit) NumPOs() int { return len(c.Outputs) }
+
+// Validate checks the topological-order and range invariants Run relies
+// on. Compiled circuits (mig.MIG.SimCircuit) hold them by construction;
+// hand-built ones should be validated once before simulation.
+func (c *Circuit) Validate() error {
+	for i, f := range c.Fanin {
+		this := uint32(1 + c.NumPIs + i)
+		for _, l := range f {
+			if l.ID() >= this {
+				return fmt.Errorf("sim: gate %d reads node %d (not topologically ordered)", this, l.ID())
+			}
+		}
+	}
+	n := uint32(c.NumNodes())
+	for _, o := range c.Outputs {
+		if o.ID() >= n {
+			return fmt.Errorf("sim: output reads nonexistent node %d", o.ID())
+		}
+	}
+	return nil
+}
+
+// Workspace holds the reusable simulation buffers of one goroutine. The
+// value arrays grow to the largest circuit·batch seen and are reused, so
+// steady-state sweeps are allocation-free (pinned by test). A Workspace
+// must not be shared by two goroutines at once.
+type Workspace struct {
+	vals []uint64 // one W-word row per node
+	in   []uint64 // reusable input-pattern buffer for callers
+	out  []uint64 // reusable output buffer for callers
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Inputs returns the workspace's input buffer sized for numPIs·w words.
+// The contents are unspecified; fill it (Pool.Fill) before Run.
+func (ws *Workspace) Inputs(numPIs, w int) []uint64 {
+	ws.in = grow(ws.in, numPIs*w)
+	return ws.in
+}
+
+// Outputs returns the workspace's output buffer sized for numPOs·w words.
+func (ws *Workspace) Outputs(numPOs, w int) []uint64 {
+	ws.out = grow(ws.out, numPOs*w)
+	return ws.out
+}
+
+func grow(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// Run evaluates the circuit bit-parallel over a batch of 64·w input
+// patterns. inputs holds NumPIs·w pattern words — input i occupies words
+// [i·w, (i+1)·w), with pattern q at bit q%64 of word q/64 of each row —
+// and out receives NumPOs·w words in the same layout. out may come from
+// Workspace.Outputs; inputs and out must not alias.
+func (c *Circuit) Run(ws *Workspace, inputs []uint64, w int, out []uint64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("sim: batch of %d words", w))
+	}
+	if len(inputs) != c.NumPIs*w {
+		panic(fmt.Sprintf("sim: need %d input words (%d PIs × %d), got %d", c.NumPIs*w, c.NumPIs, w, len(inputs)))
+	}
+	if len(out) != len(c.Outputs)*w {
+		panic(fmt.Sprintf("sim: need %d output words (%d POs × %d), got %d", len(c.Outputs)*w, len(c.Outputs), w, len(out)))
+	}
+	vals := grow(ws.vals, c.NumNodes()*w)
+	ws.vals = vals
+	// Node 0 is constant zero; clearing only its row keeps begin cost
+	// independent of history.
+	clear(vals[:w])
+	copy(vals[w:(1+c.NumPIs)*w], inputs)
+	for gi, f := range c.Fanin {
+		// One XOR with an all-ones/all-zero mask realizes the complement
+		// branch-free; majority is four word operations.
+		ma := -uint64(f[0] & 1)
+		mb := -uint64(f[1] & 1)
+		mc := -uint64(f[2] & 1)
+		av := vals[int(f[0]>>1)*w:]
+		bv := vals[int(f[1]>>1)*w:]
+		cv := vals[int(f[2]>>1)*w:]
+		dst := vals[(1+c.NumPIs+gi)*w:]
+		for k := 0; k < w; k++ {
+			a := av[k] ^ ma
+			b := bv[k] ^ mb
+			cc := cv[k] ^ mc
+			dst[k] = a&b | cc&(a|b)
+		}
+	}
+	for oi, o := range c.Outputs {
+		m := -uint64(o & 1)
+		src := vals[int(o>>1)*w:]
+		dst := out[oi*w:]
+		for k := 0; k < w; k++ {
+			dst[k] = src[k] ^ m
+		}
+	}
+}
+
+// Diff compares two output batches of the same shape (numPOs·w words,
+// Run's layout) and returns the index of the first differing pattern and
+// the index of the first output differing on it. ok is false when the
+// batches agree on every pattern.
+func Diff(a, b []uint64, w int) (pattern, output int, ok bool) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("sim: Diff over mismatched batches (%d vs %d words)", len(a), len(b)))
+	}
+	numPOs := len(a) / w
+	bestQ, bestO := -1, -1
+	for o := 0; o < numPOs; o++ {
+		for k := 0; k < w; k++ {
+			if d := a[o*w+k] ^ b[o*w+k]; d != 0 {
+				q := k*64 + bits.TrailingZeros64(d)
+				if bestQ < 0 || q < bestQ {
+					bestQ, bestO = q, o
+				}
+				break // later words of this output are later patterns
+			}
+		}
+	}
+	if bestQ < 0 {
+		return 0, 0, false
+	}
+	return bestQ, bestO, true
+}
+
+// DiffOutputs returns every output index differing on pattern q, in order.
+func DiffOutputs(a, b []uint64, w, q int) []int {
+	numPOs := len(a) / w
+	word, bit := q/64, uint(q%64)
+	var outs []int
+	for o := 0; o < numPOs; o++ {
+		if (a[o*w+word]^b[o*w+word])>>bit&1 == 1 {
+			outs = append(outs, o)
+		}
+	}
+	return outs
+}
+
+// Assignment extracts pattern q of an input batch (numPIs·w words in
+// Run's layout) as one bool per input.
+func Assignment(inputs []uint64, w, numPIs, q int) []bool {
+	word, bit := q/64, uint(q%64)
+	asn := make([]bool, numPIs)
+	for i := 0; i < numPIs; i++ {
+		asn[i] = inputs[i*w+word]>>bit&1 == 1
+	}
+	return asn
+}

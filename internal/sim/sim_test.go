@@ -1,0 +1,221 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mighash/internal/circuits"
+	"mighash/internal/mig"
+	"mighash/internal/sim"
+)
+
+// evalScalar is the single-pattern reference evaluator the word-parallel
+// engine is checked against.
+func evalScalar(c *sim.Circuit, asn []bool) []bool {
+	vals := make([]bool, c.NumNodes())
+	copy(vals[1:], asn)
+	at := func(l sim.Lit) bool { return vals[l.ID()] != l.Comp() }
+	for gi, f := range c.Fanin {
+		a, b, cc := at(f[0]), at(f[1]), at(f[2])
+		vals[1+c.NumPIs+gi] = (a && b) || (cc && (a || b))
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = at(o)
+	}
+	return out
+}
+
+// randomMIG builds a random MIG with n inputs, g gate attempts and p
+// outputs. Strashing and the majority axioms may dedupe attempts, so the
+// result has at most g gates.
+func randomMIG(rng *rand.Rand, n, g, p int) *mig.MIG {
+	m := mig.New(n)
+	lits := []mig.Lit{mig.Const0}
+	for i := 0; i < n; i++ {
+		lits = append(lits, m.Input(i))
+	}
+	pick := func() mig.Lit {
+		l := lits[rng.Intn(len(lits))]
+		if rng.Intn(2) == 1 {
+			l = l.Not()
+		}
+		return l
+	}
+	for i := 0; i < g; i++ {
+		lits = append(lits, m.Maj(pick(), pick(), pick()))
+	}
+	for i := 0; i < p; i++ {
+		m.AddOutput(pick())
+	}
+	return m
+}
+
+// TestRunMatchesScalar cross-checks the word-parallel sweep against the
+// scalar reference on random graphs, pattern by pattern — this also pins
+// the MIG→Circuit compiler, since the patterns replay through mig.EvalBits.
+func TestRunMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ws := sim.NewWorkspace()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := randomMIG(rng, n, 1+rng.Intn(40), 1+rng.Intn(4))
+		c := m.SimCircuit()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("compiled circuit invalid: %v", err)
+		}
+		const w = 3
+		inputs := ws.Inputs(n, w)
+		pool := sim.NewPool(n, uint64(trial))
+		pool.Fill(inputs, w)
+		out := ws.Outputs(c.NumPOs(), w)
+		c.Run(ws, inputs, w, out)
+		for q := 0; q < 64*w; q++ {
+			asn := sim.Assignment(inputs, w, n, q)
+			want := evalScalar(c, asn)
+			mwant := m.EvalBits(asn)
+			for o := range want {
+				got := out[o*w+q/64]>>(uint(q)%64)&1 == 1
+				if got != want[o] || got != mwant[o] {
+					t.Fatalf("trial %d pattern %d output %d: words=%v scalar=%v mig=%v",
+						trial, q, o, got, want[o], mwant[o])
+				}
+			}
+		}
+	}
+}
+
+func TestRunZeroAllocSteadyState(t *testing.T) {
+	m := randomMIG(rand.New(rand.NewSource(2)), 6, 100, 3)
+	c := m.SimCircuit()
+	ws := sim.NewWorkspace()
+	const w = 8
+	pool := sim.NewPool(c.NumPIs, 42)
+	inputs := ws.Inputs(c.NumPIs, w)
+	out := ws.Outputs(c.NumPOs(), w)
+	pool.Fill(inputs, w)
+	c.Run(ws, inputs, w, out) // size the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		pool.Fill(inputs, w)
+		c.Run(ws, inputs, w, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sweep allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPoolDeterministicAndStructural(t *testing.T) {
+	const n, w = 5, 4
+	a := make([]uint64, n*w)
+	b := make([]uint64, n*w)
+	sim.NewPool(n, 7).Fill(a, w)
+	sim.NewPool(n, 7).Fill(b, w)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different patterns at word %d", i)
+		}
+	}
+	sim.NewPool(n, 8).Fill(b, w)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical pattern batches")
+	}
+	// Pattern 0 is all-zero, pattern 1 all-ones.
+	for i := 0; i < n; i++ {
+		if asn := sim.Assignment(a, w, n, 0); asn[i] {
+			t.Fatalf("pattern 0 sets input %d", i)
+		}
+		if asn := sim.Assignment(a, w, n, 1); !asn[i] {
+			t.Fatalf("pattern 1 clears input %d", i)
+		}
+	}
+	// Walking one-hot block starts right after the counterexamples (none).
+	for hot := 0; hot < n; hot++ {
+		asn := sim.Assignment(a, w, n, 2+hot)
+		for i := 0; i < n; i++ {
+			if asn[i] != (i == hot) {
+				t.Fatalf("one-hot pattern %d wrong at input %d: %v", hot, i, asn)
+			}
+		}
+	}
+}
+
+func TestPoolCounterexamplesReplayFirst(t *testing.T) {
+	const n, w = 4, 2
+	p := sim.NewPool(n, 3)
+	ce := []bool{true, false, true, true}
+	p.Add(ce)
+	if p.Counterexamples() != 1 {
+		t.Fatalf("Counterexamples() = %d, want 1", p.Counterexamples())
+	}
+	words := make([]uint64, n*w)
+	p.Fill(words, w)
+	if asn := sim.Assignment(words, w, n, 2); !equalBools(asn, ce) {
+		t.Fatalf("pattern 2 = %v, want recorded counterexample %v", asn, ce)
+	}
+	// Growing the batch keeps earlier patterns stable.
+	big := make([]uint64, n*2*w)
+	p.Fill(big, 2*w)
+	for q := 0; q < 64*w; q++ {
+		if !equalBools(sim.Assignment(words, w, n, q), sim.Assignment(big, 2*w, n, q)) {
+			t.Fatalf("pattern %d changed when the batch grew", q)
+		}
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiffAndAssignment(t *testing.T) {
+	// Two one-output batches differing first at pattern 65 (word 1 bit 1)
+	// and also on output 2 at the same pattern.
+	const w = 2
+	a := make([]uint64, 3*w)
+	b := make([]uint64, 3*w)
+	b[1] = 1 << 1         // output 0, word 1, bit 1 -> pattern 65
+	b[2*w+1] = 1<<1 | 1<<5 // output 2 differs at patterns 65 and 69
+	q, o, ok := sim.Diff(a, b, w)
+	if !ok || q != 65 || o != 0 {
+		t.Fatalf("Diff = (%d, %d, %v), want (65, 0, true)", q, o, ok)
+	}
+	outs := sim.DiffOutputs(a, b, w, 65)
+	if len(outs) != 2 || outs[0] != 0 || outs[1] != 2 {
+		t.Fatalf("DiffOutputs = %v, want [0 2]", outs)
+	}
+	if _, _, ok := sim.Diff(a, a, w); ok {
+		t.Fatal("Diff reports a difference between identical batches")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &sim.Circuit{NumPIs: 1, Fanin: [][3]sim.Lit{{sim.MakeLit(5, false), 0, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a forward reference")
+	}
+	badOut := &sim.Circuit{NumPIs: 1, Outputs: []sim.Lit{sim.MakeLit(9, true)}}
+	if err := badOut.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range output")
+	}
+	for _, spec := range circuits.All() {
+		if spec.Name != "Sine" {
+			continue
+		}
+		if err := spec.Build().SimCircuit().Validate(); err != nil {
+			t.Fatalf("%s compiles to an invalid circuit: %v", spec.Name, err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPerm(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+// TestPermuteMatchesSlow pins the transposition-decomposition Permute to
+// the per-assignment reference over every arity and random permutations.
+func TestPermuteMatchesSlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n <= MaxVars; n++ {
+		for trial := 0; trial < 200; trial++ {
+			f := New(n, rng.Uint64())
+			perm := randPerm(rng, n)
+			got, want := f.Permute(perm), f.permuteSlow(perm)
+			if got != want {
+				t.Fatalf("n=%d perm=%v f=%v: Permute=%v, reference=%v", n, perm, f, got, want)
+			}
+		}
+	}
+}
+
+// TestPermuteComposesWithSwapVars: a single transposition must agree
+// with SwapVars directly.
+func TestPermuteComposesWithSwapVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		f := New(6, rng.Uint64())
+		i, j := rng.Intn(6), rng.Intn(6)
+		perm := []int{0, 1, 2, 3, 4, 5}
+		perm[i], perm[j] = perm[j], perm[i]
+		if got, want := f.Permute(perm), f.SwapVars(i, j); got != want {
+			t.Fatalf("swap(%d,%d) f=%v: Permute=%v, SwapVars=%v", i, j, f, got, want)
+		}
+	}
+}
+
+func BenchmarkPermute(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	f := New(6, rng.Uint64())
+	perm := []int{5, 3, 0, 4, 1, 2}
+	b.Run("words", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f = f.Permute(perm)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f = f.permuteSlow(perm)
+		}
+	})
+}

@@ -212,10 +212,36 @@ func (t TT) SwapVars(i, j int) TT {
 // Permute returns the truth table of f(x_{perm[0]}, …, x_{perm[n-1]}); that
 // is, input position i of the result reads the variable that position
 // perm[i] of t read. perm must be a permutation of 0..N-1.
+//
+// The permutation is decomposed into at most N−1 transpositions, each a
+// word-parallel SwapVars of a handful of word operations — no
+// per-assignment scan (permuteSlow pins the reference semantics).
 func (t TT) Permute(perm []int) TT {
 	if len(perm) != t.N {
 		panic(fmt.Sprintf("tt: permutation length %d does not match %d variables", len(perm), t.N))
 	}
+	var where, at [MaxVars]int // position of variable v / variable at position i
+	for v := 0; v < t.N; v++ {
+		where[v], at[v] = v, v
+	}
+	out := t
+	for i := 0; i < t.N; i++ {
+		v := perm[i] // the t-variable that must end up at position i
+		cur := where[v]
+		if cur == i {
+			continue
+		}
+		out = out.SwapVars(i, cur)
+		u := at[i] // the variable the swap displaced from position i
+		at[cur], where[u] = u, cur
+		at[i], where[v] = v, i
+	}
+	return out
+}
+
+// permuteSlow is the per-assignment reference implementation Permute is
+// verified against (and benchmarked over).
+func (t TT) permuteSlow(perm []int) TT {
 	var out uint64
 	n := uint(t.N)
 	for j := uint(0); j < uint(1)<<n; j++ {

@@ -35,6 +35,11 @@
 // subsystem threads a zero-overhead-when-off span tracer from the HTTP
 // request down to individual SAT ladders (NewTracer / StartSpan),
 // exporting Chrome trace-event JSON and Prometheus latency histograms.
+// Verification is a ladder: the internal/sim word-parallel simulator
+// (64 patterns per machine word) refutes cheaply with a deterministic,
+// counterexample-replaying pattern pool, and the SAT miter proves what
+// simulation cannot refute — EquivalentOpt exposes the rungs, and the
+// internal/sim/diff harness re-checks every pass of every pipeline.
 //
 // This root package is the stable public surface; the examples/ directory
 // only uses what is exported here. See README.md for a quickstart and the
@@ -57,6 +62,7 @@ import (
 	"mighash/internal/obs"
 	"mighash/internal/rewrite"
 	"mighash/internal/server"
+	"mighash/internal/sim"
 	"mighash/internal/tt"
 )
 
@@ -95,9 +101,43 @@ func ReadMIG(r io.Reader) (*MIG, error) { return mig.ReadText(r) }
 // form, so netlists round-trip byte-identically.
 func ReadBENCH(r io.Reader) (*MIG, error) { return mig.ReadBENCH(r) }
 
-// Equivalent proves or refutes functional equivalence of two MIGs with
-// the built-in SAT solver (combinational equivalence checking).
+// Equivalent proves or refutes functional equivalence of two MIGs
+// (combinational equivalence checking): a word-parallel simulation
+// prefilter refutes cheap inequivalences, the built-in SAT solver
+// proves the rest.
 var Equivalent = mig.Equivalent
+
+// Equivalence checking with the verification ladder exposed: how many
+// patterns the simulation prefilter sweeps, whether SAT may run at all,
+// and which rung decided the answer.
+type (
+	// EquivOptions tunes EquivalentOpt: the SAT timeout, the simulation
+	// pattern budget (negative disables the prefilter), a shared
+	// counterexample-replaying pattern pool, and the refute-only NoSAT
+	// mode used for per-pass differential verification.
+	EquivOptions = mig.EquivOptions
+	// EquivStats reports how an equivalence check was decided: patterns
+	// simulated, whether simulation refuted, whether SAT ran, and
+	// whether the verdict is a proof.
+	EquivStats = mig.EquivStats
+)
+
+// EquivalentOpt is Equivalent with the verification ladder exposed; the
+// returned Counterexample (if any) carries the full input assignment
+// and every differing output.
+var EquivalentOpt = mig.EquivalentOpt
+
+// SimPool is the deterministic simulation pattern ladder shared across
+// equivalence checks: constants, recorded counterexamples (replayed
+// first), walking patterns, then a seeded random tail. Sharing one pool
+// across EquivalentOpt calls makes checking counterexample-guided —
+// every SAT model found is replayed by all later checks. Safe for
+// concurrent use.
+type SimPool = sim.Pool
+
+// NewSimPool returns a pattern pool for the given primary-input count;
+// the seed fixes the random tail, making sweeps bit-reproducible.
+var NewSimPool = sim.NewPool
 
 // Truth tables (up to 6 variables in one machine word).
 type TT = tt.TT
