@@ -12,6 +12,7 @@
 //	migpipe -script BF -in circuit.bench -split   # one job per output cone
 //	migpipe -script resyn -in big.bench -workers 8  # one graph: FFR-parallel rewriting
 //	migpipe -script resyn -k 5                # same script, 5-input functional hashing
+//	migpipe -script resyn -extract            # choice-aware rewriting + global extraction
 //	migpipe -script resyn5 -cachefile npn.cache -synth-budget 2s
 //	migpipe -url http://localhost:8080 -script resyn  # optimize remotely over HTTP
 //	migpipe -script resyn5 -trace trace.json  # Chrome/Perfetto trace of the run
@@ -124,10 +125,17 @@ type jsonReport struct {
 	Exact5Negative int `json:"exact5_negative"`
 	Exact5Synths   int `json:"exact5_synths"`
 	Exact5Timeouts int `json:"exact5_timeouts"`
+	// Choice-aware extraction, aggregated over every job (zero unless
+	// the script runs an extraction variant): candidate (cut, candidate)
+	// choices recorded, and gates the global covers saved over the
+	// greedy twin runs. The extract-smoke CI job uploads these (as
+	// BENCH_extract.json) and migtrend renders them.
+	ExtractChoices int `json:"extract_choices,omitempty"`
+	ExtractSaved   int `json:"extract_saved,omitempty"`
 	// Attempts counts the HTTP attempts of a remote run (1 = no retries
 	// were needed; omitted locally). The chaos-smoke CI asserts this
 	// climbs when the server sheds with 503 + Retry-After.
-	Attempts int          `json:"attempts,omitempty"`
+	Attempts int `json:"attempts,omitempty"`
 	// Verify carries the verification-ladder statistics of a local run
 	// with -verify; omitted otherwise (remote runs verify server-side).
 	Verify  *jsonVerify  `json:"verify,omitempty"`
@@ -181,6 +189,7 @@ func main() {
 		url        = flag.String("url", "", "optimize remotely: base URL of a running migserve")
 		retries    = flag.Int("retries", 4, "with -url: extra attempts after a transient failure (connect error, 503, other 5xx); 0 = fail fast")
 		cutWidth   = flag.Int("k", 0, "functional-hashing cut width: 4, or 5 to map the script to its 5-input variant")
+		extractOn  = flag.Bool("extract", false, "map the script to its choice-aware variant: record candidate implementations, extract a globally best cover")
 		synthConfl = flag.Int64("synth-conflicts", 0, "per-class SAT conflict budget of 5-input exact synthesis (0 = default, <0 = unlimited)")
 		synthTime  = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none; trades determinism for latency)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
@@ -191,7 +200,7 @@ func main() {
 		fmt.Println(strings.Join(engine.PresetNames(), "\n"))
 		return
 	}
-	scriptName, err := applyCutWidth(*script, *cutWidth)
+	scriptName, err := engine.WidenScript(*script, *cutWidth, *extractOn)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -355,9 +364,12 @@ func main() {
 		reportedWorkers = *workers
 	}
 	var cacheHits, cacheMisses int
+	var extractChoices, extractSaved int
 	for _, r := range results {
 		cacheHits += r.Stats.CacheHits
 		cacheMisses += r.Stats.CacheMisses
+		extractChoices += r.Stats.Choices
+		extractSaved += r.Stats.ExtractSaved
 	}
 
 	if *jsonOut {
@@ -372,6 +384,8 @@ func main() {
 			Exact5Negative: exact5.NegativeLen(),
 			Exact5Synths:   int(exact5.Synths()),
 			Exact5Timeouts: int(exact5.Failures()),
+			ExtractChoices: extractChoices,
+			ExtractSaved:   extractSaved,
 			Attempts:       attempts,
 			Verify:         verifyStats,
 		}
@@ -414,6 +428,10 @@ func main() {
 		}
 		if exact5.Len()+exact5.NegativeLen() > 0 || exact5.Synths() > 0 {
 			fmt.Println(exact5)
+		}
+		if extractChoices > 0 {
+			fmt.Printf("extract: %d choices recorded, global covers saved %d gates over greedy\n",
+				extractChoices, extractSaved)
 		}
 		if v := verifyStats; v != nil {
 			fmt.Printf("verify (%s):", v.Mode)
@@ -562,28 +580,6 @@ func runRemote(ctx context.Context, baseURL, script string, workers int, verify 
 		}
 	}
 	return results, attempts, nil
-}
-
-// applyCutWidth maps a script name to its K = 5 variant when -k 5 asks
-// for it: presets with a learned-database twin gain the "5" suffix,
-// already-5-wide names pass through, and anything else is an error that
-// lists the valid scripts.
-func applyCutWidth(script string, k int) (string, error) {
-	switch k {
-	case 0, 4:
-		return script, nil
-	case 5:
-		if strings.HasSuffix(script, "5") {
-			return script, nil
-		}
-		wide := script + "5"
-		if _, err := engine.Preset(wide); err != nil {
-			return "", fmt.Errorf("script %q has no 5-input variant (have %v)", script, engine.PresetNames())
-		}
-		return wide, nil
-	default:
-		return "", fmt.Errorf("unsupported cut width %d (want 4 or 5)", k)
-	}
 }
 
 // verifyModes parses the -verify flag into its two ladder rungs.

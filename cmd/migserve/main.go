@@ -91,6 +91,7 @@ func main() {
 		synthConfl  = flag.Int64("synth-conflicts", 0, "per-class SAT conflict budget of 5-input exact synthesis (0 = default, <0 = unlimited)")
 		synthTime   = flag.Duration("synth-budget", 0, "per-class wall-clock budget of 5-input exact synthesis (0 = none)")
 		synthGates  = flag.Int("synth-gates", 0, "ladder cap of 5-input exact synthesis (0 = default)")
+		synthLimit  = flag.Int("synth-limit", 0, "bound on learned 5-input classes, second-chance evicted (0 = unbounded)")
 		brkFails    = flag.Int("breaker-failures", 0, "consecutive failed synthesis ladders that trip the exact5 circuit breaker (0 = breaker off)")
 		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long a tripped exact5 breaker stays open (0 = 30s default)")
 		faultSpec   = flag.String("fault", "", "DEV ONLY: arm failpoints, e.g. 'db/snapshot-rename=return;server/shed=0.1*return' (see internal/fault)")
@@ -127,6 +128,7 @@ func main() {
 			MaxConflicts:    *synthConfl,
 			Timeout:         *synthTime,
 			MaxGates:        *synthGates,
+			Limit:           *synthLimit,
 			BreakerFailures: *brkFails,
 			BreakerCooldown: *brkCooldown,
 		},

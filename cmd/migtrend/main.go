@@ -50,6 +50,8 @@ type report struct {
 	Exact5Synths   int `json:"exact5_synths"`
 	Exact5Entries  int `json:"exact5_entries"`
 	Exact5Timeouts int `json:"exact5_timeouts"`
+	ExtractChoices int `json:"extract_choices"`
+	ExtractSaved   int `json:"extract_saved"`
 	Verify         *struct {
 		Mode               string        `json:"mode"`
 		PassChecks         int64         `json:"pass_checks"`
@@ -233,6 +235,10 @@ func render(w *os.File, cols []column) {
 		if c.rep.Exact5Synths > 0 || c.rep.Exact5Entries > 0 {
 			fmt.Fprintf(w, "; exact5: %d classes learned, %d ladders (%d budget-blown)",
 				c.rep.Exact5Entries, c.rep.Exact5Synths, c.rep.Exact5Timeouts)
+		}
+		if c.rep.ExtractChoices > 0 {
+			fmt.Fprintf(w, "; extract: %s choices, saved %d gates over greedy",
+				humanCount(int64(c.rep.ExtractChoices)), c.rep.ExtractSaved)
 		}
 		if v := c.rep.Verify; v != nil {
 			fmt.Fprintf(w, "; verify %s:", v.Mode)

@@ -1,0 +1,103 @@
+package db
+
+import (
+	"mighash/internal/depthopt"
+	"mighash/internal/mig"
+	"mighash/internal/npn"
+)
+
+// Alternative-candidate derivation. The database's contract used to be
+// "one answer per class" — the minimum-size MIG. Choice-aware extraction
+// wants a small menu per class instead: implementations trading gates for
+// depth, so the global cover can pick a shallower structure where the
+// extra gates are shared or the objective is depth. Re-running exact
+// synthesis per tradeoff point is out of the question (for the 5-input
+// store it would multiply the SAT bill), so alternatives are derived
+// algebraically: the primary entry is rebuilt as a tiny MIG and pushed
+// through the majority-axiom reassociation of internal/depthopt at
+// increasing size allowances. Every derived structure is converted back
+// through FromMIG, which re-verifies it by simulation against the class
+// representative — an unsound reassociation cannot enter the database.
+//
+// Only strictly shallower alternatives are kept: an alternative with the
+// primary's depth (or worse) is dominated — the primary is minimum-size
+// by construction — and would just widen the choice graph for nothing.
+
+// maxAltsPerEntry bounds the menu per class. Two tradeoff points (on top
+// of the size-minimal primary) cover what the bounded reassociation can
+// reach for ≤ 7-gate MIGs; the snapshot decoder enforces the same bound.
+const maxAltsPerEntry = 2
+
+// altSizeFactors are the depthopt size allowances tried, in order: first
+// a mild growth budget, then a generous one for classes whose balanced
+// form needs more duplication. Factors are tried deterministically, so
+// derived menus are a pure function of the entry.
+var altSizeFactors = []float64{1.5, 2.5}
+
+// entryMIG rebuilds e as a standalone K-input single-output MIG.
+func entryMIG(e *Entry) *mig.MIG {
+	k := e.K()
+	m := mig.New(k)
+	leaves := make([]mig.Lit, k)
+	for i := 0; i < k; i++ {
+		leaves[i] = m.Input(i)
+	}
+	t := npn.Transform{N: k}
+	for j := 0; j < k; j++ {
+		t.Perm[j] = j
+	}
+	m.AddOutput(e.Instantiate(m, leaves, t))
+	return m
+}
+
+// deriveAlts computes up to maxAltsPerEntry strictly shallower
+// alternative implementations of e. It is deterministic and never
+// mutates e beyond assigning the result; callers decide where the
+// returned slice is attached.
+func deriveAlts(e *Entry) []Entry {
+	if e.Size() < 2 || e.Depth < 2 {
+		return nil // nothing shallower than depth 1 exists
+	}
+	base := entryMIG(e)
+	var alts []Entry
+	bestDepth := e.Depth
+	for _, sf := range altSizeFactors {
+		opt, _ := depthopt.Optimize(base, depthopt.Options{SizeFactor: sf, MaxPasses: 8})
+		alt, err := FromMIG(e.Rep, opt)
+		if err != nil {
+			continue // reassociation failed verification: drop, keep going
+		}
+		if alt.Depth >= bestDepth {
+			continue // dominated by the primary or an earlier alternative
+		}
+		bestDepth = alt.Depth
+		alts = append(alts, alt)
+		if len(alts) == maxAltsPerEntry {
+			break
+		}
+	}
+	return alts
+}
+
+// EnsureAlts populates the alternative-implementation menus of every
+// entry and returns the total number of candidates (primaries plus
+// alternatives). Derivation runs once per DB — Load() hands every caller
+// the same instance, so the embedded database pays the (millisecond-
+// scale) cost once per process; the choice-aware rewriter calls this
+// lazily on its first pass.
+func (d *DB) EnsureAlts() int {
+	d.altsOnce.Do(func() {
+		n := 0
+		for i := range d.entries {
+			e := &d.entries[i]
+			e.Alts = deriveAlts(e)
+			n += e.NumCandidates()
+		}
+		d.altCount.Store(int64(n))
+	})
+	return int(d.altCount.Load())
+}
+
+// Candidates returns the total implementations the database offers after
+// EnsureAlts (0 before: the menus have not been derived yet).
+func (d *DB) Candidates() int { return int(d.altCount.Load()) }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mighash/internal/exact"
@@ -26,6 +27,11 @@ var embedded embed.FS
 type DB struct {
 	entries []Entry
 	byRep   map[uint16]int
+
+	// Alternative-candidate derivation state (see EnsureAlts). Load()
+	// shares one DB per process, so the menus are derived exactly once.
+	altsOnce sync.Once
+	altCount atomic.Int64
 }
 
 // Entries returns the entries ordered by representative truth table.

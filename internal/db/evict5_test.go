@@ -1,0 +1,92 @@
+package db
+
+import (
+	"testing"
+
+	"mighash/internal/tt"
+)
+
+// fakeEntry is a structurally trivial entry for eviction tests: the
+// clock machinery only touches the key space, never the MIG structure.
+func fakeEntry(key uint32) *Entry {
+	return &Entry{Rep: tt.New(5, uint64(key))}
+}
+
+// TestOnDemandLimitEvicts: at the bound the store stays at the bound,
+// counts its evictions, and keeps working.
+func TestOnDemandLimitEvicts(t *testing.T) {
+	s := NewOnDemand(OnDemandOptions{Limit: 4})
+	if s.Limit() != 4 {
+		t.Fatalf("Limit() = %d, want 4", s.Limit())
+	}
+	for key := uint32(1); key <= 10; key++ {
+		s.add(fakeEntry(key))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("store holds %d classes, want 4", s.Len())
+	}
+	if s.Evictions() != 6 {
+		t.Fatalf("Evictions() = %d, want 6", s.Evictions())
+	}
+	// The ring and the map must stay in sync: every ring key resolves.
+	s.mu.RLock()
+	if len(s.ring) != len(s.entries) {
+		t.Fatalf("ring has %d slots for %d entries", len(s.ring), len(s.entries))
+	}
+	for _, k := range s.ring {
+		if s.entries[k] == nil {
+			t.Fatalf("ring key %d missing from the map", k)
+		}
+	}
+	s.mu.RUnlock()
+}
+
+// TestOnDemandSecondChance: a referenced slot survives one sweep — the
+// clock pardons it and takes the next un-referenced victim.
+func TestOnDemandSecondChance(t *testing.T) {
+	s := NewOnDemand(OnDemandOptions{Limit: 3})
+	for key := uint32(1); key <= 3; key++ {
+		s.add(fakeEntry(key))
+	}
+	// Mark key 1 (the hand's first stop) recently used.
+	s.mu.RLock()
+	s.entries[1].refTouch()
+	s.mu.RUnlock()
+	s.add(fakeEntry(4)) // must evict key 2, not the referenced key 1
+	s.mu.RLock()
+	_, kept := s.entries[1]
+	_, victim := s.entries[2]
+	s.mu.RUnlock()
+	if !kept {
+		t.Fatal("referenced class was evicted despite its second chance")
+	}
+	if victim {
+		t.Fatal("un-referenced class survived a full store")
+	}
+}
+
+// TestOnDemandSetLimitShrinks: lowering the limit evicts immediately;
+// raising it (or removing it) stops evicting.
+func TestOnDemandSetLimitShrinks(t *testing.T) {
+	s := NewOnDemand(OnDemandOptions{})
+	for key := uint32(1); key <= 8; key++ {
+		s.add(fakeEntry(key))
+	}
+	s.SetLimit(3)
+	if s.Len() != 3 {
+		t.Fatalf("store holds %d classes after SetLimit(3)", s.Len())
+	}
+	if s.Evictions() != 5 {
+		t.Fatalf("Evictions() = %d, want 5", s.Evictions())
+	}
+	s.SetLimit(0)
+	for key := uint32(100); key < 110; key++ {
+		s.add(fakeEntry(key))
+	}
+	if s.Len() != 13 {
+		t.Fatalf("unbounded store holds %d classes, want 13", s.Len())
+	}
+	if s.Evictions() != 5 {
+		t.Fatalf("unbounded store evicted (%d total)", s.Evictions())
+	}
+}

@@ -62,6 +62,13 @@ type OnDemandOptions struct {
 	// the breaker and resumes learning; a failed one re-trips it for
 	// another cooldown. Default 30s when BreakerFailures > 0.
 	BreakerCooldown time.Duration
+	// Limit bounds the learned classes kept in memory (0, the default,
+	// keeps everything). At the bound the store evicts with the same
+	// second-chance clock as the cut-cache; evicted classes are simply
+	// re-learned on next contact. Like Timeout, a bound trades the
+	// store's learn-once determinism for predictable memory, so it is
+	// opt-in and meant for long-running servers (migserve -synth-limit).
+	Limit int
 }
 
 func (o OnDemandOptions) withDefaults() OnDemandOptions {
@@ -83,6 +90,9 @@ func (o OnDemandOptions) withDefaults() OnDemandOptions {
 	if o.BreakerFailures > 0 && o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 30 * time.Second
 	}
+	if o.Limit < 0 {
+		o.Limit = 0
+	}
 	return o
 }
 
@@ -101,14 +111,21 @@ type OnDemand struct {
 	opt OnDemandOptions
 
 	mu       sync.RWMutex
-	entries  map[uint32]*Entry
+	entries  map[uint32]*odSlot
 	negative map[uint32]bool
 	inflight map[uint32]chan struct{}
 	// canon memoizes Canonize5 per queried 32-bit truth table — the
 	// 5-input analog of db.Cache, here because the store already owns
-	// the right lock and lifetime. Like entries it is unbounded for now
-	// (ROADMAP carries the bounding item for both).
+	// the right lock and lifetime. It stays unbounded (8 bytes per
+	// distinct queried function); only the learned entries — the part
+	// that holds gate structures — fall under Limit.
 	canon map[uint32]canonMemo
+
+	// Second-chance clock state (see evict5.go); inert with limit == 0.
+	limit     int
+	ring      []uint32
+	hand      int
+	evictions atomic.Uint64
 
 	hits     atomic.Uint64 // lookups answered from memory (incl. negative)
 	misses   atomic.Uint64 // lookups that had to synthesize
@@ -142,9 +159,11 @@ type canonMemo struct {
 
 // NewOnDemand returns an empty store with the given budget.
 func NewOnDemand(opt OnDemandOptions) *OnDemand {
+	opt = opt.withDefaults()
 	return &OnDemand{
-		opt:      opt.withDefaults(),
-		entries:  make(map[uint32]*Entry),
+		opt:      opt,
+		limit:    opt.Limit,
+		entries:  make(map[uint32]*odSlot),
 		negative: make(map[uint32]bool),
 		inflight: make(map[uint32]chan struct{}),
 		canon:    make(map[uint32]canonMemo),
@@ -178,6 +197,19 @@ func (s *OnDemand) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.entries)
+}
+
+// Candidates returns the total implementations the learned classes
+// offer: one minimum-size primary per class plus the derived
+// alternatives (Entry.Alts).
+func (s *OnDemand) Candidates() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, sl := range s.entries {
+		n += sl.e.NumCandidates()
+	}
+	return n
 }
 
 // NegativeLen returns the number of negative-cached (budget-blown) classes.
@@ -300,8 +332,15 @@ func (s *OnDemand) Lookup(ctx context.Context, f tt.TT) (*Entry, npn.Transform, 
 	}
 	key, t := s.canonize(f)
 	s.mu.RLock()
-	e, found := s.entries[key]
+	sl, found := s.entries[key]
 	neg := s.negative[key]
+	var e *Entry
+	if found {
+		e = sl.e
+		if s.limit > 0 {
+			sl.refTouch()
+		}
+	}
 	s.mu.RUnlock()
 	if found {
 		s.hits.Add(1)
@@ -314,7 +353,8 @@ func (s *OnDemand) Lookup(ctx context.Context, f tt.TT) (*Entry, npn.Transform, 
 	s.misses.Add(1)
 	for {
 		s.mu.Lock()
-		if e, found := s.entries[key]; found {
+		if sl, found := s.entries[key]; found {
+			e := sl.e
 			s.mu.Unlock()
 			return e, t, true
 		}
@@ -347,7 +387,7 @@ func (s *OnDemand) Lookup(ctx context.Context, f tt.TT) (*Entry, npn.Transform, 
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if e != nil {
-			s.entries[key] = e
+			s.insertLocked(key, e)
 		} else if negCache {
 			s.negative[key] = true
 		}
@@ -414,13 +454,18 @@ func (s *OnDemand) synthesize(ctx context.Context, rep tt.TT) (*Entry, bool, boo
 		return nil, true, true
 	}
 	e.GenTime = time.Since(start)
+	// Derive the alternative-implementation menu while the class is hot:
+	// derivation is deterministic, so a store populated cold and one
+	// restored from a snapshot offer identical menus.
+	e.Alts = deriveAlts(&e)
 	span.SetStr("outcome", "learned")
 	span.SetInt("gates", int64(ls.Gates))
 	return &e, false, false
 }
 
 // add installs a pre-verified learned entry (snapshot restore). It
-// reports whether the entry was new.
+// reports whether the entry was new. Restores respect the store's
+// bound: at the limit, installing evicts.
 func (s *OnDemand) add(e *Entry) bool {
 	key := uint32(e.Rep.Bits)
 	s.mu.Lock()
@@ -429,7 +474,7 @@ func (s *OnDemand) add(e *Entry) bool {
 		return false
 	}
 	delete(s.negative, key) // a learned class trumps an old failure
-	s.entries[key] = e
+	s.insertLocked(key, e)
 	return true
 }
 
@@ -455,8 +500,8 @@ func (s *OnDemand) snapshotState() (entries []*Entry, negatives []uint32) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	entries = make([]*Entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		entries = append(entries, e)
+	for _, sl := range s.entries {
+		entries = append(entries, sl.e)
 	}
 	negatives = make([]uint32, 0, len(s.negative))
 	for k := range s.negative {

@@ -20,7 +20,7 @@ import (
 
 // The snapshot format is a versioned, checksummed binary stream:
 //
-//	magic   4 bytes  "MHC\x02" (the trailing byte is the format version)
+//	magic   4 bytes  "MHC\x03" (the trailing byte is the format version)
 //	count   uvarint  number of records
 //	records count ×, each introduced by a width/kind tag byte:
 //	  kind 1 — memoized 4-input lookup (the NPN cut-cache):
@@ -36,25 +36,34 @@ import (
 //	                   1..5 = x1..x5, 6+l = gate l)
 //	    gates k × 3 uvarint fanin literals, topological order
 //	    us    uvarint  synthesis time in µs
+//	    nalts uvarint  alternative implementations (version ≥ 3 only;
+//	                   at most maxAltsPerEntry)
+//	    alts  nalts ×  k / out / gates triples as above — the class's
+//	                   strictly shallower tradeoff candidates
 //	  kind 3 — negative-cached 5-input class (budget blown):
 //	    rep   uvarint  the 32-bit semi-canonical class representative
 //	crc     4 bytes  little-endian IEEE CRC-32 of everything above
 //
-// Version 1 (no kind tags, 4-input records only) is still decoded, so
-// pre-existing cache files keep warm-starting after an upgrade.
+// Version 2 (kind 2 records without the alternative menus) and version 1
+// (no kind tags, 4-input records only) are still decoded, so
+// pre-existing cache files keep warm-starting after an upgrade; menus
+// missing from an old stream are re-derived on load, so a warm store
+// offers the same candidates a cold one would.
 //
 // The format stores no pointers and no process-local state: kind-1
 // records name their class by representative and Restore rebinds them to
 // the loading process's database; kind-2 records carry the learned
 // structure itself and are re-verified by simulation (plus the
-// semi-canonicity of the representative) before installation; kind-3
+// semi-canonicity of the representative) before installation — the
+// alternative implementations are verified against the same
+// representative, so a tampered menu cannot enter the store; kind-3
 // records re-seed the negative cache so a budget-blown class is not
 // re-proven hopeless by every process. Negative 4-input entries
 // (ok=false, only possible with partial databases) are not written:
 // their transform was never computed, so there is nothing to rebind.
 const (
 	snapshotMagic   = "MHC"
-	snapshotVersion = 2
+	snapshotVersion = 3
 
 	recCache4 = 1
 	recClass5 = 2
@@ -133,9 +142,7 @@ func WriteSnapshot(w io.Writer, c *Cache, s *OnDemand) (int, error) {
 		bw.WriteByte(packPerm(r.v.t))
 		writeUvarint(uint64(r.v.entry.Rep.Bits))
 	}
-	for _, e := range entries {
-		bw.WriteByte(recClass5)
-		writeUvarint(e.Rep.Bits)
+	writeBody := func(e *Entry) {
 		writeUvarint(uint64(len(e.Gates)))
 		writeUvarint(uint64(e.Out))
 		for _, g := range e.Gates {
@@ -143,7 +150,20 @@ func WriteSnapshot(w io.Writer, c *Cache, s *OnDemand) (int, error) {
 			writeUvarint(uint64(g[1]))
 			writeUvarint(uint64(g[2]))
 		}
+	}
+	for _, e := range entries {
+		bw.WriteByte(recClass5)
+		writeUvarint(e.Rep.Bits)
+		writeBody(e)
 		writeUvarint(uint64(e.GenTime.Microseconds()))
+		nalts := len(e.Alts)
+		if nalts > maxAltsPerEntry {
+			nalts = maxAltsPerEntry
+		}
+		writeUvarint(uint64(nalts))
+		for a := 0; a < nalts; a++ {
+			writeBody(&e.Alts[a])
+		}
 	}
 	for _, k := range negatives {
 		bw.WriteByte(recNeg5)
@@ -251,7 +271,7 @@ func ReadSnapshot(r io.Reader, d *DB, c *Cache, s *OnDemand) (int, error) {
 		return 0, fmt.Errorf("%w: bad magic %q", ErrSnapshot, head[:3])
 	}
 	version := head[3]
-	if version != 1 && version != snapshotVersion {
+	if version < 1 || version > snapshotVersion {
 		return 0, fmt.Errorf("%w: unsupported version %d (want ≤ %d)", ErrSnapshot, version, snapshotVersion)
 	}
 	count, err := binary.ReadUvarint(cr)
@@ -305,6 +325,40 @@ func ReadSnapshot(r io.Reader, d *DB, c *Cache, s *OnDemand) (int, error) {
 		})
 		return nil
 	}
+	// readBody decodes one k/out/gates implementation body — shared by
+	// the primary structure and (version ≥ 3) its alternatives.
+	readBody := func(i uint64, rep tt.TT) (Entry, error) {
+		k, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return Entry{}, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		if k > uint64(Bound(5)) {
+			return Entry{}, fmt.Errorf("%w: record %d gate count %d exceeds the Theorem 2 bound", ErrSnapshot, i, k)
+		}
+		out, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return Entry{}, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+		}
+		e := Entry{Rep: rep, Out: mig.Lit(out)}
+		for l := uint64(0); l < k; l++ {
+			var g [3]mig.Lit
+			for cidx := 0; cidx < 3; cidx++ {
+				v, err := binary.ReadUvarint(cr)
+				if err != nil {
+					return Entry{}, fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+				}
+				g[cidx] = mig.Lit(v)
+				if int(g[cidx].ID()) >= 6+int(l) {
+					return Entry{}, fmt.Errorf("%w: record %d gate %d has forward reference %v", ErrSnapshot, i, l, g[cidx])
+				}
+			}
+			e.Gates = append(e.Gates, g)
+		}
+		if int(e.Out.ID()) >= 6+len(e.Gates) {
+			return Entry{}, fmt.Errorf("%w: record %d output literal %v out of range", ErrSnapshot, i, e.Out)
+		}
+		return e, nil
+	}
 	readClass5 := func(i uint64) error {
 		rep, err := binary.ReadUvarint(cr)
 		if err != nil {
@@ -313,46 +367,38 @@ func ReadSnapshot(r io.Reader, d *DB, c *Cache, s *OnDemand) (int, error) {
 		if rep > 0xFFFFFFFF {
 			return fmt.Errorf("%w: record %d representative %#x exceeds 32 bits", ErrSnapshot, i, rep)
 		}
-		k, err := binary.ReadUvarint(cr)
+		e, err := readBody(i, tt.New(5, rep))
 		if err != nil {
-			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
-		}
-		if k > uint64(Bound(5)) {
-			return fmt.Errorf("%w: record %d gate count %d exceeds the Theorem 2 bound", ErrSnapshot, i, k)
-		}
-		out, err := binary.ReadUvarint(cr)
-		if err != nil {
-			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
-		}
-		e := Entry{Rep: tt.New(5, rep), Out: mig.Lit(out)}
-		for l := uint64(0); l < k; l++ {
-			var g [3]mig.Lit
-			for cidx := 0; cidx < 3; cidx++ {
-				v, err := binary.ReadUvarint(cr)
-				if err != nil {
-					return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
-				}
-				g[cidx] = mig.Lit(v)
-				if int(g[cidx].ID()) >= 6+int(l) {
-					return fmt.Errorf("%w: record %d gate %d has forward reference %v", ErrSnapshot, i, l, g[cidx])
-				}
-			}
-			e.Gates = append(e.Gates, g)
+			return err
 		}
 		us, err := binary.ReadUvarint(cr)
 		if err != nil {
 			return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
 		}
 		e.GenTime = time.Duration(us) * time.Microsecond
-		if int(e.Out.ID()) >= 6+len(e.Gates) {
-			return fmt.Errorf("%w: record %d output literal %v out of range", ErrSnapshot, i, e.Out)
+		if version >= 3 {
+			nalts, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return fmt.Errorf("%w: truncated record %d: %v", ErrSnapshot, i, err)
+			}
+			if nalts > maxAltsPerEntry {
+				return fmt.Errorf("%w: record %d has %d alternatives (max %d)", ErrSnapshot, i, nalts, maxAltsPerEntry)
+			}
+			for a := uint64(0); a < nalts; a++ {
+				alt, err := readBody(i, e.Rep)
+				if err != nil {
+					return err
+				}
+				e.Alts = append(e.Alts, alt)
+			}
 		}
 		if s == nil {
 			return nil // structurally validated, but no store to feed
 		}
 		// Semantic verification — by simulation and semi-canonicity — so
 		// a tampered snapshot cannot install an entry the equivalent cold
-		// synthesis would not have produced.
+		// synthesis would not have produced. Alternatives must compute
+		// the same representative.
 		if got := e.Eval(); got != e.Rep {
 			return fmt.Errorf("%w: record %d entry computes %v, want %v", ErrSnapshot, i, got, e.Rep)
 		}
@@ -360,6 +406,18 @@ func ReadSnapshot(r io.Reader, d *DB, c *Cache, s *OnDemand) (int, error) {
 			return fmt.Errorf("%w: record %d representative %v is not semi-canonical", ErrSnapshot, i, e.Rep)
 		}
 		e.analyze()
+		for a := range e.Alts {
+			alt := &e.Alts[a]
+			if got := alt.Eval(); got != e.Rep {
+				return fmt.Errorf("%w: record %d alternative %d computes %v, want %v", ErrSnapshot, i, a, got, e.Rep)
+			}
+			alt.analyze()
+		}
+		if version < 3 {
+			// Old stream: the menu was never persisted. Re-derive it so a
+			// warm store offers exactly the candidates a cold one would.
+			e.Alts = deriveAlts(&e)
+		}
 		learned = append(learned, e)
 		return nil
 	}

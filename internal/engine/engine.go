@@ -7,6 +7,7 @@ import (
 
 	"mighash/internal/db"
 	"mighash/internal/depthopt"
+	"mighash/internal/extract"
 	"mighash/internal/mig"
 	"mighash/internal/rewrite"
 )
@@ -23,9 +24,14 @@ type PassStats struct {
 	// accepted reassociations (depth passes).
 	Replacements int `json:"replacements"`
 	// NPN cut-cache traffic of this pass; zero for non-rewrite passes.
-	CacheHits   int           `json:"cache_hits"`
-	CacheMisses int           `json:"cache_misses"`
-	Elapsed     time.Duration `json:"elapsed_ns"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Choice-aware extraction of this pass (zero unless the pass ran
+	// with rewrite.Options.Extract): recorded choices, and the gates the
+	// extracted cover saved over the pass's greedy twin.
+	Choices      int           `json:"choices,omitempty"`
+	ExtractSaved int           `json:"extract_saved,omitempty"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
 }
 
 func (s PassStats) String() string {
@@ -50,6 +56,11 @@ type passEnv struct {
 	exact5  *db.OnDemand
 	ws      *rewrite.Workspace
 	workers int
+	// extract upgrades every top-down rewrite pass to choice-aware
+	// extraction under extractObj (Pipeline.Extract / BatchOptions /
+	// the HTTP request schema all land here).
+	extract    bool
+	extractObj Objective
 }
 
 // Pass is one named transformation step of a pipeline. The zero value is
@@ -79,14 +90,22 @@ func RewritePass(opt rewrite.Options) Pass {
 			o.Ctx = env.ctx
 			o.Workspace = env.ws
 			o.Workers = env.workers
+			if env.extract && !o.BottomUp {
+				o.Extract = true
+				if env.extractObj == ObjectiveDepth {
+					o.ExtractObjective = extract.Depth
+				}
+			}
 			res, st := rewrite.Run(m, env.d, o)
 			return res, PassStats{
-				Name:       name,
+				Name:       st.Variant,
 				SizeBefore: st.SizeBefore, SizeAfter: st.SizeAfter,
 				DepthBefore: st.DepthBefore, DepthAfter: st.DepthAfter,
 				Replacements: st.Replacements,
 				CacheHits:    st.CacheHits,
 				CacheMisses:  st.CacheMisses,
+				Choices:      st.Choices,
+				ExtractSaved: st.ExtractSaved,
 				Elapsed:      st.Elapsed,
 			}
 		},
@@ -124,6 +143,11 @@ func passRegistry() map[string]func() Pass {
 		"T5":       func() Pass { return RewritePass(rewrite.T5) },
 		"TFD5":     func() Pass { return RewritePass(rewrite.TFD5) },
 		"TD5":      func() Pass { return RewritePass(rewrite.TD5) },
+		"TFx":      func() Pass { return RewritePass(rewrite.TFx) },
+		"Tx":       func() Pass { return RewritePass(rewrite.Tx) },
+		"TF5x":     func() Pass { return RewritePass(rewrite.TF5x) },
+		"T5x":      func() Pass { return RewritePass(rewrite.T5x) },
+		"Txd":      func() Pass { return RewritePass(rewrite.Txd) },
 		"depthopt": func() Pass { return DepthPass(depthopt.Options{SizeFactor: 1.2, MaxPasses: 10}) },
 	}
 }
@@ -131,8 +155,10 @@ func passRegistry() map[string]func() Pass {
 // PassByName resolves the script name of a pass: one of the five paper
 // variants "TF", "T", "TFD", "TD", "BF", their 5-input extensions "TF5",
 // "T5", "TFD5", "TD5" (five-leaf cuts resolved through the on-demand
-// exact-synthesis store), or "depthopt" (the depth optimizer with its
-// default production tuning).
+// exact-synthesis store), the choice-aware extensions "TFx", "Tx",
+// "TF5x", "T5x" and "Txd" (global extraction over a choice graph
+// instead of greedy per-cut commits), or "depthopt" (the depth
+// optimizer with its default production tuning).
 func PassByName(name string) (Pass, bool) {
 	mk, ok := passRegistry()[name]
 	if !ok {

@@ -21,7 +21,7 @@ func TestPresetsMetamorphic(t *testing.T) {
 		t.Fatal("suite circuit Adder missing")
 	}
 	m0 := spec.Build()
-	for _, name := range []string{"resyn", "size", "depth", "quick", "resyn5", "size5"} {
+	for _, name := range []string{"resyn", "size", "depth", "quick", "resyn5", "size5", "resyn-x", "depth-x"} {
 		t.Run(name, func(t *testing.T) {
 			h := diff.New(diff.Options{})
 			run := func(m *mig.MIG) *mig.MIG {
@@ -46,7 +46,7 @@ func TestPresetsMetamorphic(t *testing.T) {
 					t.Errorf("%s not sim-equivalent: %v", pair.label, err)
 				}
 			}
-			if name == "depth" {
+			if name == "depth" || name == "depth-x" {
 				if m2.Depth() > m1.Depth() || m1.Depth() > m0.Depth() {
 					t.Errorf("depth grew across reruns: %d -> %d -> %d", m0.Depth(), m1.Depth(), m2.Depth())
 				}

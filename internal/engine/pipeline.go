@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"mighash/internal/db"
@@ -76,6 +77,15 @@ type Pipeline struct {
 	// is how a single large MIG saturates the machine without the logic
 	// duplication of SplitOutputs.
 	Workers int
+	// Extract upgrades every top-down rewrite pass of the script to
+	// choice-aware extraction (rewrite.Options.Extract) regardless of
+	// the pass's own configuration — the way ad-hoc scripts and the HTTP
+	// request schema opt in without renaming passes. Bottom-up passes
+	// are unaffected. Prefer the "-x" presets for the curated scripts.
+	Extract bool
+	// ExtractObjective selects the extraction objective when Extract is
+	// set (default ObjectiveSize).
+	ExtractObjective Objective
 	// PassCheck, when non-nil, is invoked synchronously after every
 	// executed pass with the pass name, the 1-based iteration, and the
 	// graphs before and after the pass. A non-nil error aborts the run
@@ -100,17 +110,21 @@ type Pipeline struct {
 
 // PipelineStats reports one pipeline run.
 type PipelineStats struct {
-	Script      string        `json:"script"`
-	Iterations  int           `json:"iterations"` // completed script rounds
-	Converged   bool          `json:"converged"`  // stopped by fixpoint, not by MaxIterations
-	SizeBefore  int           `json:"size_before"`
-	SizeAfter   int           `json:"size_after"`
-	DepthBefore int           `json:"depth_before"`
-	DepthAfter  int           `json:"depth_after"`
-	CacheHits   int           `json:"cache_hits"`   // summed over rewrite passes
-	CacheMisses int           `json:"cache_misses"` // summed over rewrite passes
-	Passes      []PassStats   `json:"passes"`
-	Elapsed     time.Duration `json:"elapsed_ns"`
+	Script      string `json:"script"`
+	Iterations  int    `json:"iterations"` // completed script rounds
+	Converged   bool   `json:"converged"`  // stopped by fixpoint, not by MaxIterations
+	SizeBefore  int    `json:"size_before"`
+	SizeAfter   int    `json:"size_after"`
+	DepthBefore int    `json:"depth_before"`
+	DepthAfter  int    `json:"depth_after"`
+	CacheHits   int    `json:"cache_hits"`   // summed over rewrite passes
+	CacheMisses int    `json:"cache_misses"` // summed over rewrite passes
+	// Choice-aware extraction totals, summed over the run's extraction
+	// passes (zero for greedy-only scripts).
+	Choices      int           `json:"choices,omitempty"`
+	ExtractSaved int           `json:"extract_saved,omitempty"`
+	Passes       []PassStats   `json:"passes"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
 }
 
 // CacheHitRate returns the fraction of NPN lookups served by the cache.
@@ -207,7 +221,102 @@ func presets() map[string]func() *Pipeline {
 				RewritePass(rewrite.TF5),
 			}}
 		},
+		// resyn-x is resyn5 with the greedy top-down passes upgraded to
+		// choice-aware extraction: the same rounds, but the TF and TF5
+		// passes record full candidate menus and commit a globally
+		// selected cover (never worse than their greedy twins, so a
+		// resyn-x round is never worse than the resyn5 round it mirrors;
+		// the extract-smoke CI job pins this on the suite).
+		"resyn-x": func() *Pipeline {
+			return &Pipeline{
+				Name: "resyn-x",
+				Passes: []Pass{
+					RewritePass(rewrite.TFx),
+					DepthPass(depthopt.Options{SizeFactor: 1.2, MaxPasses: 10}),
+					RewritePass(rewrite.BF),
+					RewritePass(rewrite.TFD),
+					RewritePass(rewrite.TF5x),
+				},
+			}
+		},
+		// depth-x inserts a depth-objective extraction between the depth
+		// optimizer and the depth-preserving recovery pass.
+		"depth-x": func() *Pipeline {
+			return &Pipeline{
+				Name:      "depth-x",
+				Objective: ObjectiveDepth,
+				Passes: []Pass{
+					DepthPass(depthopt.Options{SizeFactor: 8, MaxPasses: 40}),
+					RewritePass(rewrite.Txd),
+					RewritePass(rewrite.TD),
+				},
+			}
+		},
 	}
+}
+
+// PresetVariant names the widened twins of a base preset: the K = 5
+// extension and the choice-aware extraction script. Empty fields mean
+// the preset has no such twin.
+type PresetVariant struct {
+	Five    string
+	Extract string
+}
+
+// PresetVariants is the single source of truth for mapping base presets
+// to their twins; the CLIs' -k 5 and -extract flags and the HTTP
+// service resolve through WidenScript, which consults this table.
+func PresetVariants() map[string]PresetVariant {
+	return map[string]PresetVariant{
+		"resyn": {Five: "resyn5", Extract: "resyn-x"},
+		"size":  {Five: "size5"},
+		"depth": {Extract: "depth-x"},
+	}
+}
+
+// WidenScript maps a script name to the variant selected by the cut
+// width (4 or 5) and the choice-aware extraction toggle. Presets
+// resolve through PresetVariants — an extraction twin already ends in
+// the widest pass it supports, so it subsumes k = 5 — while pass names
+// widen by suffix ("TF" → "TF5" → "TF5x"). Already-suffixed names pass
+// through. The result is validated against Preset, so the error lists
+// the valid scripts.
+func WidenScript(script string, k int, withExtract bool) (string, error) {
+	switch k {
+	case 0, 4, 5:
+	default:
+		return "", fmt.Errorf("unsupported cut width %d (want 4 or 5)", k)
+	}
+	out := script
+	if v, ok := PresetVariants()[script]; ok {
+		switch {
+		case withExtract:
+			out = v.Extract
+		case k == 5:
+			out = v.Five
+		}
+		if out == "" {
+			return "", wideningError(script, withExtract)
+		}
+	} else {
+		if k == 5 && !strings.HasSuffix(out, "5") && !strings.HasSuffix(out, "5x") {
+			out += "5"
+		}
+		if withExtract && !strings.HasSuffix(out, "x") && !strings.HasSuffix(out, "xd") {
+			out += "x"
+		}
+	}
+	if _, err := Preset(out); err != nil {
+		return "", wideningError(script, withExtract)
+	}
+	return out, nil
+}
+
+func wideningError(script string, withExtract bool) error {
+	if withExtract {
+		return fmt.Errorf("script %q has no choice-aware variant (have %v)", script, PresetNames())
+	}
+	return fmt.Errorf("script %q has no 5-input variant (have %v)", script, PresetNames())
 }
 
 // Preset returns a named script. Besides the composite scripts ("resyn",
@@ -279,7 +388,11 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 		pspan.SetInt("iterations", int64(st.Iterations))
 		pspan.End()
 	}()
-	env := passEnv{ctx: ctx, d: d, cache: cache, exact5: exact5, ws: rewrite.NewWorkspace(), workers: p.Workers}
+	env := passEnv{
+		ctx: ctx, d: d, cache: cache, exact5: exact5,
+		ws: rewrite.NewWorkspace(), workers: p.Workers,
+		extract: p.Extract, extractObj: p.ExtractObjective,
+	}
 
 	maxIter := p.MaxIterations
 	if maxIter <= 0 {
@@ -315,6 +428,8 @@ func (p *Pipeline) RunContext(ctx context.Context, m *mig.MIG) (*mig.MIG, Pipeli
 				st.Passes = append(st.Passes, ps)
 				st.CacheHits += ps.CacheHits
 				st.CacheMisses += ps.CacheMisses
+				st.Choices += ps.Choices
+				st.ExtractSaved += ps.ExtractSaved
 				cur, size, depth = next, ps.SizeAfter, ps.DepthAfter
 			}
 			return nil

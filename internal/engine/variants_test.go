@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestPresetPassLists pins the exact pass sequence of every named
+// preset. The widened twins must stay in lockstep with their base
+// scripts — resyn5 and resyn-x are resyn with the trailing/greedy
+// passes swapped, never an independently drifting script.
+func TestPresetPassLists(t *testing.T) {
+	want := map[string][]string{
+		"resyn":   {"TF", "depthopt", "BF", "TFD"},
+		"resyn5":  {"TF", "depthopt", "BF", "TFD", "TF5"},
+		"resyn-x": {"TFx", "depthopt", "BF", "TFD", "TF5x"},
+		"size":    {"BF"},
+		"size5":   {"BF", "TF5"},
+		"depth":   {"depthopt", "TD"},
+		"depth-x": {"depthopt", "Txd", "TD"},
+		"quick":   {"TF"},
+	}
+	for name, passes := range want {
+		p, err := Preset(name)
+		if err != nil {
+			t.Errorf("Preset(%q): %v", name, err)
+			continue
+		}
+		var got []string
+		for _, pass := range p.Passes {
+			got = append(got, pass.Name())
+		}
+		if len(got) != len(passes) {
+			t.Errorf("%s runs %v, want %v", name, got, passes)
+			continue
+		}
+		for i := range got {
+			if got[i] != passes[i] {
+				t.Errorf("%s runs %v, want %v", name, got, passes)
+				break
+			}
+		}
+	}
+}
+
+// TestWidenScript pins the single preset-widening table shared by the
+// CLIs and the HTTP service: cut width 5 and the extraction toggle both
+// resolve through it, for presets and bare pass names alike.
+func TestWidenScript(t *testing.T) {
+	for _, tc := range []struct {
+		script  string
+		k       int
+		extract bool
+		want    string // "" = expect an error
+	}{
+		{"resyn", 0, false, "resyn"},
+		{"resyn", 4, false, "resyn"},
+		{"resyn", 5, false, "resyn5"},
+		{"resyn", 0, true, "resyn-x"},
+		{"resyn", 5, true, "resyn-x"}, // the extract twin already ends in TF5x
+		{"resyn5", 5, false, "resyn5"},
+		{"resyn-x", 0, true, "resyn-x"},
+		{"size", 5, false, "size5"},
+		{"size", 0, true, ""}, // no choice-aware twin
+		{"depth", 0, true, "depth-x"},
+		{"depth", 5, false, ""}, // no 5-input twin
+		{"quick", 5, false, ""},
+		{"TF", 5, false, "TF5"},
+		{"TF", 0, true, "TFx"},
+		{"TF", 5, true, "TF5x"},
+		{"TF5", 0, true, "TF5x"},
+		{"Txd", 0, true, "Txd"},
+		{"TD", 0, true, ""}, // no depth-preserving extraction variant
+		{"resyn", 6, false, ""},
+	} {
+		got, err := WidenScript(tc.script, tc.k, tc.extract)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("WidenScript(%q, %d, %v) = %q, want error", tc.script, tc.k, tc.extract, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("WidenScript(%q, %d, %v): %v", tc.script, tc.k, tc.extract, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("WidenScript(%q, %d, %v) = %q, want %q", tc.script, tc.k, tc.extract, got, tc.want)
+		}
+	}
+}
+
+// TestPresetVariantsResolve: every twin named by the table is a real
+// preset, and every base is too.
+func TestPresetVariantsResolve(t *testing.T) {
+	for base, v := range PresetVariants() {
+		for _, name := range []string{base, v.Five, v.Extract} {
+			if name == "" {
+				continue
+			}
+			if _, err := Preset(name); err != nil {
+				t.Errorf("PresetVariants names %q: %v", name, err)
+			}
+		}
+	}
+}

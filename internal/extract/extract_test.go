@@ -1,0 +1,173 @@
+package extract
+
+import (
+	"testing"
+
+	"mighash/internal/mig"
+)
+
+// graph builds a Graph from per-node menus. Node IDs follow the mig
+// convention (0 = const, 1..pis = inputs); menus[v] lists node v's
+// choices.
+func graph(numNodes int, menus map[int][]Choice, outputs ...mig.ID) *Graph {
+	g := &Graph{NumNodes: numNodes, Outputs: outputs}
+	g.Off = make([]int32, numNodes+1)
+	for v := 0; v < numNodes; v++ {
+		g.Off[v+1] = g.Off[v] + int32(len(menus[v]))
+		g.Arena = append(g.Arena, menus[v]...)
+	}
+	return g
+}
+
+func choice(cost int, ref int, deps ...mig.ID) Choice {
+	c := Choice{Cost: int32(cost), Ref: int32(ref), N: uint8(len(deps))}
+	copy(c.Deps[:], deps)
+	for i := range deps {
+		c.DepD[i] = 1
+	}
+	return c
+}
+
+// TestSelectPrefersSharing: two outputs can each keep their gate (cost 1
+// per gate, 4 total via a shared middle node) or use a "cut" that
+// bypasses the middle node (cost 2 each). Locally the cut looks as good
+// as keeping, but globally keeping shares the middle node. The cover
+// must find the sharing.
+func TestSelectPrefersSharing(t *testing.T) {
+	// Nodes: 1,2 = inputs; 3 = shared; 4,5 = roots (outputs).
+	g := graph(6, map[int][]Choice{
+		3: {choice(1, -1, 1, 2)},
+		4: {choice(1, -1, 3, 1), choice(2, 0, 1, 2)},
+		5: {choice(1, -1, 3, 2), choice(2, 1, 1, 2)},
+	}, 4, 5)
+	sel := Select(g, Options{})
+	if got := sel.Stats.Gates; got != 3 {
+		t.Fatalf("cover costs %d gates, want 3 (keep both roots, share node 3)", got)
+	}
+	for _, v := range []mig.ID{4, 5} {
+		if c := g.Choices(v)[sel.Pick[v]]; c.Ref != -1 {
+			t.Fatalf("node %d picked replacement %d instead of keeping", v, c.Ref)
+		}
+	}
+	if sel.Pick[3] < 0 {
+		t.Fatal("shared node 3 not covered")
+	}
+}
+
+// TestSelectTakesGlobalReplacement: a replacement that is locally
+// neutral (cost equals the kept cone) wins once both consumers use it —
+// zero-gain choices must survive into the cover where sharing pays.
+func TestSelectTakesCheaperCut(t *testing.T) {
+	// Node 4 = gate over inputs 1..3 (keep cost 1), node 5 = gate over
+	// 4 and 1 (keep cost 1, total 2), with a cut choice implementing 5
+	// straight from inputs at cost 1 — strictly cheaper globally when 4
+	// has no other consumer.
+	g := graph(6, map[int][]Choice{
+		4: {choice(1, -1, 1, 2, 3)},
+		5: {choice(1, -1, 4, 1), choice(1, 7, 1, 2, 3)},
+	}, 5)
+	sel := Select(g, Options{})
+	if got := sel.Stats.Gates; got != 1 {
+		t.Fatalf("cover costs %d gates, want 1 (bypass node 4)", got)
+	}
+	if c := g.Choices(5)[sel.Pick[5]]; c.Ref != 7 {
+		t.Fatalf("node 5 picked %d, want the Ref=7 cut", c.Ref)
+	}
+	if sel.Pick[4] != -1 {
+		t.Fatal("bypassed node 4 still covered")
+	}
+	if sel.Stats.Replacements != 1 {
+		t.Fatalf("Replacements = %d, want 1", sel.Stats.Replacements)
+	}
+}
+
+// TestSelectDepthObjective: under the depth objective a deeper-but-
+// smaller choice loses to a shallower-but-larger one, and vice versa
+// under size.
+func TestSelectDepthObjective(t *testing.T) {
+	deep := choice(1, -1, 1, 2)
+	deep.DepD = [MaxDeps]int8{4, 4}
+	shallow := choice(3, 0, 1, 2)
+	shallow.DepD = [MaxDeps]int8{1, 1}
+	menus := map[int][]Choice{3: {deep, shallow}}
+
+	bySize := Select(graph(4, menus, 3), Options{Objective: Size})
+	if c := graph(4, menus, 3).Choices(3)[bySize.Pick[3]]; c.Ref != -1 {
+		t.Fatal("size objective did not pick the 1-gate choice")
+	}
+	if bySize.Stats.Arrival != 4 {
+		t.Fatalf("size cover arrival %d, want 4", bySize.Stats.Arrival)
+	}
+	byDepth := Select(graph(4, menus, 3), Options{Objective: Depth})
+	if c := graph(4, menus, 3).Choices(3)[byDepth.Pick[3]]; c.Ref != 0 {
+		t.Fatal("depth objective did not pick the shallow choice")
+	}
+	if byDepth.Stats.Arrival != 1 || byDepth.Stats.Gates != 3 {
+		t.Fatalf("depth cover (gates %d, arrival %d), want (3, 1)",
+			byDepth.Stats.Gates, byDepth.Stats.Arrival)
+	}
+}
+
+// TestSelectExactFFR: the greedy cover commits the root to a marginal-
+// best choice whose subtree turns out expensive; the tree-DP sees the
+// whole region and must find the cheaper decomposition.
+func TestSelectExactFFR(t *testing.T) {
+	// Region {3, 4, 5} rooted at 5 (an in-tree: 3 and 4 feed only 5).
+	// Root menu: keep (cost 1 + subtrees of 3 and 4) or a flat cut
+	// (cost 3 from inputs). est(3) = est(4) = 1, so keeping promises
+	// 1+1+1 = 3 — a tie the greedy breaks toward keep (first choice in
+	// menu order loses to... tie-break picks lower index). Make node
+	// 3's only choice cost 2 so keeping really costs 4: only the DP
+	// (or a rescore round) sees it. The flat cut at cost 3 must win.
+	g := graph(6, map[int][]Choice{
+		3: {choice(2, 5, 1, 2)},
+		4: {choice(1, -1, 1, 2)},
+		5: {choice(1, -1, 3, 4), choice(3, 9, 1, 2)},
+	}, 5)
+	g.FFRRoot = []mig.ID{0, 1, 2, 5, 5, 5}
+	sel := Select(g, Options{Rounds: 1})
+	if got := sel.Stats.Gates; got != 3 {
+		t.Fatalf("cover costs %d gates, want 3 (the flat cut)", got)
+	}
+	if c := g.Choices(5)[sel.Pick[5]]; c.Ref != 9 {
+		t.Fatalf("root picked %d, want the Ref=9 flat cut", c.Ref)
+	}
+	if sel.Stats.ExactRegions == 0 {
+		t.Fatal("tree-DP attempted no regions")
+	}
+}
+
+// TestSelectDeterministic: repeated selections of the same graph are
+// identical, and every needed node is covered (no dangling picks).
+func TestSelectDeterministic(t *testing.T) {
+	menus := map[int][]Choice{
+		4: {choice(1, -1, 1, 2), choice(2, 0, 1, 2, 3)},
+		5: {choice(1, -1, 4, 3), choice(2, 1, 1, 2, 3)},
+		6: {choice(1, -1, 4, 5), choice(3, 2, 1, 2, 3)},
+	}
+	g := graph(7, menus, 6)
+	g.FFRRoot = []mig.ID{0, 1, 2, 3, 6, 6, 6}
+	a := Select(g, Options{})
+	for i := 0; i < 5; i++ {
+		b := Select(g, Options{})
+		for v := range a.Pick {
+			if a.Pick[v] != b.Pick[v] {
+				t.Fatalf("run %d picked %d for node %d, first run picked %d", i, b.Pick[v], v, a.Pick[v])
+			}
+		}
+	}
+	// Dangling check: every dep of every selected choice is a terminal
+	// or itself selected.
+	for v := range a.Pick {
+		if a.Pick[v] < 0 {
+			continue
+		}
+		c := g.Choices(mig.ID(v))[a.Pick[v]]
+		for j := 0; j < int(c.N); j++ {
+			d := c.Deps[j]
+			if g.hasChoices(d) && a.Pick[d] < 0 {
+				t.Fatalf("node %d depends on %d, which has no pick", v, d)
+			}
+		}
+	}
+}

@@ -121,6 +121,44 @@ func (m *MIG) Maj(a, b, c Lit) Lit {
 	m.checkLit(a)
 	m.checkLit(b)
 	m.checkLit(c)
+	key, neg, lit, done := majNorm(a, b, c)
+	if done {
+		return lit
+	}
+	if id, ok := m.strash.lookup(key); ok {
+		return MakeLit(id, neg)
+	}
+	id := ID(len(m.fanin))
+	m.fanin = append(m.fanin, [3]Lit(key))
+	m.strash.insert(key, id)
+	return MakeLit(id, neg)
+}
+
+// FindMaj reports what Maj(a, b, c) would return without creating
+// anything: the simplified signal when a majority axiom collapses the
+// gate, or the existing gate under the same structural normalization.
+// ok is false when the gate would have to be created. The probe never
+// mutates the graph, so concurrent readers may share it; the rewriter's
+// choice recording uses it to price candidate gates that structural
+// hashing will merge for free at commit time.
+func (m *MIG) FindMaj(a, b, c Lit) (Lit, bool) {
+	m.checkLit(a)
+	m.checkLit(b)
+	m.checkLit(c)
+	key, neg, lit, done := majNorm(a, b, c)
+	if done {
+		return lit, true
+	}
+	if id, ok := m.strash.lookup(key); ok {
+		return MakeLit(id, neg), true
+	}
+	return 0, false
+}
+
+// majNorm runs Maj's operand normalization: axiom simplification (done
+// with the resolved literal), or the polarity-minimal strash key and
+// output negation of the gate to look up or create.
+func majNorm(a, b, c Lit) (key strashKey, neg bool, lit Lit, done bool) {
 	// Sort operands (majority is fully symmetric).
 	if a > b {
 		a, b = b, a
@@ -134,30 +172,22 @@ func (m *MIG) Maj(a, b, c Lit) Lit {
 	// Majority axiom Ω.M: 〈aab〉 = a, 〈aāb〉 = b. After sorting, equal or
 	// complementary literals are adjacent.
 	if a == b || b == c {
-		return b
+		return strashKey{}, false, b, true
 	}
 	if a == b.Not() {
-		return c
+		return strashKey{}, false, c, true
 	}
 	if b == c.Not() {
-		return a
+		return strashKey{}, false, a, true
 	}
 	// Inverter canonicalization via self-duality 〈abc〉 = ¬〈āb̄c̄〉: store
 	// the polarity-minimal version. Flipping complement bits cannot change
 	// the operand order because all IDs are distinct here.
-	neg := false
 	if int(a&1)+int(b&1)+int(c&1) >= 2 {
 		a, b, c = a^1, b^1, c^1
 		neg = true
 	}
-	key := strashKey{a, b, c}
-	if id, ok := m.strash.lookup(key); ok {
-		return MakeLit(id, neg)
-	}
-	id := ID(len(m.fanin))
-	m.fanin = append(m.fanin, [3]Lit{a, b, c})
-	m.strash.insert(key, id)
-	return MakeLit(id, neg)
+	return strashKey{a, b, c}, neg, 0, false
 }
 
 func (m *MIG) checkLit(l Lit) {

@@ -1,0 +1,426 @@
+package rewrite
+
+import (
+	"mighash/internal/db"
+	"mighash/internal/extract"
+	"mighash/internal/mig"
+	"mighash/internal/obs"
+)
+
+// Choice-aware rewriting (Options.Extract). The greedy top-down pass
+// commits the locally best cut of every node as it walks; here the
+// evaluation phase instead records, per live gate, every admissible
+// (cut, candidate) pair — the database candidates include the
+// alternative, strictly shallower implementations each class carries —
+// and internal/extract selects one implementation per needed gate
+// minimizing a global size or depth objective. Because a choice graph
+// prices sharing (a dependency needed by two selected choices is paid
+// once), the extraction can prefer a locally neutral replacement that a
+// greedy walk would never take.
+//
+// The pass also computes the greedy decision alongside ("the twin") from
+// the same cut evaluations, commits both, and returns whichever scores
+// better under the objective — so a choice-aware pass is never worse
+// than its greedy counterpart on any input. Both the recording (a pure
+// per-node function fanned out over fanout-free regions) and the
+// extraction (deterministic passes over the finished graph) are
+// independent of the worker count, keeping the output bit-identical at
+// any parallelism.
+
+// choiceRec is one recorded (cut, candidate) pair of a node: implement
+// the node as rec.entry over rec.leaves (which alias the cut arena of
+// the pass's workspace). cost is the candidate's effective gate price:
+// its size minus the gates that already exist in the input graph
+// outside the replaced cone (or simplify away on their leaf literals) —
+// the commit's structural hashing merges those for free, which is
+// precisely the sharing a greedy gain count cannot see.
+type choiceRec struct {
+	leaves []mig.ID
+	entry  *db.Entry
+	tr     transformRef
+	cost   int32
+}
+
+// prepareChoices sizes the per-node menu slots, keeping each slot's
+// backing array across passes.
+func (w *Workspace) prepareChoices(n int) {
+	if cap(w.choices) < n {
+		grown := make([][]choiceRec, n)
+		copy(grown, w.choices)
+		w.choices = grown
+	}
+	w.choices = w.choices[:n]
+	for i := range w.choices {
+		w.choices[i] = w.choices[i][:0]
+	}
+}
+
+// evalNode runs one node's evaluation under the current mode: the
+// greedy best-cut memo, or choice recording (which computes the greedy
+// twin's decision from the same cut loop).
+func (r *rewriter) evalNode(v mig.ID, st *evalState) {
+	if r.opt.Extract {
+		r.recordChoices(v, st)
+	} else if best, ok := r.bestCut(v, st); ok {
+		r.ws.best[v] = best
+	}
+	r.ws.decided[v] = true
+}
+
+// recordChoices evaluates all admissible cuts of v once, recording
+// every candidate with non-negative gain into the node's choice menu
+// and — from the same evaluations — the exact decision bestCut would
+// have made, so the greedy twin costs no second cut loop. The twin
+// follows bestCut's policy to the letter (including the AllowZeroGain
+// and DepthPreserve gates and the first-cut-wins tie-break) and is
+// computed uncapped; the menu records zero-gain pairs regardless of
+// AllowZeroGain — locally neutral choices are exactly the ones global
+// sharing can turn profitable — and caps itself at Options.MaxChoices.
+// Like bestCut, this is a pure function of v over the pass's read-only
+// state, which is what the parallel evaluation phase relies on.
+func (r *rewriter) recordChoices(v mig.ID, st *evalState) {
+	recs := r.ws.choices[v][:0]
+	var best candidateCut
+	found := false
+	for i := range r.cuts[v] {
+		c := &r.cuts[v][i]
+		if c.N == 1 && c.L[0] == v {
+			continue // trivial cut: replaces nothing
+		}
+		leaves := c.Leaves()
+		nodes, ok := r.coneAdmissible(v, leaves, st)
+		if !ok {
+			continue
+		}
+		e, tr := r.lookup(c, st)
+		if e == nil {
+			continue
+		}
+		// The greedy twin, replicating bestCut over the primary entry.
+		gain := len(nodes) - e.Size()
+		if gain >= 0 && !(gain == 0 && !r.opt.AllowZeroGain) &&
+			!(r.opt.DepthPreserve && r.arrivalOf(e, tr, leaves) > r.oldLevels[v]) &&
+			!(gain == 0 && r.arrivalOf(e, tr, leaves) >= r.oldLevels[v]) {
+			cand := candidateCut{leaves: leaves, entry: e, tr: tr, gain: gain, depth: e.Depth}
+			if !found || cand.gain > best.gain ||
+				(cand.gain == best.gain && cand.depth < best.depth) {
+				best, found = cand, true
+			}
+		}
+		// The menu: every candidate implementation of the class, priced
+		// at its effective cost. A candidate whose nominal size exceeds
+		// the cone can still be admitted when enough of its gates already
+		// exist outside the cone — greedy must skip those, but the
+		// extractor may find they make the global cover cheaper.
+		for ci := 0; ci < e.NumCandidates() && len(recs) < r.opt.MaxChoices; ci++ {
+			cand := e.Candidate(ci)
+			eff := r.effectiveCost(cand, tr, leaves, nodes)
+			if len(nodes)-int(eff) < 0 {
+				continue
+			}
+			if r.opt.DepthPreserve && r.arrivalOf(cand, tr, leaves) > r.oldLevels[v] {
+				continue
+			}
+			recs = append(recs, choiceRec{leaves: leaves, entry: cand, tr: tr, cost: eff})
+		}
+	}
+	if found {
+		r.ws.best[v] = best
+	}
+	r.ws.choices[v] = recs
+}
+
+// effectiveCost prices cand's gates against the input graph: walking
+// the entry bottom-up over its mapped leaf literals (the same mapping
+// instantiate applies at commit), a gate that simplifies away or
+// already exists as a node outside the replaced cone will be merged by
+// structural hashing and costs nothing; only genuinely new gates — and
+// every gate above the first unknown one, whose operands cannot be
+// resolved — pay one gate each. The probe is read-only, so the parallel
+// evaluation phase can share the graph.
+func (r *rewriter) effectiveCost(cand *db.Entry, tr transformRef, leaves []mig.ID, cone []mig.ID) int32 {
+	k := cand.K()
+	var sig [64]mig.Lit
+	var known [64]bool
+	if 1+k+cand.Size() > len(sig) {
+		return int32(cand.Size())
+	}
+	sig[0], known[0] = mig.Const0, true
+	for j := 0; j < k; j++ {
+		var leaf mig.ID
+		if p := tr.perm[j]; p < len(leaves) {
+			leaf = leaves[p]
+		}
+		sig[1+j] = mig.MakeLit(leaf, tr.flip>>uint(j)&1 == 1)
+		known[1+j] = true
+	}
+	cost := int32(0)
+	for l, gate := range cand.Gates {
+		ok := known[gate[0].ID()] && known[gate[1].ID()] && known[gate[2].ID()]
+		if ok {
+			at := func(x mig.Lit) mig.Lit { return sig[x.ID()].NotIf(x.Comp()) }
+			if res, found := r.m.FindMaj(at(gate[0]), at(gate[1]), at(gate[2])); found {
+				// A hit inside the cone is no discount: the replacement
+				// frees those nodes, so rebuilding one pays full price.
+				inCone := false
+				if r.m.IsGate(res.ID()) {
+					for _, w := range cone {
+						if w == res.ID() {
+							inCone = true
+							break
+						}
+					}
+				}
+				if !inCone {
+					sig[1+k+l], known[1+k+l] = res, true
+					continue
+				}
+			}
+		}
+		cost++
+	}
+	return cost
+}
+
+// depDelays maps a candidate's per-input leaf depths onto cut-leaf
+// positions: entry input j is driven by leaves[tr.perm[j]], so the
+// choice's output trails leaf position tr.perm[j] by LeafDepth[j]
+// gates. Unused inputs (and constant-padded positions) contribute 0.
+func depDelays(cand *db.Entry, tr transformRef, nLeaves int) [extract.MaxDeps]int8 {
+	var d [extract.MaxDeps]int8
+	for j := 0; j < cand.K(); j++ {
+		ld := cand.LeafDepth[j]
+		if ld < 0 || tr.perm[j] >= nLeaves {
+			continue
+		}
+		if p := tr.perm[j]; int8(ld) > d[p] {
+			d[p] = int8(ld)
+		}
+	}
+	return d
+}
+
+// sigKey identifies what a menu entry will build: the database
+// implementation plus the exact leaf literal feeding each of its inputs.
+// Two records with equal keys instantiate bit-identical gates (the
+// commit's structural hashing folds them onto one copy), regardless of
+// which node they implement or with which output phase — so they share a
+// duplicate-cone signature in the choice graph and the extractor can
+// pay for the implementation once.
+type sigKey struct {
+	entry *db.Entry
+	lits  [5]uint32 // per entry input: leaf ID and phase (2*id | flip)
+}
+
+// buildGraph assembles the recorded menus into a flat choice graph:
+// per live gate, choice 0 keeps the node's original fanins (cost 1) and
+// choices 1.. are its menu in recording order, so Selection.Pick maps
+// back to ws.choices[v][pick-1]. The graph's arena is workspace-owned
+// and reused across passes.
+func (r *rewriter) buildGraph() *extract.Graph {
+	m, ws := r.m, r.ws
+	sigIDs := make(map[sigKey]int32)
+	n := m.NumNodes()
+	g := &ws.graph
+	g.NumNodes = n
+	if cap(g.Off) < n+1 {
+		g.Off = make([]int32, 0, n+1)
+	}
+	g.Off = g.Off[:0]
+	g.Off = append(g.Off, 0)
+	g.Arena = g.Arena[:0]
+	g.Outputs = g.Outputs[:0]
+	for v := 0; v < n; v++ {
+		id := mig.ID(v)
+		if m.IsGate(id) && r.fo[v] > 0 {
+			keep := extract.Choice{Cost: 1, Ref: -1}
+			for _, ch := range m.Fanin(id) {
+				d := ch.ID()
+				dup := false
+				for j := 0; j < int(keep.N); j++ {
+					if keep.Deps[j] == d {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				keep.Deps[keep.N] = d
+				keep.DepD[keep.N] = 1
+				keep.N++
+			}
+			g.Arena = append(g.Arena, keep)
+			for ri := range ws.choices[v] {
+				rec := &ws.choices[v][ri]
+				c := extract.Choice{
+					Cost: rec.cost,
+					Ref:  int32(ri),
+					Sig:  sigOf(sigIDs, rec),
+					N:    uint8(len(rec.leaves)),
+					DepD: depDelays(rec.entry, rec.tr, len(rec.leaves)),
+				}
+				copy(c.Deps[:], rec.leaves)
+				g.Arena = append(g.Arena, c)
+			}
+		}
+		g.Off = append(g.Off, int32(len(g.Arena)))
+	}
+	for _, o := range m.Outputs() {
+		g.Outputs = append(g.Outputs, o.ID())
+	}
+	g.FFRRoot = r.roots
+	return g
+}
+
+// sigOf interns rec's signature: the duplicate-cone ID shared by every
+// record that instantiates the same entry over the same leaf literals
+// (mirroring instantiate, entry input j reads leaves[tr.perm[j]] with
+// flip bit j; positions past the cut read constant zero). IDs are
+// assigned in recording order by the serial graph build, so they are
+// independent of the worker count.
+func sigOf(ids map[sigKey]int32, rec *choiceRec) int32 {
+	key := sigKey{entry: rec.entry}
+	for j := 0; j < rec.entry.K(); j++ {
+		var leaf mig.ID
+		if p := rec.tr.perm[j]; p < len(rec.leaves) {
+			leaf = rec.leaves[p]
+		}
+		key.lits[j] = uint32(leaf)<<1 | uint32(rec.tr.flip>>uint(j)&1)
+	}
+	id, ok := ids[key]
+	if !ok {
+		id = int32(len(ids) + 1)
+		ids[key] = id
+	}
+	return id
+}
+
+// runChoice is the choice-aware counterpart of runTopDown: evaluate
+// once (recording menus and the greedy twin's decisions), commit the
+// twin, commit the extracted cover, and keep whichever result scores
+// better under the extraction objective.
+func (r *rewriter) runChoice(workers int) {
+	// The menus need the database's alternative candidates; deriving
+	// them is Once-guarded and shared process-wide.
+	r.d.EnsureAlts()
+	r.ws.prepareChoices(r.m.NumNodes())
+
+	base := r.opt.Ctx
+	ectx, espan := obs.Start(base, "rewrite.evaluate")
+	espan.SetInt("workers", int64(workers))
+	r.opt.Ctx = ectx
+	r.evaluateAll(workers)
+	espan.End()
+	r.opt.Ctx = base
+
+	// Greedy twin: every live gate is decided, so the commit phase of
+	// runTopDown consumes the memo without evaluating anything.
+	r.runTopDown(1)
+	gRes := r.out.Compact()
+	gRepl := r.replacements
+
+	// Fresh output graph for the extraction commit.
+	r.out = mig.New(r.m.NumPIs())
+	r.levels = r.levels[:0]
+	r.replacements = 0
+
+	g := r.buildGraph()
+	xctx, xspan := obs.Start(base, "rewrite.extract")
+	r.opt.Ctx = xctx
+	sel := extract.Select(g, extract.Options{Objective: r.opt.ExtractObjective})
+	r.commitExtract(sel)
+	xRes := r.out.Compact()
+	r.opt.Ctx = base
+
+	gSize, gDepth := gRes.Size(), gRes.Depth()
+	xSize, xDepth := xRes.Size(), xRes.Depth()
+	var xBetter bool
+	if r.opt.ExtractObjective == extract.Depth {
+		xBetter = xDepth < gDepth || (xDepth == gDepth && xSize < gSize)
+	} else {
+		xBetter = xSize < gSize || (xSize == gSize && xDepth < gDepth)
+	}
+	r.choiceCount = sel.Stats.Choices
+	if xBetter {
+		r.done = xRes
+		r.extractSaved = gSize - xSize
+	} else {
+		r.done = gRes
+		r.replacements = gRepl
+	}
+	xspan.SetInt("choices", int64(sel.Stats.Choices))
+	xspan.SetInt("covered", int64(sel.Stats.Covered))
+	xspan.SetInt("saved_gates", int64(r.extractSaved))
+	xspan.End()
+}
+
+// commitExtract rebuilds the graph from the extraction's selection with
+// the same explicit-stack walk as runTopDown: a node whose pick is a
+// menu entry instantiates that candidate over its cut leaves, any other
+// node keeps its fanins. The walk's demand closure is exactly the
+// selection's need set, so every visited node has a valid pick.
+func (r *rewriter) commitExtract(sel extract.Selection) {
+	ws := r.ws
+	res, known := ws.res, ws.known
+	clear(known)
+	res[0], known[0] = mig.Const0, true
+	for i := 0; i < r.m.NumPIs(); i++ {
+		id := r.m.Input(i).ID()
+		res[id], known[id] = r.out.Input(i), true
+	}
+	stack := ws.stack[:0]
+	for _, o := range r.m.Outputs() {
+		if !known[o.ID()] {
+			stack = append(stack, o.ID())
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if known[v] {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			var rec *choiceRec
+			if p := sel.Pick[v]; p > 0 {
+				rec = &ws.choices[v][p-1]
+			}
+			ready := true
+			if rec != nil {
+				for i := len(rec.leaves) - 1; i >= 0; i-- {
+					if !known[rec.leaves[i]] {
+						stack = append(stack, rec.leaves[i])
+						ready = false
+					}
+				}
+				if !ready {
+					continue
+				}
+				var leafSigs [5]mig.Lit
+				for i, lf := range rec.leaves {
+					leafSigs[i] = res[lf]
+				}
+				res[v] = r.instantiate(rec.entry, rec.tr, leafSigs[:len(rec.leaves)])
+				r.replacements++
+			} else {
+				f := r.m.Fanin(v)
+				for i := 2; i >= 0; i-- {
+					if !known[f[i].ID()] {
+						stack = append(stack, f[i].ID())
+						ready = false
+					}
+				}
+				if !ready {
+					continue
+				}
+				res[v] = r.addMaj(
+					res[f[0].ID()].NotIf(f[0].Comp()),
+					res[f[1].ID()].NotIf(f[1].Comp()),
+					res[f[2].ID()].NotIf(f[2].Comp()))
+			}
+			known[v] = true
+			stack = stack[:len(stack)-1]
+		}
+		r.out.AddOutput(res[o.ID()].NotIf(o.Comp()))
+	}
+	ws.stack = stack[:0]
+}

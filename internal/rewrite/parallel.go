@@ -32,6 +32,7 @@ func (r *rewriter) evaluateAll(workers int) {
 		// but the FFR structure still yields the scheduling partition.
 		roots = r.m.FFRRoots()
 	}
+	r.roots = roots
 	perm := ws.perm[:0]
 	for id := r.m.NumPIs() + 1; id < r.m.NumNodes(); id++ {
 		if r.fo[id] > 0 { // dead gates are never visited by the commit phase
@@ -60,10 +61,7 @@ func (r *rewriter) evaluateAll(workers int) {
 	if workers <= 1 {
 		st := &ws.eval[0]
 		for _, v := range perm {
-			if best, ok := r.bestCut(v, st); ok {
-				ws.best[v] = best
-			}
-			ws.decided[v] = true
+			r.evalNode(v, st)
 		}
 		return
 	}
@@ -101,10 +99,7 @@ func (r *rewriter) evaluateAll(workers int) {
 					panic(err)
 				}
 				for _, v := range perm[starts[k]:starts[k+1]] {
-					if best, ok := r.bestCut(v, st); ok {
-						ws.best[v] = best
-					}
-					ws.decided[v] = true
+					r.evalNode(v, st)
 				}
 			}
 		}()

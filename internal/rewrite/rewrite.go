@@ -7,6 +7,7 @@ import (
 
 	"mighash/internal/cut"
 	"mighash/internal/db"
+	"mighash/internal/extract"
 	"mighash/internal/mig"
 	"mighash/internal/obs"
 	"mighash/internal/tt"
@@ -83,6 +84,24 @@ type Options struct {
 	// PerLeafCandidates caps how many candidates of each cut leaf are
 	// combined in Algorithm 2 line 7 (default 2).
 	PerLeafCandidates int
+
+	// Extract switches the top-down variants from greedy per-cut commits
+	// to choice-aware extraction: evaluation records every profitable
+	// (cut, candidate) pair — including the database's alternative
+	// candidates per class — into a choice graph, internal/extract picks
+	// a globally best cover, and the pass commits whichever of the
+	// greedy and extracted results scores better, so an extraction pass
+	// is never worse than its greedy twin. Ignored by bottom-up passes.
+	Extract bool
+	// ExtractObjective selects what the extraction minimizes (size by
+	// default; extract.Depth trades gates for shorter critical paths).
+	// Only read when Extract is set.
+	ExtractObjective extract.Objective
+	// MaxChoices caps the recorded (cut, candidate) pairs per node
+	// (default 16). The greedy twin is computed uncapped, so tightening
+	// the cap can only reduce the extraction's menu, never the
+	// never-worse guarantee.
+	MaxChoices int
 }
 
 // The paper's five experiment variants (Sec. V, Tables III and IV).
@@ -104,13 +123,33 @@ var (
 	TD5  = Options{DepthPreserve: true, K: 5}
 )
 
+// The choice-aware extensions: same cut evaluation as their greedy
+// twins, but replacements are selected by global extraction over the
+// full choice graph instead of cut by cut. Txd extracts under the depth
+// objective.
+var (
+	TFx  = Options{FFR: true, Extract: true}
+	Tx   = Options{Extract: true}
+	TF5x = Options{FFR: true, K: 5, Extract: true}
+	T5x  = Options{K: 5, Extract: true}
+	Txd  = Options{Extract: true, ExtractObjective: extract.Depth}
+)
+
 // VariantName returns the paper's acronym for o — suffixed with "5" for
-// the K = 5 extensions — or a descriptive string for non-paper
+// the K = 5 extensions and "x" (or "xd" under the depth objective) for
+// the choice-aware ones — or a descriptive string for non-paper
 // configurations.
 func VariantName(o Options) string {
 	name := baseVariantName(o)
 	if o.K == 5 {
 		name += "5"
+	}
+	if o.Extract && !o.BottomUp {
+		if o.ExtractObjective == extract.Depth {
+			name += "xd"
+		} else {
+			name += "x"
+		}
 	}
 	return name
 }
@@ -151,6 +190,12 @@ func (o Options) withDefaults() Options {
 	if o.PerLeafCandidates == 0 {
 		o.PerLeafCandidates = 2
 	}
+	if o.MaxChoices == 0 {
+		o.MaxChoices = 16
+	}
+	if o.BottomUp {
+		o.Extract = false // candidate lists already explore tradeoffs per FFR
+	}
 	return o
 }
 
@@ -162,7 +207,13 @@ type Stats struct {
 	Replacements            int // cuts replaced by database MIGs
 	// NPN cut-cache traffic of this pass (zero when Options.Cache is nil).
 	CacheHits, CacheMisses int
-	Elapsed                time.Duration
+	// Choice-aware extraction (zero unless Options.Extract ran): the
+	// (cut, candidate) pairs recorded into the choice graph, and the
+	// gates the extracted cover saved over the pass's greedy twin (0
+	// when the twin won the comparison).
+	Choices      int
+	ExtractSaved int
+	Elapsed      time.Duration
 }
 
 // CacheHitRate returns the fraction of this pass's database lookups
@@ -179,6 +230,9 @@ func (s Stats) String() string {
 		s.Variant, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter, s.Replacements, s.Elapsed)
 	if s.CacheHits+s.CacheMisses > 0 {
 		out += fmt.Sprintf(", cache %.0f%% of %d", 100*s.CacheHitRate(), s.CacheHits+s.CacheMisses)
+	}
+	if s.Choices > 0 {
+		out += fmt.Sprintf(", %d choices (extract saved %d)", s.Choices, s.ExtractSaved)
 	}
 	return out
 }
@@ -202,6 +256,8 @@ type Workspace struct {
 	starts  []int32        // region boundaries into perm
 	sig     []mig.Lit      // instantiate scratch
 	sel     []candidate    // bottom-up combination scratch
+	choices [][]choiceRec  // choice mode: per-node recorded menus
+	graph   extract.Graph  // choice mode: arena reused across passes
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first use.
@@ -278,10 +334,15 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 		r.opt.Ctx = cctx
 		r.runBottomUp()
 		cspan.End()
+	} else if opt.Extract {
+		r.runChoice(workers)
 	} else {
 		r.runTopDown(workers)
 	}
-	res := r.out.Compact()
+	res := r.done
+	if res == nil {
+		res = r.out.Compact()
+	}
 	for i := range ws.eval {
 		r.cacheHits += ws.eval[i].hits
 		r.cacheMisses += ws.eval[i].misses
@@ -305,6 +366,8 @@ func Run(m *mig.MIG, d *db.DB, opt Options) (*mig.MIG, Stats) {
 		Replacements: r.replacements,
 		CacheHits:    r.cacheHits,
 		CacheMisses:  r.cacheMisses,
+		Choices:      r.choiceCount,
+		ExtractSaved: r.extractSaved,
 		Elapsed:      time.Since(start),
 	}
 	return res, st
@@ -329,6 +392,13 @@ type rewriter struct {
 	replacements int
 
 	cacheHits, cacheMisses int // this pass's NPN cut-cache traffic
+
+	roots []mig.ID // scheduling partition of the last evaluateAll
+	// Choice mode (Options.Extract): the chosen compacted result — Run
+	// falls back to compacting r.out when nil — and its stats.
+	done         *mig.MIG
+	choiceCount  int
+	extractSaved int
 }
 
 // addMaj creates a majority gate in the output graph, keeping the level

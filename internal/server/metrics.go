@@ -42,6 +42,9 @@ type metrics struct {
 	passes     atomic.Int64 // executed pipeline passes
 	cacheHits  atomic.Int64 // NPN cut-cache hits, summed over jobs
 	cacheMiss  atomic.Int64 // NPN cut-cache misses, summed over jobs
+	// Choice-aware extraction traffic, summed over completed jobs.
+	extractChoices atomic.Int64 // recorded (cut, candidate) choices
+	extractSaved   atomic.Int64 // gates saved over the greedy twins
 
 	// Panic isolation: a handler panic is caught at the dispatch boundary
 	// (500 naming the request ID), a job panic at the engine's per-job
@@ -82,6 +85,8 @@ func (m *metrics) observe(results []engine.Result) {
 		m.passes.Add(int64(len(r.Stats.Passes)))
 		m.cacheHits.Add(int64(r.Stats.CacheHits))
 		m.cacheMiss.Add(int64(r.Stats.CacheMisses))
+		m.extractChoices.Add(int64(r.Stats.Choices))
+		m.extractSaved.Add(int64(r.Stats.ExtractSaved))
 	}
 }
 
@@ -128,6 +133,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	vals["migserve_exact5_breaker_state"] = int64(s.exact5.BreakerState())
 	vals["migserve_exact5_breaker_trips_total"] = int64(s.exact5.BreakerTrips())
 	vals["migserve_exact5_breaker_skips_total"] = int64(s.exact5.BreakerSkips())
+	// Store bounding (gauge limit, 0 = unbounded) and candidate menus.
+	vals["migserve_exact5_limit"] = int64(s.exact5.Limit())
+	vals["migserve_exact5_evictions_total"] = int64(s.exact5.Evictions())
+	vals["migserve_exact5_candidates"] = int64(s.exact5.Candidates())
+	// Choice-aware extraction traffic of completed jobs.
+	vals["migserve_extract_choices_total"] = m.extractChoices.Load()
+	vals["migserve_extract_saved_gates_total"] = m.extractSaved.Load()
 	names := make([]string, 0, len(vals))
 	for n := range vals {
 		names = append(names, n)

@@ -447,6 +447,14 @@ type ScriptSpec struct {
 	// server's MaxWorkersPerRequest. Results are bit-identical at any
 	// value.
 	Workers int `json:"workers,omitempty"`
+	// Extract upgrades every top-down rewrite pass of the script to
+	// choice-aware extraction: candidate menus per cut, one globally
+	// selected cover, never worse than the greedy pass it replaces.
+	// Equivalent to picking an "-x" preset (e.g. "resyn-x") by name.
+	Extract bool `json:"extract,omitempty"`
+	// ExtractObjective selects the extraction objective when Extract is
+	// set: "size" (default) or "depth".
+	ExtractObjective string `json:"extract_objective,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/optimize/batch: many netlists
@@ -648,6 +656,17 @@ func (s *Server) pipeline(spec ScriptSpec) (*engine.Pipeline, error) {
 		workers = limit
 	}
 	p.Workers = workers
+	switch spec.ExtractObjective {
+	case "":
+	case "size":
+	case "depth":
+		p.ExtractObjective = engine.ObjectiveDepth
+	default:
+		return nil, fmt.Errorf(`unknown extract_objective %q (want "size" or "depth")`, spec.ExtractObjective)
+	}
+	if spec.Extract || spec.ExtractObjective != "" {
+		p.Extract = true
+	}
 	return p, nil
 }
 

@@ -186,7 +186,7 @@ func TestDiffAndAssignment(t *testing.T) {
 	const w = 2
 	a := make([]uint64, 3*w)
 	b := make([]uint64, 3*w)
-	b[1] = 1 << 1         // output 0, word 1, bit 1 -> pattern 65
+	b[1] = 1 << 1          // output 0, word 1, bit 1 -> pattern 65
 	b[2*w+1] = 1<<1 | 1<<5 // output 2 differs at patterns 65 and 69
 	q, o, ok := sim.Diff(a, b, w)
 	if !ok || q != 65 || o != 0 {

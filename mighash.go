@@ -22,7 +22,12 @@
 // learns each class's minimum MIG by budgeted exact synthesis on first
 // contact (the TF5/T5/TFD5/TD5 variants and resyn5/size5 scripts),
 // persisting the learned database across processes alongside the
-// cut-cache. The
+// cut-cache. Choice-aware extraction (the x-variants and the resyn-x /
+// depth-x scripts) replaces the greedy per-cut commit with a two-phase
+// scheme: record every profitable (cut, candidate) pair into a choice
+// graph, then extract a globally best cover under a size or depth
+// objective — never worse than the greedy result, often strictly
+// better. The
 // rewriting hot path is allocation-free in the steady state — cuts carry
 // their truth tables, cone analysis uses epoch-stamped workspaces — and
 // parallelizes inside a single graph: best cuts of independent fanout-
@@ -56,6 +61,7 @@ import (
 	"mighash/internal/depthopt"
 	"mighash/internal/engine"
 	"mighash/internal/exact"
+	"mighash/internal/extract"
 	"mighash/internal/mapper"
 	"mighash/internal/mig"
 	"mighash/internal/npn"
@@ -208,6 +214,34 @@ var (
 	VariantT5   = rewrite.T5
 	VariantTFD5 = rewrite.TFD5
 	VariantTD5  = rewrite.TD5
+)
+
+// Choice-aware extraction (internal/extract + internal/rewrite; beyond
+// the paper): the x-variants do not commit each profitable cut
+// greedily — they record every profitable (cut, candidate) pair into a
+// choice graph and extract a globally best cover over the whole graph
+// (e-graph extraction specialized to the rewriter). The extracted
+// result is never worse than the greedy twin on the same input, and
+// bit-identical at any worker count. RewriteOptions.Extract switches a
+// top-down variant into this mode; RewriteOptions.ExtractObjective
+// picks what the cover minimizes.
+type ExtractObjective = extract.Objective
+
+// The two extraction objectives: gate count (the default) or output
+// arrival time.
+const (
+	ExtractSize  = extract.Size
+	ExtractDepth = extract.Depth
+)
+
+// The choice-aware (x) variants of the top-down rewriters, driven by
+// the resyn-x and depth-x preset scripts.
+var (
+	VariantTFx  = rewrite.TFx
+	VariantTx   = rewrite.Tx
+	VariantTF5x = rewrite.TF5x
+	VariantT5x  = rewrite.T5x
+	VariantTxd  = rewrite.Txd
 )
 
 // Optimize applies one functional-hashing pass, returning a fresh
