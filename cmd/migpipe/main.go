@@ -86,6 +86,7 @@ import (
 	"mighash/internal/exp"
 	"mighash/internal/mig"
 	"mighash/internal/obs"
+	"mighash/internal/qor"
 	"mighash/internal/server"
 	"mighash/internal/sim/diff"
 )
@@ -140,6 +141,14 @@ type jsonReport struct {
 	// with -verify; omitted otherwise (remote runs verify server-side).
 	Verify  *jsonVerify  `json:"verify,omitempty"`
 	Results []jsonResult `json:"results"`
+	// Run identifies this invocation in the durable QoR trend store, and
+	// Provenance pins the build and machine the numbers came from (git
+	// SHA, timestamp, os/arch, GOMAXPROCS). Qor carries one trend-store
+	// record per completed job — the lines migtrend -history appends and
+	// migtrend -gate compares across runs.
+	Run        string         `json:"run"`
+	Provenance qor.Provenance `json:"provenance"`
+	Qor        []qor.Record   `json:"qor,omitempty"`
 }
 
 // jsonVerify is the "verify" block of the -json report: what the
@@ -373,6 +382,21 @@ func main() {
 	}
 
 	if *jsonOut {
+		// Every -json artifact doubles as a batch of durable trend-store
+		// records: one qor.Record per completed job, all sharing this
+		// invocation's run ID and provenance, ready for migtrend -history.
+		prov := qor.CollectProvenance()
+		runID := qor.NewRunID(prov)
+		var qorRecs []qor.Record
+		for _, r := range results {
+			rec, ok := qor.FromResult(runID, p.Name, r, prov)
+			if !ok {
+				continue
+			}
+			rec.Exact5Synths = int(exact5.Synths())
+			rec.Exact5Timeouts = int(exact5.Failures())
+			qorRecs = append(qorRecs, rec)
+		}
 		rep := jsonReport{
 			Script:         p.Name,
 			Workers:        reportedWorkers,
@@ -388,6 +412,9 @@ func main() {
 			ExtractSaved:   extractSaved,
 			Attempts:       attempts,
 			Verify:         verifyStats,
+			Run:            runID,
+			Provenance:     prov,
+			Qor:            qorRecs,
 		}
 		if total := cacheHits + cacheMisses; total > 0 {
 			rep.CacheHitRate = float64(cacheHits) / float64(total)

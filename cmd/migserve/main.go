@@ -38,6 +38,7 @@
 //	POST /v1/optimize        optimize one netlist
 //	POST /v1/optimize/batch  optimize many netlists concurrently
 //	GET  /v1/scripts         list available scripts
+//	GET  /v1/stats           live per-preset QoR aggregates (JSON)
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus-style counters
 //

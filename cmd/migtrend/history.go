@@ -1,0 +1,236 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mighash/internal/qor"
+)
+
+// recordsFromArtifact extracts trend-store records from one parsed
+// migpipe artifact. Modern artifacts carry them verbatim in the qor
+// field; older ones are synthesized from the results block with a run ID
+// derived from the file name, so pre-qor BENCH_*.json blobs still enter
+// the durable history (with zero provenance rather than none at all).
+func recordsFromArtifact(file string, rep report) []qor.Record {
+	if len(rep.Qor) > 0 {
+		return rep.Qor
+	}
+	run := rep.Run
+	if run == "" {
+		run = strings.TrimSuffix(filepath.Base(file), ".json")
+	}
+	var recs []qor.Record
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			continue
+		}
+		recs = append(recs, qor.Record{
+			Schema:     qor.SchemaVersion,
+			Run:        run,
+			Circuit:    r.Name,
+			Script:     rep.Script,
+			Gates:      r.Stats.SizeAfter,
+			Depth:      r.Stats.DepthAfter,
+			Runtime:    r.Stats.Elapsed,
+			Provenance: rep.Provenance,
+		})
+	}
+	return recs
+}
+
+// runHistory is the -history flow: fold the artifacts' records into the
+// durable store at <dir>/qor.jsonl (append-only, deduplicated against
+// what is already there), render the multi-run trajectory, and — with
+// -gate — compare the newest run against its predecessor, returning a
+// nonzero exit code on regression.
+func runHistory(w io.Writer, dir string, cols []column, gate bool, opt qor.GateOptions) int {
+	path := filepath.Join(dir, qor.HistoryFile)
+	existing, stats, err := qor.ReadFile(path)
+	if err != nil {
+		log.Printf("reading %s: %v", path, err)
+		return 1
+	}
+	if stats.Skipped > 0 {
+		log.Printf("%s: skipped %d unreadable line(s)", path, stats.Skipped)
+	}
+	type key struct{ run, circuit, script string }
+	have := map[key]bool{}
+	for _, r := range existing {
+		have[key{r.Run, r.Circuit, r.Script}] = true
+	}
+	var fresh []qor.Record
+	for _, c := range cols {
+		for _, r := range recordsFromArtifact(c.file, c.rep) {
+			k := key{r.Run, r.Circuit, r.Script}
+			if have[k] {
+				continue
+			}
+			have[k] = true
+			fresh = append(fresh, r)
+		}
+	}
+	if err := qor.AppendFile(path, fresh); err != nil {
+		log.Printf("appending %s: %v", path, err)
+		return 1
+	}
+	runs := qor.GroupRuns(append(existing, fresh...))
+	if len(runs) == 0 {
+		log.Print("history is empty: nothing to render or gate")
+		return 1
+	}
+	renderHistory(w, runs)
+	if !gate {
+		return 0
+	}
+	cur := runs[len(runs)-1]
+	base, ok := baselineFor(runs, cur)
+	if !ok {
+		fmt.Fprintf(w, "\nQoR gate: no baseline run for %s yet — gate passes vacuously.\n", cur.Label())
+		return 0
+	}
+	rep := qor.Compare(base.Records, cur.Records, opt)
+	fmt.Fprintln(w)
+	rep.WriteTable(w)
+	if rep.Regressed {
+		return 1
+	}
+	return 0
+}
+
+// baselineFor picks the gate baseline for the newest run: the most
+// recent earlier run of the same script. Mixed-script runs fall back to
+// the immediately preceding run — Compare pairs by (circuit, script), so
+// a script mismatch degrades to "no overlap", never a bogus verdict.
+func baselineFor(runs []qor.Run, cur qor.Run) (qor.Run, bool) {
+	for i := len(runs) - 2; i >= 0; i-- {
+		if cur.Script == "" || runs[i].Script == cur.Script {
+			return runs[i], true
+		}
+	}
+	return qor.Run{}, false
+}
+
+// renderHistory writes the multi-run trajectory: one row per
+// (circuit, script), one column per run (newest last, capped at the
+// most recent runs so the table stays readable as history accretes),
+// each cell gates/depth with the gate delta against the previous
+// displayed run when it changed.
+func renderHistory(w io.Writer, runs []qor.Run) {
+	const maxCols = 8
+	total := len(runs)
+	if len(runs) > maxCols {
+		runs = runs[len(runs)-maxCols:]
+	}
+	type key struct{ circuit, script string }
+	var order []key
+	seen := map[key]bool{}
+	scripts := map[string]map[string]bool{} // circuit -> scripts seen
+	cells := make([]map[key]qor.Record, len(runs))
+	for i, run := range runs {
+		cells[i] = map[key]qor.Record{}
+		for _, r := range run.Records {
+			k := key{r.Circuit, r.Script}
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+				if scripts[r.Circuit] == nil {
+					scripts[r.Circuit] = map[string]bool{}
+				}
+				scripts[r.Circuit][r.Script] = true
+			}
+			cells[i][k] = r
+		}
+	}
+	fmt.Fprintf(w, "### QoR history (%d of %d runs, gates/depth)\n\n", len(runs), total)
+	fmt.Fprint(w, "| circuit |")
+	for _, run := range runs {
+		fmt.Fprintf(w, " %s |", run.Label())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range runs {
+		fmt.Fprint(w, "---:|")
+	}
+	fmt.Fprintln(w)
+	for _, k := range order {
+		label := k.circuit
+		if len(scripts[k.circuit]) > 1 {
+			label = fmt.Sprintf("%s (%s)", k.circuit, k.script)
+		}
+		fmt.Fprintf(w, "| %s |", label)
+		for i := range runs {
+			rec, ok := cells[i][k]
+			if !ok {
+				fmt.Fprint(w, " – |")
+				continue
+			}
+			cell := fmt.Sprintf("%d/%d", rec.Gates, rec.Depth)
+			if prev, ok := prevCell(cells, i, k); ok && prev.Gates != rec.Gates {
+				cell += fmt.Sprintf(" (%+d)", rec.Gates-prev.Gates)
+			}
+			fmt.Fprintf(w, " %s |", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	// The totals row covers only keys present in every displayed run —
+	// summing a run that lost a circuit as-is would fake an improvement.
+	common := make([]key, 0, len(order))
+	for _, k := range order {
+		everywhere := true
+		for i := range runs {
+			if _, ok := cells[i][k]; !ok {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			common = append(common, k)
+		}
+	}
+	if len(common) > 0 {
+		fmt.Fprint(w, "| **total gates** |")
+		prevSum := 0
+		for i := range runs {
+			sum := 0
+			for _, k := range common {
+				sum += cells[i][k].Gates
+			}
+			cell := fmt.Sprintf("**%d**", sum)
+			if i > 0 && sum != prevSum {
+				cell += fmt.Sprintf(" (%+d)", sum-prevSum)
+			}
+			prevSum = sum
+			fmt.Fprintf(w, " %s |", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	if len(common) < len(order) {
+		fmt.Fprintf(w, "Totals cover the %d of %d circuit rows present in every displayed run.\n\n",
+			len(common), len(order))
+	}
+	for i, run := range runs {
+		var rt time.Duration
+		for _, r := range run.Records {
+			rt += r.Runtime
+		}
+		fmt.Fprintf(w, "- **%s**: %d circuits, total runtime %v — %s\n",
+			run.Label(), len(cells[i]), rt.Round(time.Millisecond), run.Records[0].Provenance.Describe())
+	}
+}
+
+// prevCell finds the key's record in the nearest earlier displayed run,
+// so deltas survive a run that skipped the circuit.
+func prevCell[K comparable](cells []map[K]qor.Record, i int, k K) (qor.Record, bool) {
+	for j := i - 1; j >= 0; j-- {
+		if rec, ok := cells[j][k]; ok {
+			return rec, true
+		}
+	}
+	return qor.Record{}, false
+}

@@ -13,6 +13,17 @@
 // labels default to the artifact's script name, deduplicated by file
 // name. Files that do not parse as migpipe reports are skipped with a
 // warning so a mixed artifact directory can be globbed wholesale.
+//
+// With -history <dir> the tool maintains the durable QoR trend store
+// instead: artifact records are appended to <dir>/qor.jsonl and the
+// multi-run trajectory (with deltas) is rendered from the full store.
+// Adding -gate compares the newest run against its predecessor and
+// exits nonzero with a verdict table on regression — the CI's hard QoR
+// gate:
+//
+//	migtrend -history qor-history BENCH_resyn.json           # append + render
+//	migtrend -history qor-history -gate BENCH_resyn.json     # append + gate
+//	migtrend -history qor-history -gate -runtime-tolerance 1.0 BENCH_*.json
 package main
 
 import (
@@ -24,6 +35,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"mighash/internal/qor"
 )
 
 // report mirrors the subset of migpipe's -json output migtrend needs;
@@ -32,7 +45,13 @@ type report struct {
 	Script  string        `json:"script"`
 	Jobs    int           `json:"jobs"`
 	Elapsed time.Duration `json:"elapsed_ns"`
-	Results []struct {
+	// Run/Provenance/Qor are the trend-store block modern migpipe builds
+	// emit; absent in older artifacts, whose records are synthesized from
+	// Results instead (see recordsFromArtifact).
+	Run        string         `json:"run"`
+	Provenance qor.Provenance `json:"provenance"`
+	Qor        []qor.Record   `json:"qor"`
+	Results    []struct {
 		Name  string `json:"name"`
 		Error string `json:"error"`
 		Stats struct {
@@ -68,6 +87,7 @@ type report struct {
 
 type column struct {
 	label string
+	file  string
 	rep   report
 }
 
@@ -81,19 +101,28 @@ func main() {
 	log.SetPrefix("migtrend: ")
 	var labels labelFlag
 	flag.Var(&labels, "label", "name=file pair; repeatable (default: the artifact's script name)")
+	historyDir := flag.String("history", "", "durable QoR store directory: append artifact records to <dir>/qor.jsonl and render the multi-run trajectory")
+	gate := flag.Bool("gate", false, "with -history: gate the newest run against its predecessor, exit nonzero on regression")
+	runtimeTol := flag.Float64("runtime-tolerance", 0.5, "allowed relative runtime growth before the gate fails (negative disables runtime gating)")
+	runtimeFloor := flag.Duration("runtime-floor", 250*time.Millisecond, "absolute runtime growth a regression must also exceed")
 	flag.Parse()
 
+	// Every input path skips-and-warns rather than aborting: one corrupt
+	// or schema-unknown blob in a globbed artifact directory must not
+	// take down the whole trend render (or worse, the CI gate).
 	var cols []column
 	for _, lv := range labels {
 		name, file, ok := strings.Cut(lv, "=")
 		if !ok {
-			log.Fatalf("-label wants name=file, got %q", lv)
+			log.Printf("skipping -label %q: want name=file", lv)
+			continue
 		}
 		rep, err := readReport(file)
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("skipping %s: %v", file, err)
+			continue
 		}
-		cols = append(cols, column{label: name, rep: rep})
+		cols = append(cols, column{label: name, file: file, rep: rep})
 	}
 	for _, file := range flag.Args() {
 		rep, err := readReport(file)
@@ -105,7 +134,14 @@ func main() {
 		if label == "" {
 			label = strings.TrimSuffix(filepath.Base(file), ".json")
 		}
-		cols = append(cols, column{label: label, rep: rep})
+		cols = append(cols, column{label: label, file: file, rep: rep})
+	}
+	if *gate && *historyDir == "" {
+		log.Fatal("-gate requires -history <dir>")
+	}
+	if *historyDir != "" {
+		opt := qor.GateOptions{RuntimeTolerance: *runtimeTol, RuntimeFloor: *runtimeFloor}
+		os.Exit(runHistory(os.Stdout, *historyDir, cols, *gate, opt))
 	}
 	if len(cols) == 0 {
 		log.Fatal("no readable artifacts (pass migpipe -json outputs)")

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mighash/internal/qor"
+)
+
+// TestMain doubles as the re-exec shim: tests below exec the test
+// binary with MIGTREND_RUN_MAIN=1 to run the real main() in a child
+// process, so exit codes — the gate's contract with CI — are pinned
+// for real instead of simulated.
+func TestMain(m *testing.M) {
+	if os.Getenv("MIGTREND_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runTrend(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "MIGTREND_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func qrec(run, circuit, script string, gates, depth int, rt time.Duration, at time.Time) qor.Record {
+	return qor.Record{
+		Schema: qor.SchemaVersion, Run: run, Circuit: circuit, Script: script,
+		Gates: gates, Depth: depth, Runtime: rt,
+		Provenance: qor.Provenance{Time: at, OS: "linux", Arch: "amd64", GOMAXPROCS: 2},
+	}
+}
+
+// historyDir materializes a two-run synthetic store: a baseline and a
+// current run whose Adder gate count is the parameter.
+func historyDir(t *testing.T, curAdderGates int) string {
+	t.Helper()
+	dir := t.TempDir()
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	recs := []qor.Record{
+		qrec("base", "Adder", "resyn", 100, 10, time.Second, t0),
+		qrec("base", "Max", "resyn", 200, 20, 2*time.Second, t0),
+		qrec("cur", "Adder", "resyn", curAdderGates, 10, time.Second, t0.Add(time.Hour)),
+		qrec("cur", "Max", "resyn", 200, 20, 2*time.Second, t0.Add(time.Hour)),
+	}
+	if err := qor.AppendFile(filepath.Join(dir, qor.HistoryFile), recs); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// The acceptance-criteria test: -gate on a clean history exits 0, on a
+// history with an injected +1-gate regression exits nonzero, both with
+// a readable verdict table.
+func TestGateExitCodes(t *testing.T) {
+	out, stderr, code := runTrend(t, "-history", historyDir(t, 100), "-gate")
+	if code != 0 {
+		t.Fatalf("clean history gate exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "QoR gate: PASS") {
+		t.Errorf("clean gate output missing PASS verdict:\n%s", out)
+	}
+
+	out, _, code = runTrend(t, "-history", historyDir(t, 101), "-gate")
+	if code == 0 {
+		t.Fatal("a +1-gate regression exited 0")
+	}
+	for _, want := range []string{"QoR gate: FAIL", "Adder", "REGRESSED", "+1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("regressed gate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGateNoBaseline(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	err := qor.AppendFile(filepath.Join(dir, qor.HistoryFile), []qor.Record{
+		qrec("only", "Adder", "resyn", 100, 10, time.Second, t0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stderr, code := runTrend(t, "-history", dir, "-gate")
+	if code != 0 {
+		t.Fatalf("single-run gate exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "vacuously") {
+		t.Errorf("no-baseline gate output:\n%s", out)
+	}
+}
+
+func TestGateRuntimeToleranceFlag(t *testing.T) {
+	mk := func(curRuntime time.Duration) string {
+		dir := t.TempDir()
+		t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+		err := qor.AppendFile(filepath.Join(dir, qor.HistoryFile), []qor.Record{
+			qrec("base", "Adder", "resyn", 100, 10, 10*time.Second, t0),
+			qrec("cur", "Adder", "resyn", 100, 10, curRuntime, t0.Add(time.Hour)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	// +40% is inside the default 50% tolerance…
+	if _, _, code := runTrend(t, "-history", mk(14*time.Second), "-gate"); code != 0 {
+		t.Error("+40% runtime failed the default 50% tolerance gate")
+	}
+	// …but outside a tightened one.
+	if _, _, code := runTrend(t, "-history", mk(14*time.Second), "-gate", "-runtime-tolerance", "0.2"); code == 0 {
+		t.Error("+40% runtime passed a 20% tolerance gate")
+	}
+	// And a disabled runtime gate never fails on runtime alone.
+	if _, _, code := runTrend(t, "-history", mk(time.Hour), "-gate", "-runtime-tolerance", "-1"); code != 0 {
+		t.Error("runtime gated with -runtime-tolerance -1")
+	}
+}
+
+// writeArtifact writes a minimal migpipe -json artifact to dir.
+func writeArtifact(t *testing.T, dir, name string, art map[string]any) string {
+	t.Helper()
+	raw, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHistoryIngestsArtifactsAndDedupes(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "history")
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	art := writeArtifact(t, dir, "BENCH_resyn.json", map[string]any{
+		"script": "resyn",
+		"run":    "r1",
+		"results": []map[string]any{
+			{"name": "Adder", "stats": map[string]any{"size_after": 100, "depth_after": 10}},
+		},
+		"qor": []qor.Record{qrec("r1", "Adder", "resyn", 100, 10, time.Second, t0)},
+	})
+	if out, stderr, code := runTrend(t, "-history", hist, art); code != 0 {
+		t.Fatalf("history append exit = %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	recs, _, err := qor.ReadFile(filepath.Join(hist, qor.HistoryFile))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("store after first append: %d records, err %v", len(recs), err)
+	}
+	// Feeding the same artifact again must not duplicate its records —
+	// the CI re-downloads the artifact chain on every run.
+	if _, _, code := runTrend(t, "-history", hist, art); code != 0 {
+		t.Fatal("second append failed")
+	}
+	recs, _, err = qor.ReadFile(filepath.Join(hist, qor.HistoryFile))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("store after re-append: %d records, err %v (dedupe broken)", len(recs), err)
+	}
+}
+
+func TestHistorySynthesizesLegacyArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "history")
+	// A pre-qor artifact: results only, no run/provenance/qor block.
+	art := writeArtifact(t, dir, "BENCH_old.json", map[string]any{
+		"script": "size",
+		"results": []map[string]any{
+			{"name": "Adder", "stats": map[string]any{"size_after": 90, "depth_after": 9}},
+			{"name": "Broken", "error": "boom"},
+		},
+	})
+	out, stderr, code := runTrend(t, "-history", hist, art)
+	if code != 0 {
+		t.Fatalf("legacy append exit = %d, stderr: %s", code, stderr)
+	}
+	recs, _, err := qor.ReadFile(filepath.Join(hist, qor.HistoryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Run != "BENCH_old" || recs[0].Gates != 90 || recs[0].Script != "size" {
+		t.Errorf("synthesized records = %+v", recs)
+	}
+	if !strings.Contains(out, "QoR history") {
+		t.Errorf("trajectory table missing:\n%s", out)
+	}
+}
+
+func TestSkipAndWarnOnBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeArtifact(t, dir, "BENCH_good.json", map[string]any{
+		"script": "resyn",
+		"results": []map[string]any{
+			{"name": "Adder", "stats": map[string]any{"size_after": 100, "depth_after": 10}},
+		},
+	})
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	notAReport := writeArtifact(t, dir, "shapes.json", map[string]any{"unrelated": true})
+	out, stderr, code := runTrend(t,
+		"-label", "malformed-no-equals",
+		"-label", "gone="+filepath.Join(dir, "missing.json"),
+		good, garbage, notAReport)
+	if code != 0 {
+		t.Fatalf("exit = %d with one good artifact present, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "Adder") {
+		t.Errorf("good artifact not rendered:\n%s", out)
+	}
+	if n := strings.Count(stderr, "skipping"); n != 4 {
+		t.Errorf("skip warnings = %d, want 4:\n%s", n, stderr)
+	}
+}
+
+func TestGateRequiresHistory(t *testing.T) {
+	_, stderr, code := runTrend(t, "-gate")
+	if code == 0 {
+		t.Fatal("-gate without -history exited 0")
+	}
+	if !strings.Contains(stderr, "-history") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+func TestRenderHistoryDeltas(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	runs := qor.GroupRuns([]qor.Record{
+		qrec("r1", "Adder", "resyn", 100, 10, time.Second, t0),
+		qrec("r1", "Max", "resyn", 200, 20, time.Second, t0),
+		qrec("r2", "Adder", "resyn", 97, 10, time.Second, t0.Add(time.Hour)),
+		qrec("r2", "Max", "resyn", 200, 20, time.Second, t0.Add(time.Hour)),
+	})
+	var sb strings.Builder
+	renderHistory(&sb, runs)
+	out := sb.String()
+	for _, want := range []string{"QoR history (2 of 2 runs", "97/10 (-3)", "**300**", "**297** (-3)", "gomaxprocs=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history table missing %q:\n%s", want, out)
+		}
+	}
+}

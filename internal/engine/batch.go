@@ -8,6 +8,7 @@ import (
 	"log"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 
 	"mighash/internal/db"
@@ -163,7 +164,20 @@ func RunBatch(ctx context.Context, p *Pipeline, jobs []Job, opt BatchOptions) ([
 				}
 				jctx, jspan := obs.Start(ctx, "job")
 				jspan.SetStr("name", jobs[i].Name)
-				m, st, err := runJob(jctx, &pj, jobs[i])
+				// pprof labels make CPU profiles attributable: samples from
+				// this job (and every goroutine it spawns — intra-graph
+				// rewrite workers, exact-synthesis ladders) carry the circuit
+				// and preset, so `go tool pprof -tagfocus` can isolate one
+				// job's cost from a busy batch.
+				var (
+					m   *mig.MIG
+					st  PipelineStats
+					err error
+				)
+				pprof.Do(jctx, pprof.Labels("circuit", jobs[i].Name, "preset", pj.Name),
+					func(jctx context.Context) {
+						m, st, err = runJob(jctx, &pj, jobs[i])
+					})
 				if errors.Is(err, ErrJobPanic) {
 					jspan.SetStr("outcome", "panicked")
 				}

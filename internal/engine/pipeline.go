@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -460,8 +461,17 @@ func (p *Pipeline) runPass(iter int, pass Pass, cur *mig.MIG, env passEnv) (*mig
 	defer span.End()
 	span.SetStr("name", pass.Name())
 	span.SetInt("iteration", int64(iter))
-	env.ctx = ctx
-	next, ps := pass.run(cur, env)
+	// The pass label stacks on the job's circuit/preset labels (pprof.Do
+	// nests), so a CPU profile of a busy server slices down to one pass
+	// of one circuit under one preset.
+	var (
+		next *mig.MIG
+		ps   PassStats
+	)
+	pprof.Do(ctx, pprof.Labels("pass", pass.Name()), func(ctx context.Context) {
+		env.ctx = ctx
+		next, ps = pass.run(cur, env)
+	})
 	ps.Iteration = iter
 	span.SetInt("size_before", int64(ps.SizeBefore))
 	span.SetInt("size_after", int64(ps.SizeAfter))

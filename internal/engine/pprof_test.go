@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+
+	"mighash/internal/mig"
+)
+
+// TestBatchWorkersCarryPprofLabels: the worker goroutine running a job
+// carries circuit/preset pprof labels for the whole job (PassCheck runs
+// on that goroutine between passes, after the per-pass label popped), so
+// CPU and goroutine profiles of a busy batch are attributable per job.
+// The goroutine profile at debug=1 prints each goroutine's label set —
+// the only public window onto the current goroutine's labels.
+func TestBatchWorkersCarryPprofLabels(t *testing.T) {
+	p, err := Preset("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		once     sync.Once
+		captured string
+	)
+	p.PassCheck = func(pass string, iter int, before, after *mig.MIG) error {
+		once.Do(func() {
+			var b bytes.Buffer
+			if err := pprof.Lookup("goroutine").WriteTo(&b, 1); err != nil {
+				t.Errorf("goroutine profile: %v", err)
+			}
+			captured = b.String()
+		})
+		return nil
+	}
+	jobs := []Job{{Name: "Max", M: startMax(t)}}
+	if _, err := RunBatch(context.Background(), p, jobs, BatchOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if captured == "" {
+		t.Fatal("PassCheck never ran; no profile captured")
+	}
+	for _, want := range []string{`"circuit":"Max"`, `"preset":"quick"`} {
+		if !strings.Contains(captured, want) {
+			t.Errorf("goroutine profile missing label %s", want)
+		}
+	}
+}

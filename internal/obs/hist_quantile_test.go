@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Edge-case coverage for Histogram.Quantile beyond the happy path: the
+// quantile feeds admission control (shouldShed) and Retry-After hints,
+// where a wrong answer on a boundary input turns into bad shedding
+// decisions, not a cosmetic blip.
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// Quantile(0) must clamp the rank to the first observation, not index
+// bucket -1 or return a zero that admission control would read as "the
+// server is infinitely fast".
+func TestQuantileZeroClampsToFirstObservation(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second)
+	h.Observe(500 * time.Millisecond) // second bucket
+	if got := h.Quantile(0); got != time.Second {
+		t.Errorf("Quantile(0) = %v, want the observation's bucket bound 1s", got)
+	}
+}
+
+// Quantile(1) is the max observation's bucket bound, and an observation
+// past every finite bound reports the last finite bound rather than a
+// fictitious +Inf.
+func TestQuantileOneAndOverflowBucket(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second)
+	h.Observe(100 * time.Microsecond)
+	if got := h.Quantile(1); got != time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want 1ms", got)
+	}
+	h.Observe(time.Hour) // +Inf overflow bucket
+	if got := h.Quantile(1); got != time.Second {
+		t.Errorf("Quantile(1) with overflow = %v, want the last finite bound 1s", got)
+	}
+	// All mass in the overflow bucket: every quantile is the last bound.
+	o := NewHistogram(time.Millisecond)
+	o.Observe(time.Minute)
+	o.Observe(time.Hour)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := o.Quantile(q); got != time.Millisecond {
+			t.Errorf("overflow-only Quantile(%v) = %v, want 1ms", q, got)
+		}
+	}
+}
+
+// Quantiles are monotone in q: sweeping q over a mixed distribution may
+// never yield a smaller answer for a larger q. (A rank-rounding bug
+// breaks exactly this, and it is what the p50 ≤ p99 contract of
+// /v1/stats rests on.)
+func TestQuantileMonotoneInQ(t *testing.T) {
+	h := NewHistogram()
+	for i, d := range []time.Duration{
+		50 * time.Microsecond, 300 * time.Microsecond, 300 * time.Microsecond,
+		2 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond,
+		200 * time.Millisecond, 2 * time.Second, 30 * time.Second, time.Minute,
+	} {
+		for j := 0; j <= i%3; j++ { // uneven per-bucket mass
+			h.Observe(d)
+		}
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%0.2f) = %v < Quantile(%0.2f) = %v", q, got, q-0.01, prev)
+		}
+		prev = got
+	}
+}
+
+// The quantile is conservative: never below the exact quantile of the
+// observed durations (bucket upper bounds round up).
+func TestQuantileConservative(t *testing.T) {
+	h := NewHistogram()
+	obs := []time.Duration{
+		90 * time.Microsecond, 350 * time.Microsecond, time.Millisecond,
+		5 * time.Millisecond, 90 * time.Millisecond, 400 * time.Millisecond,
+	}
+	for _, d := range obs {
+		h.Observe(d)
+	}
+	// Exact p50 of 6 sorted samples (rank 3) is 1ms; the histogram may
+	// report a bound ≥ 1ms, never less.
+	if got := h.Quantile(0.5); got < time.Millisecond {
+		t.Errorf("Quantile(0.5) = %v, below the exact median 1ms", got)
+	}
+	if got := h.Quantile(1); got < 400*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, below the max observation", got)
+	}
+}

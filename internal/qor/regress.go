@@ -1,0 +1,214 @@
+package qor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// GateOptions tunes the regression detector. The zero value is the CI
+// default: exact gates/depth comparison, +50% runtime tolerance with a
+// 250ms absolute noise floor.
+type GateOptions struct {
+	// RuntimeTolerance is the allowed relative runtime growth before a
+	// runtime verdict regresses: 0.5 means the new runtime may be up to
+	// 1.5× the baseline. Gates and depth get no tolerance — the
+	// optimizer is deterministic, so any growth is a real change.
+	// Negative disables runtime gating entirely. Zero means the default
+	// 0.5.
+	RuntimeTolerance float64
+	// RuntimeFloor is the absolute growth a runtime regression must also
+	// exceed: sub-floor circuits finish in scheduler noise, where a 2×
+	// blip is meaningless. Zero means the default 250ms.
+	RuntimeFloor time.Duration
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.RuntimeTolerance == 0 {
+		o.RuntimeTolerance = 0.5
+	}
+	if o.RuntimeFloor == 0 {
+		o.RuntimeFloor = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Verdict is one gate comparison: a metric of one circuit (or the suite
+// aggregate) in the baseline run versus the candidate run.
+type Verdict struct {
+	Circuit string // "" for suite-aggregate verdicts
+	Script  string
+	Metric  string // "gates", "depth" or "runtime"
+	Old     int64
+	New     int64
+	// Regressed is the hard verdict; Note explains soft outcomes
+	// ("within tolerance", "improved", "new circuit").
+	Regressed bool
+	Note      string
+}
+
+// Delta returns the signed change, New - Old.
+func (v Verdict) Delta() int64 { return v.New - v.Old }
+
+// GateReport is the full output of one gate evaluation.
+type GateReport struct {
+	BaselineRun string
+	CurrentRun  string
+	// PerCircuit holds the circuit-level verdicts (three per compared
+	// circuit), Suite the aggregates: total gates, max depth, total
+	// runtime over the circuits present in both runs.
+	PerCircuit []Verdict
+	Suite      []Verdict
+	// NewCircuits/LostCircuits are keys present in only one run: not
+	// regressions (benchmarks come and go), but always reported — a
+	// silently shrinking suite would let total-gate regressions hide.
+	NewCircuits  []string
+	LostCircuits []string
+	Regressed    bool
+}
+
+// Compare gates the candidate records against the baseline records,
+// pairing by (circuit, script). Gates and depth compare exactly; runtime
+// with the option's relative tolerance above an absolute floor. Suite
+// aggregates — total gates, max depth, total runtime — cover only the
+// pairs present on both sides, so suite verdicts never conflate a
+// missing circuit with an improvement.
+func Compare(baseline, current []Record, opt GateOptions) GateReport {
+	opt = opt.withDefaults()
+	var rep GateReport
+	if len(baseline) > 0 {
+		rep.BaselineRun = baseline[0].Run
+	}
+	if len(current) > 0 {
+		rep.CurrentRun = current[0].Run
+	}
+	type key struct{ circuit, script string }
+	base := map[key]Record{}
+	for _, rec := range baseline {
+		base[key{rec.Circuit, rec.Script}] = rec
+	}
+	matched := map[key]bool{}
+	var sumGatesOld, sumGatesNew int64
+	var maxDepthOld, maxDepthNew int64
+	var sumRunOld, sumRunNew time.Duration
+	for _, cur := range current {
+		k := key{cur.Circuit, cur.Script}
+		old, ok := base[k]
+		if !ok {
+			rep.NewCircuits = append(rep.NewCircuits, cur.Circuit)
+			continue
+		}
+		matched[k] = true
+		sumGatesOld += int64(old.Gates)
+		sumGatesNew += int64(cur.Gates)
+		maxDepthOld = max(maxDepthOld, int64(old.Depth))
+		maxDepthNew = max(maxDepthNew, int64(cur.Depth))
+		sumRunOld += old.Runtime
+		sumRunNew += cur.Runtime
+		rep.PerCircuit = append(rep.PerCircuit,
+			exactVerdict(cur.Circuit, cur.Script, "gates", int64(old.Gates), int64(cur.Gates)),
+			exactVerdict(cur.Circuit, cur.Script, "depth", int64(old.Depth), int64(cur.Depth)),
+			runtimeVerdict(cur.Circuit, cur.Script, old.Runtime, cur.Runtime, opt),
+		)
+	}
+	for k := range base {
+		if !matched[k] {
+			rep.LostCircuits = append(rep.LostCircuits, k.circuit)
+		}
+	}
+	sort.Strings(rep.NewCircuits)
+	sort.Strings(rep.LostCircuits)
+	if len(matched) > 0 {
+		rep.Suite = []Verdict{
+			exactVerdict("", "", "total gates", sumGatesOld, sumGatesNew),
+			exactVerdict("", "", "max depth", maxDepthOld, maxDepthNew),
+			runtimeVerdict("", "", sumRunOld, sumRunNew, opt),
+		}
+		rep.Suite[2].Metric = "total runtime"
+	}
+	for _, v := range rep.PerCircuit {
+		rep.Regressed = rep.Regressed || v.Regressed
+	}
+	for _, v := range rep.Suite {
+		rep.Regressed = rep.Regressed || v.Regressed
+	}
+	return rep
+}
+
+func exactVerdict(circuit, script, metric string, prev, cur int64) Verdict {
+	v := Verdict{Circuit: circuit, Script: script, Metric: metric, Old: prev, New: cur}
+	switch {
+	case cur > prev:
+		v.Regressed = true
+		v.Note = "REGRESSED"
+	case cur < prev:
+		v.Note = "improved"
+	default:
+		v.Note = "unchanged"
+	}
+	return v
+}
+
+func runtimeVerdict(circuit, script string, prev, cur time.Duration, opt GateOptions) Verdict {
+	v := Verdict{Circuit: circuit, Script: script, Metric: "runtime", Old: int64(prev), New: int64(cur)}
+	switch {
+	case opt.RuntimeTolerance < 0:
+		v.Note = "not gated"
+	case cur <= prev:
+		v.Note = "ok"
+	case cur-prev <= opt.RuntimeFloor:
+		v.Note = "within noise floor"
+	case float64(cur) <= float64(prev)*(1+opt.RuntimeTolerance):
+		v.Note = "within tolerance"
+	default:
+		v.Regressed = true
+		v.Note = fmt.Sprintf("REGRESSED (>%+.0f%%)", 100*opt.RuntimeTolerance)
+	}
+	return v
+}
+
+// WriteTable renders the report as a readable markdown verdict table:
+// the suite aggregates first (they are the hard gate's headline), then
+// every per-circuit verdict that is not an unchanged/ok no-op, then the
+// membership changes. The output is what a failing CI gate prints, so it
+// leads with what regressed.
+func (r GateReport) WriteTable(w io.Writer) {
+	verdict := "PASS"
+	if r.Regressed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "### QoR gate: %s (%s vs %s)\n\n", verdict, r.CurrentRun, r.BaselineRun)
+	if len(r.Suite) == 0 {
+		fmt.Fprintln(w, "No overlapping (circuit, script) pairs to compare.")
+		return
+	}
+	fmt.Fprintln(w, "| scope | metric | baseline | current | delta | verdict |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
+	for _, v := range r.Suite {
+		writeVerdictRow(w, "**suite**", v)
+	}
+	for _, v := range r.PerCircuit {
+		if v.Note == "unchanged" || v.Note == "ok" {
+			continue
+		}
+		writeVerdictRow(w, v.Circuit, v)
+	}
+	fmt.Fprintln(w)
+	if len(r.NewCircuits) > 0 {
+		fmt.Fprintf(w, "New circuits (not gated): %v\n", r.NewCircuits)
+	}
+	if len(r.LostCircuits) > 0 {
+		fmt.Fprintf(w, "Circuits missing from the current run (excluded from aggregates): %v\n", r.LostCircuits)
+	}
+}
+
+func writeVerdictRow(w io.Writer, scope string, v Verdict) {
+	prev, cur, delta := fmt.Sprint(v.Old), fmt.Sprint(v.New), fmt.Sprintf("%+d", v.Delta())
+	if v.Metric == "runtime" || v.Metric == "total runtime" {
+		prev = time.Duration(v.Old).Round(time.Millisecond).String()
+		cur = time.Duration(v.New).Round(time.Millisecond).String()
+		delta = fmt.Sprintf("%+v", time.Duration(v.Delta()).Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n", scope, v.Metric, prev, cur, delta, v.Note)
+}

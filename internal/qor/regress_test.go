@@ -1,0 +1,188 @@
+package qor
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func baselineRun(at time.Time) []Record {
+	return []Record{
+		rec("base", "Adder", "resyn", 100, 10, time.Second, at),
+		rec("base", "Max", "resyn", 200, 20, 10*time.Second, at),
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	cur := []Record{
+		rec("cur", "Adder", "resyn", 99, 10, time.Second, t0.Add(time.Hour)),
+		rec("cur", "Max", "resyn", 200, 20, 10*time.Second, t0.Add(time.Hour)),
+	}
+	rep := Compare(baselineRun(t0), cur, GateOptions{})
+	if rep.Regressed {
+		t.Fatalf("clean run regressed: %+v", rep)
+	}
+	if len(rep.Suite) != 3 {
+		t.Fatalf("suite verdicts = %d, want 3", len(rep.Suite))
+	}
+	if rep.Suite[0].Old != 300 || rep.Suite[0].New != 299 {
+		t.Errorf("total gates verdict = %+v", rep.Suite[0])
+	}
+	if rep.Suite[1].Metric != "max depth" || rep.Suite[1].New != 20 {
+		t.Errorf("max depth verdict = %+v", rep.Suite[1])
+	}
+}
+
+func TestCompareGateRegression(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	cur := []Record{
+		rec("cur", "Adder", "resyn", 101, 10, time.Second, t0.Add(time.Hour)), // +1 gate
+		rec("cur", "Max", "resyn", 200, 20, 10*time.Second, t0.Add(time.Hour)),
+	}
+	rep := Compare(baselineRun(t0), cur, GateOptions{})
+	if !rep.Regressed {
+		t.Fatal("a +1 gate regression passed the gate")
+	}
+	var found bool
+	for _, v := range rep.PerCircuit {
+		if v.Circuit == "Adder" && v.Metric == "gates" && v.Regressed && v.Delta() == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no per-circuit gates verdict for Adder: %+v", rep.PerCircuit)
+	}
+	if !rep.Suite[0].Regressed {
+		t.Errorf("suite total-gates verdict did not regress: %+v", rep.Suite[0])
+	}
+}
+
+func TestCompareDepthRegression(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	cur := []Record{
+		rec("cur", "Adder", "resyn", 100, 10, time.Second, t0.Add(time.Hour)),
+		rec("cur", "Max", "resyn", 199, 21, 10*time.Second, t0.Add(time.Hour)), // depth +1, gates -1
+	}
+	rep := Compare(baselineRun(t0), cur, GateOptions{})
+	if !rep.Regressed {
+		t.Fatal("a +1 depth regression passed the gate")
+	}
+	if rep.Suite[0].Regressed {
+		t.Errorf("total gates wrongly regressed: %+v", rep.Suite[0])
+	}
+	if !rep.Suite[1].Regressed {
+		t.Errorf("max depth did not regress: %+v", rep.Suite[1])
+	}
+}
+
+func TestCompareRuntimeTolerance(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(adder, max time.Duration) []Record {
+		return []Record{
+			rec("cur", "Adder", "resyn", 100, 10, adder, t0.Add(time.Hour)),
+			rec("cur", "Max", "resyn", 200, 20, max, t0.Add(time.Hour)),
+		}
+	}
+	// +40% runtime: inside the default 50% tolerance.
+	if rep := Compare(baselineRun(t0), mk(1400*time.Millisecond, 14*time.Second), GateOptions{}); rep.Regressed {
+		t.Errorf("+40%% runtime regressed under 50%% tolerance: %+v", rep.Suite)
+	}
+	// +100% runtime: beyond tolerance.
+	rep := Compare(baselineRun(t0), mk(2*time.Second, 20*time.Second), GateOptions{})
+	if !rep.Regressed {
+		t.Error("+100% runtime passed the 50% tolerance gate")
+	}
+	// A big relative blip under the absolute floor is noise, not signal.
+	fast := []Record{
+		rec("base", "Tiny", "resyn", 10, 2, 10*time.Millisecond, t0),
+	}
+	cur := []Record{
+		rec("cur", "Tiny", "resyn", 10, 2, 100*time.Millisecond, t0.Add(time.Hour)), // 10x but tiny
+	}
+	if rep := Compare(fast, cur, GateOptions{}); rep.Regressed {
+		t.Errorf("sub-floor runtime blip regressed: %+v", rep.PerCircuit)
+	}
+	// Tolerance off: runtime never gates.
+	if rep := Compare(baselineRun(t0), mk(time.Minute, time.Hour), GateOptions{RuntimeTolerance: -1}); rep.Regressed {
+		t.Errorf("runtime gated with tolerance disabled: %+v", rep.Suite)
+	}
+	// Tighter custom tolerance: +40% now fails (floor exceeded on Max).
+	if rep := Compare(baselineRun(t0), mk(1400*time.Millisecond, 14*time.Second), GateOptions{RuntimeTolerance: 0.2}); !rep.Regressed {
+		t.Error("+40% runtime passed a 20% tolerance gate")
+	}
+}
+
+func TestCompareMembershipChanges(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	cur := []Record{
+		rec("cur", "Adder", "resyn", 100, 10, time.Second, t0.Add(time.Hour)),
+		rec("cur", "Shifter", "resyn", 50, 5, time.Second, t0.Add(time.Hour)), // new
+		// Max lost.
+	}
+	rep := Compare(baselineRun(t0), cur, GateOptions{})
+	if rep.Regressed {
+		t.Fatalf("membership change alone regressed: %+v", rep)
+	}
+	if len(rep.NewCircuits) != 1 || rep.NewCircuits[0] != "Shifter" {
+		t.Errorf("NewCircuits = %v", rep.NewCircuits)
+	}
+	if len(rep.LostCircuits) != 1 || rep.LostCircuits[0] != "Max" {
+		t.Errorf("LostCircuits = %v", rep.LostCircuits)
+	}
+	// The aggregate covers only the overlap: total gates 100 vs 100.
+	if rep.Suite[0].Old != 100 || rep.Suite[0].New != 100 {
+		t.Errorf("overlap-only total gates = %+v", rep.Suite[0])
+	}
+}
+
+func TestCompareNoOverlap(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	cur := []Record{rec("cur", "Other", "size", 10, 2, time.Second, t0)}
+	rep := Compare(baselineRun(t0), cur, GateOptions{})
+	if rep.Regressed || len(rep.Suite) != 0 {
+		t.Errorf("no-overlap compare = %+v", rep)
+	}
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "No overlapping") {
+		t.Errorf("table = %q", sb.String())
+	}
+}
+
+func TestCompareScriptsDoNotCrossMatch(t *testing.T) {
+	// The same circuit under different scripts must not be compared: a
+	// resyn-x run is expected to beat resyn, not be gated against it.
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	cur := []Record{rec("cur", "Adder", "resyn-x", 101, 10, time.Second, t0)}
+	rep := Compare(baselineRun(t0), cur, GateOptions{})
+	if len(rep.PerCircuit) != 0 {
+		t.Errorf("cross-script verdicts issued: %+v", rep.PerCircuit)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	cur := []Record{
+		rec("cur", "Adder", "resyn", 101, 10, time.Second, t0.Add(time.Hour)),
+		rec("cur", "Max", "resyn", 190, 20, 10*time.Second, t0.Add(time.Hour)),
+	}
+	rep := Compare(baselineRun(t0), cur, GateOptions{})
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"QoR gate: FAIL", "total gates", "max depth", "total runtime", "Adder", "REGRESSED", "+1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verdict table missing %q:\n%s", want, out)
+		}
+	}
+	// The improved Max row appears (it is not an unchanged no-op); the
+	// unchanged per-circuit depth rows are filtered (suite rows always
+	// render, unchanged or not — they are the headline).
+	if !strings.Contains(out, "improved") {
+		t.Errorf("verdict table missing the improved row:\n%s", out)
+	}
+	if strings.Contains(out, "| Adder | depth") || strings.Contains(out, "| Max | depth") {
+		t.Errorf("verdict table carries unchanged per-circuit noise rows:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+package qor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// HistoryFile is the record store's file name inside a history
+// directory: migtrend -history <dir> reads and appends <dir>/qor.jsonl.
+const HistoryFile = "qor.jsonl"
+
+// ReadStats reports what a read skipped: the durable store accretes
+// lines from many builds, so a reader must survive records it does not
+// understand (newer schema, truncated tail line from a crashed writer)
+// without discarding the history it does.
+type ReadStats struct {
+	Records int // records decoded and returned
+	Skipped int // lines dropped: malformed JSON or unknown schema
+}
+
+// Read decodes an append-only record stream: one JSON record per line.
+// Malformed lines and unknown schema versions are counted in stats and
+// skipped — an append-only store must tolerate a torn final line (a
+// writer killed mid-append) and records from newer builds.
+func Read(r io.Reader) ([]Record, ReadStats, error) {
+	var (
+		recs  []Record
+		stats ReadStats
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Schema != SchemaVersion || rec.Circuit == "" {
+			stats.Skipped++
+			continue
+		}
+		recs = append(recs, rec)
+		stats.Records++
+	}
+	if err := sc.Err(); err != nil {
+		return recs, stats, err
+	}
+	return recs, stats, nil
+}
+
+// ReadFile reads the store at path. A missing file is an empty history,
+// not an error — the first run of a new gate has nothing to compare to.
+func ReadFile(path string) ([]Record, ReadStats, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, ReadStats{}, nil
+	}
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Append writes records to w, one JSON line each.
+func Append(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		rec := recs[i]
+		if rec.Schema == 0 {
+			rec.Schema = SchemaVersion
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// AppendFile appends records to the store at path, creating the file
+// (and its directory) on first use. Appends are line-atomic on every
+// platform the CI runs on for the record sizes involved; a torn tail
+// from a crashed writer is skipped by Read.
+func AppendFile(path string, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := Append(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Merge combines record streams (e.g. history shards downloaded from an
+// artifact chain) into one deduplicated history: records are identified
+// by (run, circuit, script), first occurrence wins, and the result is
+// ordered by run time, then run ID, then circuit — a deterministic
+// timeline regardless of input order.
+func Merge(histories ...[]Record) []Record {
+	type key struct{ run, circuit, script string }
+	seen := map[key]bool{}
+	var out []Record
+	for _, h := range histories {
+		for _, rec := range h {
+			k := key{rec.Run, rec.Circuit, rec.Script}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, rec)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := out[i].Provenance.Time, out[j].Provenance.Time
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		if out[i].Run != out[j].Run {
+			return out[i].Run < out[j].Run
+		}
+		return out[i].Circuit < out[j].Circuit
+	})
+	return out
+}
+
+// Run is one producing invocation's slice of the history: the records
+// sharing one run ID, in circuit order.
+type Run struct {
+	ID      string
+	Time    time.Time
+	Script  string // the run's script when uniform, "" when mixed
+	Records []Record
+}
+
+// GroupRuns splits a merged history into chronological runs.
+func GroupRuns(recs []Record) []Run {
+	recs = Merge(recs) // dedupe + deterministic order
+	var runs []Run
+	idx := map[string]int{}
+	for _, rec := range recs {
+		i, ok := idx[rec.Run]
+		if !ok {
+			i = len(runs)
+			idx[rec.Run] = i
+			runs = append(runs, Run{ID: rec.Run, Time: rec.Provenance.Time, Script: rec.Script})
+		}
+		if runs[i].Script != rec.Script {
+			runs[i].Script = ""
+		}
+		runs[i].Records = append(runs[i].Records, rec)
+	}
+	sort.SliceStable(runs, func(i, j int) bool {
+		if !runs[i].Time.Equal(runs[j].Time) {
+			return runs[i].Time.Before(runs[j].Time)
+		}
+		return runs[i].ID < runs[j].ID
+	})
+	return runs
+}
+
+// Label names a run in rendered tables: its script (when uniform) plus
+// enough of the run ID to tell reruns apart.
+func (r Run) Label() string {
+	id := r.ID
+	if len(id) > 20 {
+		id = id[:20] // the timestamp prefix of NewRunID
+	}
+	if r.Script == "" {
+		return id
+	}
+	return fmt.Sprintf("%s@%s", r.Script, id)
+}

@@ -67,10 +67,15 @@ type metrics struct {
 	passHist   *obs.Histogram // executed pipeline passes
 	ladderHist *obs.Histogram // on-demand exact-synthesis ladders
 	slotWait   *obs.Histogram // time spent waiting for a pool slot
+
+	// presets holds the per-script rolling QoR aggregates behind
+	// GET /v1/stats and the labeled /metrics series.
+	presets statsRegistry
 }
 
 // observe folds one finished batch into the counters.
 func (m *metrics) observe(results []engine.Result) {
+	m.presets.observePreset(results)
 	for _, r := range results {
 		if r.Err != nil {
 			m.jobsFailed.Add(1)
@@ -148,6 +153,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, n := range names {
 		fmt.Fprintf(w, "%s %d\n", n, vals[n])
+	}
+	// Per-preset QoR series, labeled by script — the /metrics view of the
+	// same rolling aggregates GET /v1/stats returns as JSON. The quantile
+	// gauges are hand-emitted: obs.Histogram's exposition writer has no
+	// label support, and two summary-style gauges per preset beat a full
+	// labeled bucket set nobody graphs.
+	for _, snap := range m.presets.snapshot() {
+		ps := snap.stats
+		fmt.Fprintf(w, "migserve_preset_jobs_total{script=%q} %d\n", snap.name, ps.jobs.Load())
+		fmt.Fprintf(w, "migserve_preset_jobs_failed_total{script=%q} %d\n", snap.name, ps.failed.Load())
+		fmt.Fprintf(w, "migserve_preset_input_gates_total{script=%q} %d\n", snap.name, ps.gatesIn.Load())
+		fmt.Fprintf(w, "migserve_preset_gates_saved_total{script=%q} %d\n", snap.name, ps.gatesIn.Load()-ps.gatesOut.Load())
+		fmt.Fprintf(w, "migserve_preset_runtime_seconds{script=%q,quantile=\"0.5\"} %g\n", snap.name, ps.hist.Quantile(0.5).Seconds())
+		fmt.Fprintf(w, "migserve_preset_runtime_seconds{script=%q,quantile=\"0.99\"} %g\n", snap.name, ps.hist.Quantile(0.99).Seconds())
 	}
 	m.reqHist.WritePrometheus(w, "migserve_request_duration_seconds")
 	m.passHist.WritePrometheus(w, "migserve_pass_duration_seconds")

@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"path/filepath"
@@ -87,10 +87,15 @@ type Config struct {
 	// chrome://tracing and Perfetto. Off by default; the per-span latency
 	// histograms in /metrics are on either way.
 	TraceDir string
-	// SlowRequest logs one structured JSON line (request ID, path, status,
+	// SlowRequest logs one structured line (request ID, path, status,
 	// elapsed) for every optimization request slower than this threshold.
 	// Zero disables the slow log.
 	SlowRequest time.Duration
+	// Logger receives the server's structured log records (snapshot
+	// lifecycle, slow requests, handler panics), every operational record
+	// keyed by request_id where one exists. Nil means slog.Default() —
+	// tests inject a handler here to assert on records.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +123,9 @@ func (c Config) withDefaults() Config {
 			c.CacheSnapshotInterval = 5 * time.Minute
 		}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -133,6 +141,7 @@ type Server struct {
 	exact5  *db.OnDemand // always non-nil; shared by every request
 	slots   chan struct{}
 	mux     *http.ServeMux
+	log     *slog.Logger
 	metrics metrics
 
 	// Cache-persistence lifecycle (nil/zero without Config.CacheFile).
@@ -157,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 		db:     d,
 		exact5: db.NewOnDemand(cfg.Synth5),
 		slots:  make(chan struct{}, cfg.MaxConcurrent),
+		log:    cfg.Logger,
 	}
 	if cfg.SharedCache {
 		s.cache = db.NewCache()
@@ -168,12 +178,12 @@ func New(cfg Config) (*Server, error) {
 		n, err := db.LoadSnapshotFile(cfg.CacheFile, d, s.cache, s.exact5)
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
-			log.Printf("server: no cache snapshot at %s, starting cold", cfg.CacheFile)
+			s.log.Info("no cache snapshot, starting cold", "path", cfg.CacheFile)
 		case err != nil:
-			log.Printf("server: restoring cache snapshot %s failed, starting cold: %v", cfg.CacheFile, err)
+			s.log.Warn("restoring cache snapshot failed, starting cold", "path", cfg.CacheFile, "err", err)
 		default:
 			s.metrics.cacheRestored.Store(int64(n))
-			log.Printf("server: warm-started %d cache entries from %s", n, cfg.CacheFile)
+			s.log.Info("warm-started cache from snapshot", "path", cfg.CacheFile, "entries", n)
 		}
 		s.snapStop = make(chan struct{})
 		s.snapDone = make(chan struct{})
@@ -188,6 +198,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/optimize/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/scripts", s.handleScripts)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -229,7 +240,8 @@ func (s *Server) snapshotCache() error {
 	if err != nil {
 		s.metrics.snapshotErrors.Add(1)
 		s.metrics.snapshotConsecErr.Add(1)
-		log.Printf("server: cache snapshot to %s failed: %v", s.cfg.CacheFile, err)
+		s.log.Error("cache snapshot failed", "path", s.cfg.CacheFile, "err", err,
+			"consecutive_errors", s.metrics.snapshotConsecErr.Load())
 		return err
 	}
 	s.metrics.snapshotConsecErr.Store(0)
@@ -286,19 +298,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.reqHist.Observe(elapsed)
 	if dir := s.cfg.TraceDir; dir != "" {
 		if err := tr.SaveTrace(filepath.Join(dir, id+".json")); err != nil {
-			log.Printf("server: writing trace for request %s failed: %v", id, err)
+			s.log.Error("writing trace file failed", "request_id", id, "err", err)
 		}
 	}
 	if thr := s.cfg.SlowRequest; thr > 0 && elapsed >= thr {
-		line, _ := json.Marshal(slowRequestLog{
-			Msg:         "slow_request",
-			RequestID:   id,
-			Path:        r.URL.Path,
-			Status:      rec.status,
-			ElapsedMS:   elapsed.Milliseconds(),
-			ThresholdMS: thr.Milliseconds(),
-		})
-		log.Printf("server: %s", line)
+		s.log.Warn("slow_request",
+			"request_id", id,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"elapsed_ms", elapsed.Milliseconds(),
+			"threshold_ms", thr.Milliseconds(),
+		)
 	}
 }
 
@@ -321,7 +331,13 @@ func (s *Server) dispatch(rec *statusRecorder, r *http.Request, id string) {
 		if len(stack) > 8<<10 {
 			stack = stack[:8<<10]
 		}
-		log.Printf("server: panic serving %s %s (request %s): %v\n%s", r.Method, r.URL.Path, id, rv, stack)
+		s.log.Error("panic in handler",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"panic", fmt.Sprint(rv),
+			"stack", string(stack),
+		)
 		if !rec.wrote {
 			s.writeError(rec, http.StatusInternalServerError,
 				"internal error; the failure is logged under request id %s", id)
@@ -340,17 +356,6 @@ func (s *Server) dispatch(rec *statusRecorder, r *http.Request, id string) {
 		panic(err)
 	}
 	s.mux.ServeHTTP(rec, r)
-}
-
-// slowRequestLog is the schema of one slow-request log line: a single
-// JSON object, so fleet-side log pipelines need no custom parsing.
-type slowRequestLog struct {
-	Msg         string `json:"msg"`
-	RequestID   string `json:"request_id"`
-	Path        string `json:"path"`
-	Status      int    `json:"status"`
-	ElapsedMS   int64  `json:"elapsed_ms"`
-	ThresholdMS int64  `json:"threshold_ms"`
 }
 
 // isOptimizePath reports whether the request does optimization work —

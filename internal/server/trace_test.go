@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -14,6 +14,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mighash/internal/fault"
 )
 
 // counters snapshots the two response-accounting counters.
@@ -251,37 +253,89 @@ func TestMetricsHistograms(t *testing.T) {
 }
 
 // TestSlowRequestLog: with Config.SlowRequest set below the request
-// latency, the server emits one structured JSON log line carrying the
-// request ID from the X-Request-ID header.
+// latency, the server emits one structured slog record (captured via
+// the Config.Logger hook) carrying the request ID from the
+// X-Request-ID header.
 func TestSlowRequestLog(t *testing.T) {
 	var buf bytes.Buffer
-	prev := log.Writer()
-	log.SetOutput(&buf)
-	defer log.SetOutput(prev)
-
-	_, hs := newTestServer(t, Config{SlowRequest: time.Nanosecond})
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, hs := newTestServer(t, Config{SlowRequest: time.Nanosecond, Logger: logger})
 	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
 		Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}})
 	io.Copy(io.Discard, resp.Body)
 	id := resp.Header.Get("X-Request-ID")
 
-	var entry slowRequestLog
+	var entry struct {
+		Level     string `json:"level"`
+		Msg       string `json:"msg"`
+		RequestID string `json:"request_id"`
+		Path      string `json:"path"`
+		Status    int    `json:"status"`
+		ElapsedMS *int64 `json:"elapsed_ms"`
+	}
 	found := false
 	for _, line := range strings.Split(buf.String(), "\n") {
-		if i := strings.Index(line, "{"); i >= 0 {
-			if json.Unmarshal([]byte(line[i:]), &entry) == nil && entry.Msg == "slow_request" {
-				found = true
-				break
-			}
+		if line == "" {
+			continue
+		}
+		if json.Unmarshal([]byte(line), &entry) == nil && entry.Msg == "slow_request" {
+			found = true
+			break
 		}
 	}
 	if !found {
-		t.Fatalf("no slow_request log line in:\n%s", buf.String())
+		t.Fatalf("no slow_request record in:\n%s", buf.String())
 	}
 	if entry.RequestID != id {
 		t.Errorf("slow log request_id = %q, header says %q", entry.RequestID, id)
 	}
-	if entry.Path != "/v1/optimize" || entry.Status != 200 {
+	if entry.Path != "/v1/optimize" || entry.Status != 200 || entry.Level != "WARN" {
 		t.Errorf("slow log fields: %+v", entry)
+	}
+	if entry.ElapsedMS == nil {
+		t.Error("slow log missing elapsed_ms")
+	}
+}
+
+// TestPanicLogKeyedByRequestID: a handler panic's log record carries the
+// request ID the 500 response names, so the operator can join them.
+func TestPanicLogKeyedByRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, hs := newTestServer(t, Config{Logger: logger})
+	defer fault.Reset()
+	if err := fault.Enable("server/handler", "count(1)*panic(injected handler panic)"); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Netlist: fullAdderBench, ScriptSpec: ScriptSpec{Script: "quick"}})
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	var entry struct {
+		Msg       string `json:"msg"`
+		RequestID string `json:"request_id"`
+		Stack     string `json:"stack"`
+	}
+	found := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if json.Unmarshal([]byte(line), &entry) == nil && entry.Msg == "panic in handler" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no panic record in:\n%s", buf.String())
+	}
+	if entry.RequestID != id {
+		t.Errorf("panic log request_id = %q, header says %q", entry.RequestID, id)
+	}
+	if entry.Stack == "" {
+		t.Error("panic log missing the stack")
 	}
 }

@@ -66,6 +66,7 @@ import (
 	"mighash/internal/mig"
 	"mighash/internal/npn"
 	"mighash/internal/obs"
+	"mighash/internal/qor"
 	"mighash/internal/rewrite"
 	"mighash/internal/server"
 	"mighash/internal/sim"
@@ -463,3 +464,60 @@ var AIGFromMIG = aig.FromMIG
 // ExactMinimumAIG synthesizes a minimum AND-chain for f, the AIG
 // counterpart of ExactMinimum used by the MIG-vs-AIG comparison.
 var ExactMinimumAIG = exact.MinimumAIG
+
+// Durable QoR (quality-of-results) trend store: one append-only JSON
+// line per circuit × preset run, with build provenance and a
+// noise-aware regression gate (see cmd/migtrend -history/-gate).
+type (
+	// QoRRecord is one circuit × preset outcome: gates, depth, runtime,
+	// per-pass breakdown, cache and exact-synthesis counters, provenance.
+	QoRRecord = qor.Record
+	// QoRProvenance pins where a record came from: git SHA (and dirty
+	// bit), timestamp, Go version, OS/arch, GOMAXPROCS.
+	QoRProvenance = qor.Provenance
+	// QoRPassTime is one pass's share of a record's runtime.
+	QoRPassTime = qor.PassTime
+	// QoRRun groups the records of one run ID for trend rendering.
+	QoRRun = qor.Run
+	// QoRReadStats counts lines skipped while reading a history file
+	// (malformed JSON, unknown schema versions, torn tails).
+	QoRReadStats = qor.ReadStats
+	// QoRGateOptions tunes the regression gate's runtime noise handling
+	// (relative tolerance plus an absolute floor).
+	QoRGateOptions = qor.GateOptions
+	// QoRGateReport is a gate comparison: per-circuit and suite-level
+	// verdicts between a baseline run and the current run.
+	QoRGateReport = qor.GateReport
+	// QoRVerdict is one gated metric's old/new comparison.
+	QoRVerdict = qor.Verdict
+)
+
+// CollectQoRProvenance captures the running binary's provenance from
+// build info (go build embeds VCS metadata; go run does not).
+var CollectQoRProvenance = qor.CollectProvenance
+
+// QoRFromResult converts one engine batch result into a QoR record.
+var QoRFromResult = qor.FromResult
+
+// NewQoRRunID derives a sortable run identifier from provenance
+// (UTC timestamp plus abbreviated commit).
+var NewQoRRunID = qor.NewRunID
+
+// ReadQoRFile reads a qor.jsonl history, skipping unreadable lines
+// (a missing file is an empty history, not an error).
+var ReadQoRFile = qor.ReadFile
+
+// AppendQoRFile appends records to a qor.jsonl history, creating the
+// file and its directory as needed.
+var AppendQoRFile = qor.AppendFile
+
+// MergeQoR merges histories, deduplicating by (run, circuit, script)
+// with first-wins, sorted by provenance time.
+var MergeQoR = qor.Merge
+
+// GroupQoRRuns splits records into per-run groups, newest last.
+var GroupQoRRuns = qor.GroupRuns
+
+// CompareQoR gates the current run against a baseline run: gates and
+// depth compare exactly, runtime within GateOptions tolerance.
+var CompareQoR = qor.Compare
